@@ -1,0 +1,121 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper, each printing the reproduced rows.
+//
+//	go test -bench=. -benchmem                  # fast profile (~minutes)
+//	go test -bench=. -short                     # tiny profile (smoke)
+//	go test -bench=BenchmarkTable4 -benchmem    # a single artifact
+//
+// Benchmarks share the experiments package's run cache, so artifacts that
+// reuse the same federated runs (Table IV / Table V / Fig. 5) only pay for
+// them once per process.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	benchMu     sync.Mutex
+	benchTables = map[string]bool{} // ids already rendered this process
+)
+
+func benchProfile() experiments.Profile {
+	if testing.Short() {
+		return experiments.Tiny()
+	}
+	return experiments.Fast()
+}
+
+// benchExperiment runs one registered experiment. The first execution per
+// process renders its tables to stdout — the bench harness is also the
+// table generator.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchMu.Lock()
+		if !benchTables[id] {
+			benchTables[id] = true
+			fmt.Fprintf(os.Stdout, "\n")
+			for _, t := range tables {
+				t.Render(os.Stdout)
+			}
+		}
+		benchMu.Unlock()
+	}
+}
+
+// Table I: method families, information utilization vs resource cost.
+func BenchmarkTable1MethodFamilies(b *testing.B) { benchExperiment(b, "table1") }
+
+// Table II: dataset description.
+func BenchmarkTable2DatasetStats(b *testing.B) { benchExperiment(b, "table2") }
+
+// Table III: model communication/computation statistics.
+func BenchmarkTable3ModelStats(b *testing.B) { benchExperiment(b, "table3") }
+
+// Table IV: communication rounds until target accuracy (Dir-0.5, 4-of-10).
+func BenchmarkTable4RoundsToTarget(b *testing.B) { benchExperiment(b, "table4") }
+
+// Table V: GFLOPs until target accuracy.
+func BenchmarkTable5GFLOPs(b *testing.B) { benchExperiment(b, "table5") }
+
+// Table VI: rounds to target with 4-of-50 participation.
+func BenchmarkTable6Scalability(b *testing.B) { benchExperiment(b, "table6") }
+
+// Table VII: accuracy at rounds 10/20 with 5 and 10 local epochs.
+func BenchmarkTable7LocalEpochs(b *testing.B) { benchExperiment(b, "table7") }
+
+// Table VIII (Appendix A): analytic attaching cost per method.
+func BenchmarkTable8AttachingCost(b *testing.B) { benchExperiment(b, "table8") }
+
+// Fig. 2: representation separability (t-SNE + silhouette motivation).
+func BenchmarkFig2TSNE(b *testing.B) { benchExperiment(b, "fig2") }
+
+// Fig. 3: update-geometry mechanism (global-local divergence vs
+// current-historical distance).
+func BenchmarkFig3Mechanism(b *testing.B) { benchExperiment(b, "fig3") }
+
+// Fig. 4: client label distributions under the four heterogeneity types.
+func BenchmarkFig4LabelDistributions(b *testing.B) { benchExperiment(b, "fig4") }
+
+// Fig. 5: convergence curves of the CNN across datasets and schemes.
+func BenchmarkFig5ConvergenceCurves(b *testing.B) { benchExperiment(b, "fig5") }
+
+// Fig. 6: final-accuracy boxplots on FMNIST.
+func BenchmarkFig6FinalAccuracyBox(b *testing.B) { benchExperiment(b, "fig6") }
+
+// Fig. 7: FedTrip mu sensitivity.
+func BenchmarkFig7MuSensitivity(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Theorem 1: empirical E[xi] vs the closed form p*ln(p)/(p-1).
+func BenchmarkTheoryXi(b *testing.B) { benchExperiment(b, "theory-xi") }
+
+// Theorem 1: decrease coefficient rho from measured smoothness (L) and
+// gradient-dissimilarity (B) constants.
+func BenchmarkTheoryRho(b *testing.B) { benchExperiment(b, "theory-rho") }
+
+// Extension: FedTrip with a quantized uplink (rounds x bytes compose).
+func BenchmarkExtQuantizedUplink(b *testing.B) { benchExperiment(b, "ext-quant") }
+
+// Ablation: xi schedule (inverse-gap vs gap vs fixed).
+func BenchmarkAblationXi(b *testing.B) { benchExperiment(b, "abl-xi") }
+
+// Ablation: triplet terms in isolation.
+func BenchmarkAblationHistoryOnly(b *testing.B) { benchExperiment(b, "abl-hist") }
+
+// Ablation: appendix methods (SCAFFOLD/FedDANE/MimeLite) resource costs.
+func BenchmarkAblationAppendixMethods(b *testing.B) { benchExperiment(b, "abl-extra") }

@@ -1,0 +1,95 @@
+// Command fedtrip-tables regenerates the paper's tables and figures.
+//
+//	fedtrip-tables                       # run everything (fast profile)
+//	fedtrip-tables -exp table4,table5    # selected experiments
+//	fedtrip-tables -profile paper        # paper-scale settings (slow)
+//	fedtrip-tables -list                 # list experiment ids
+//
+// Output is plain-text tables on stdout (or -o file); progress lines go to
+// stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		profile = flag.String("profile", "fast", "profile: fast|paper|tiny")
+		outPath = flag.String("o", "", "write tables to this file instead of stdout")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		verbose = flag.Bool("v", true, "print progress to stderr")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if err := run(*expList, *profile, *outPath, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "fedtrip-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expList, profile, outPath string, verbose bool) error {
+	p, err := experiments.ByName(profile)
+	if err != nil {
+		return err
+	}
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	var logf experiments.Logf
+	if verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+	var selected []experiments.Experiment
+	if expList == "all" || expList == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(expList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.Get(id)
+			if !ok {
+				return experiments.ErrUnknown(id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	fmt.Fprintf(out, "FedTrip reproduction — profile %q, %d experiment(s)\n\n", p.Name, len(selected))
+	for _, e := range selected {
+		start := time.Now()
+		if verbose {
+			fmt.Fprintf(os.Stderr, "== running %s: %s\n", e.ID, e.Title)
+		}
+		tables, err := e.Run(p, logf)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			t.Render(out)
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "== %s done in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+// Command fedtrip runs a single federated-learning experiment and prints
+// per-round progress plus a summary. It is the quickest way to try the
+// library:
+//
+//	fedtrip -algo fedtrip -dataset mnist -model cnn -scheme dir -alpha 0.5 -rounds 30
+//
+// All methods from the paper are available via -algo: fedtrip, fedavg,
+// fedprox, slowmo, moon, feddyn, scaffold, feddane, mimelite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/algos"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		algoName  = flag.String("algo", "fedtrip", "method: fedtrip|fedavg|fedprox|slowmo|moon|feddyn|scaffold|feddane|mimelite")
+		dataset   = flag.String("dataset", "mnist", "dataset: mnist|fmnist|emnist|cifar")
+		model     = flag.String("model", "cnn", "model: mlp|cnn|alexnet")
+		schemeStr = flag.String("scheme", "dir", "partition: iid|dir|orthogonal")
+		alpha     = flag.Float64("alpha", 0.5, "Dirichlet concentration (scheme=dir)")
+		clusters  = flag.Int("clusters", 5, "orthogonal clusters (scheme=orthogonal)")
+		clients   = flag.Int("clients", 10, "client population N")
+		perRound  = flag.Int("k", 4, "clients selected per round K")
+		samples   = flag.Int("samples", 120, "training samples per client")
+		test      = flag.Int("test", 400, "test samples")
+		rounds    = flag.Int("rounds", 30, "communication rounds")
+		batch     = flag.Int("batch", 10, "local batch size")
+		epochs    = flag.Int("epochs", 1, "local epochs per round")
+		lr        = flag.Float64("lr", 0.01, "learning rate")
+		momentum  = flag.Float64("momentum", 0.9, "SGDm momentum")
+		mu        = flag.Float64("mu", 0, "regularization mu (0 = paper default)")
+		scale     = flag.Float64("scale", 0.5, "model width scale (1 = paper size)")
+		target    = flag.Float64("target", 0, "target accuracy for rounds-to-target (0 = off)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		quiet     = flag.Bool("quiet", false, "suppress per-round lines")
+		clip      = flag.Float64("clip", 0, "gradient clip norm (0 = off)")
+		savePath  = flag.String("save", "", "write the final global model checkpoint to this file")
+		tracePath = flag.String("trace", "", "write per-client round telemetry CSV to this file")
+		wire      = flag.Bool("wire", false, "ship models through the float32 wire transport and report true traffic")
+	)
+	flag.Parse()
+	if err := run(runOpts{
+		algoName: *algoName, dataset: *dataset, model: *model,
+		schemeStr: *schemeStr, alpha: *alpha, clusters: *clusters,
+		clients: *clients, perRound: *perRound, samples: *samples,
+		testN: *test, rounds: *rounds, batch: *batch, epochs: *epochs,
+		lr: *lr, momentum: *momentum, mu: *mu, scale: *scale,
+		target: *target, seed: *seed, quiet: *quiet, clip: *clip,
+		savePath: *savePath, tracePath: *tracePath, wire: *wire,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "fedtrip:", err)
+		os.Exit(1)
+	}
+}
+
+type runOpts struct {
+	algoName, dataset, model, schemeStr string
+	alpha                               float64
+	clusters                            int
+	clients, perRound, samples, testN   int
+	rounds, batch, epochs               int
+	lr, momentum, mu, scale, target     float64
+	seed                                int64
+	quiet, wire                         bool
+	clip                                float64
+	savePath, tracePath                 string
+}
+
+func run(o runOpts) error {
+	kind := data.Kind(o.dataset)
+	st, err := data.TableII(kind)
+	if err != nil {
+		return err
+	}
+	train, test, err := data.Generate(data.Spec{Kind: kind, Train: o.clients * o.samples, Test: o.testN, Seed: o.seed})
+	if err != nil {
+		return err
+	}
+	var scheme partition.Scheme
+	switch o.schemeStr {
+	case "iid":
+		scheme = partition.IID()
+	case "dir":
+		scheme = partition.Dirichlet(o.alpha)
+	case "orthogonal":
+		scheme = partition.Orthogonal(o.clusters)
+	default:
+		return fmt.Errorf("unknown scheme %q", o.schemeStr)
+	}
+	parts, err := partition.Partition(scheme, train.Y, train.Classes, o.clients, o.samples, rand.New(rand.NewSource(o.seed)))
+	if err != nil {
+		return err
+	}
+	algo, err := algos.New(o.algoName, algos.Params{Mu: o.mu})
+	if err != nil {
+		return err
+	}
+	spec := nn.ModelSpec{
+		Arch: nn.Arch(o.model), Channels: st.Channels,
+		Height: st.Height, Width: st.Width, Classes: st.Classes, Scale: o.scale,
+	}
+	cfg := core.Config{
+		Model: spec,
+		Train: train, Test: test, Parts: parts,
+		Rounds: o.rounds, ClientsPerRound: o.perRound,
+		BatchSize: o.batch, LocalEpochs: o.epochs,
+		LR: o.lr, Momentum: o.momentum, ClipNorm: o.clip,
+		Algo: algo, Seed: o.seed,
+		TargetAccuracy: o.target,
+	}
+	if !o.quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	var collector *trace.Collector
+	if o.tracePath != "" {
+		collector = trace.NewCollector()
+		cfg.OnUpdates = collector.Hook()
+	}
+	var wireTransport *comm.F32Transport
+	if o.wire {
+		wireTransport = comm.NewF32Transport()
+		cfg.Transport = wireTransport
+	}
+	var finalGlobal []float64
+	if o.savePath != "" {
+		cfg.OnRound = func(round int, s *core.Server) {
+			if round == o.rounds {
+				finalGlobal = append(finalGlobal[:0], s.Global()...)
+			}
+		}
+	}
+	fmt.Printf("fedtrip: %s on %s/%s, %s, %d-of-%d clients, %d rounds\n",
+		algo.Name(), o.model, o.dataset, scheme, o.perRound, o.clients, o.rounds)
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsummary:\n")
+	fmt.Printf("  best accuracy   %.4f\n", res.BestAccuracy)
+	fmt.Printf("  final accuracy  %.4f (mean of last 10 rounds)\n", res.FinalAccuracy)
+	fmt.Printf("  train GFLOPs    %.2f (all clients, incl. attaching ops)\n", res.TotalGFLOPs())
+	fmt.Printf("  communication   %.2f MB (analytic)\n", float64(res.CommBytesByRound[len(res.CommBytesByRound)-1])/1e6)
+	if wireTransport != nil {
+		fmt.Printf("  wire traffic    %s\n", wireTransport.Stats())
+	}
+	if o.target > 0 {
+		if res.RoundsToTarget > 0 {
+			fmt.Printf("  rounds to %.0f%%  %d (%.2f GFLOPs, %.2f MB)\n",
+				o.target*100, res.RoundsToTarget, res.GFLOPsToTarget(), float64(res.CommBytesToTarget())/1e6)
+		} else {
+			fmt.Printf("  target %.0f%% not reached in %d rounds\n", o.target*100, res.Rounds)
+		}
+	}
+	if collector != nil {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := collector.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("  trace           %s (%d rows)\n", o.tracePath, len(collector.Rows()))
+	}
+	if o.savePath != "" {
+		m, err := spec.Build(1)
+		if err != nil {
+			return err
+		}
+		if finalGlobal != nil {
+			m.SetParams(finalGlobal)
+		}
+		f, err := os.Create(o.savePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := m.SaveParams(f); err != nil {
+			return err
+		}
+		fmt.Printf("  checkpoint      %s (%d params)\n", o.savePath, m.NumParams())
+	}
+	return nil
+}

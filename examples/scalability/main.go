@@ -1,0 +1,93 @@
+// Scalability: low client participation (the paper's §V.D).
+//
+// With 4 of 50 clients per round each client participates rarely, so
+// FedTrip's historical models grow stale and its staleness-scaled xi
+// matters. This example compares FedTrip and FedAvg at 4-of-10 vs 4-of-50
+// participation and prints rounds-to-target for each, plus the xi values a
+// FedTrip client actually sees.
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/algos"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+func main() {
+	const perClient = 50
+	for _, clients := range []int{10, 50} {
+		train, test, err := data.Generate(data.Spec{
+			Kind: data.KindMNIST, Train: clients * perClient, Test: 300, Seed: 31,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts, err := partition.Partition(partition.Dirichlet(0.5), train.Y,
+			train.Classes, clients, perClient, rand.New(rand.NewSource(32)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== 4-of-%d participation (rate %.0f%%) ===\n", clients, 400.0/float64(clients))
+
+		var fedavgFinal float64
+		for _, method := range []string{"fedavg", "fedtrip"} {
+			algo, err := algos.New(method, algos.Params{Mu: 1.0})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := core.Run(core.Config{
+				Model: nn.ModelSpec{
+					Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10,
+				},
+				Train: train, Test: test, Parts: parts,
+				Rounds: 25, ClientsPerRound: 4,
+				BatchSize: 10, LocalEpochs: 1,
+				LR: 0.01, Momentum: 0.9,
+				Algo: algo, Seed: 33,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if method == "fedavg" {
+				fedavgFinal = res.FinalAccuracy
+				fmt.Printf("  %-8s final %.4f\n", method, res.FinalAccuracy)
+			} else {
+				target := 0.97 * fedavgFinal
+				rt := stats.RoundsToTarget(res.Accuracy, target)
+				rtStr := fmt.Sprintf("%d", rt)
+				if rt < 0 {
+					rtStr = ">25"
+				}
+				fmt.Printf("  %-8s final %.4f, rounds to FedAvg bar (%.4f): %s\n",
+					method, res.FinalAccuracy, target, rtStr)
+			}
+		}
+
+		// Show the xi schedule a client experiences at this participation
+		// rate: xi = 1/gap, so rare participation -> small xi, matching
+		// the paper's E[xi] = p*ln(p)/(p-1) analysis.
+		f := core.NewFedTrip(1.0)
+		rng := rand.New(rand.NewSource(34))
+		last := 0
+		var xis []float64
+		for round := 1; round <= 200; round++ {
+			if rng.Float64() < 4.0/float64(clients) { // participates
+				if xi := f.Xi(round, last); last > 0 {
+					xis = append(xis, xi)
+				}
+				last = round
+			}
+		}
+		fmt.Printf("  simulated E[xi] at this rate: %.3f over %d participations\n\n",
+			stats.Mean(xis), len(xis))
+	}
+}

@@ -1,0 +1,86 @@
+package algos
+
+import (
+	"repro/internal/core"
+	"repro/internal/optim"
+)
+
+// FedNova (Wang et al., NeurIPS 2020 — "Tackling the objective
+// inconsistency problem") normalises client updates by their local step
+// counts before averaging, removing the bias towards clients that take
+// more local iterations:
+//
+//	d_k     = (w_global - w_k) / tau_k        (normalised update direction)
+//	tau_eff = sum_k p_k * tau_k
+//	w_next  = w_global - tau_eff * sum_k p_k * d_k
+//
+// where p_k = |D_k|/|D_St| and tau_k is client k's local iteration count.
+// With equal tau_k this reduces exactly to FedAvg; it differs when clients
+// have unequal data sizes or epochs. Local optimizer is plain SGD so that
+// tau_k is the exact normaliser.
+type FedNova struct {
+	core.Base
+
+	selected []*core.Client // stashed by PreRound for Aggregate
+}
+
+// Name implements core.Algorithm.
+func (*FedNova) Name() string { return "fednova" }
+
+// NewOptimizer implements core.OptimizerChooser.
+func (*FedNova) NewOptimizer(lr, momentum float64) optim.Optimizer {
+	return optim.NewSGD(lr)
+}
+
+// PreRound records the round's participants so Aggregate can compute
+// their step counts.
+func (f *FedNova) PreRound(round int, selected []*core.Client, global []float64) {
+	f.selected = selected
+}
+
+// localSteps returns tau_k for a client under the run configuration.
+func localSteps(c *core.Client) float64 {
+	cfg := c.Config()
+	n := c.NumSamples()
+	batches := (n + cfg.BatchSize - 1) / cfg.BatchSize
+	return float64(cfg.LocalEpochs * batches)
+}
+
+// Aggregate applies normalised averaging.
+func (f *FedNova) Aggregate(round int, global []float64, updates []core.Update) []float64 {
+	stepsByID := make(map[int]float64, len(f.selected))
+	for _, c := range f.selected {
+		stepsByID[c.ID] = localSteps(c)
+	}
+	var totalSamples float64
+	for _, u := range updates {
+		totalSamples += float64(u.NumSamples)
+	}
+	n := len(global)
+	dir := make([]float64, n) // sum_k p_k * d_k
+	var tauEff float64
+	for _, u := range updates {
+		p := float64(u.NumSamples) / totalSamples
+		tau := stepsByID[u.ClientID]
+		if tau <= 0 {
+			tau = 1
+		}
+		tauEff += p * tau
+		w := p / tau
+		for i := range dir {
+			dir[i] += w * (global[i] - u.Params[i])
+		}
+	}
+	next := make([]float64, n)
+	for i := range next {
+		next[i] = global[i] - tauEff*dir[i]
+	}
+	return next
+}
+
+// verify FedNova implements the optional interfaces it relies on.
+var (
+	_ core.Aggregator       = (*FedNova)(nil)
+	_ core.PreRounder       = (*FedNova)(nil)
+	_ core.OptimizerChooser = (*FedNova)(nil)
+)

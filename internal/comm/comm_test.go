@@ -1,0 +1,122 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+func TestF32TransportQuantizes(t *testing.T) {
+	tr := NewF32Transport()
+	v := []float64{math.Pi, 1e-300, 2.5}
+	got := tr.Down(0, 1, v)
+	if got[0] == math.Pi {
+		t.Fatal("pi survived float32 transport unrounded")
+	}
+	if got[0] != float64(float32(math.Pi)) {
+		t.Fatalf("got %v want float32 rounding", got[0])
+	}
+	if got[1] != 0 {
+		t.Fatalf("denormal-beyond-f32 value should flush to 0, got %v", got[1])
+	}
+	if got[2] != 2.5 {
+		t.Fatal("exactly representable value changed")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	tr := NewF32Transport()
+	v := make([]float64, 100)
+	tr.Down(0, 1, v)
+	tr.Down(1, 1, v)
+	tr.Up(0, 1, v)
+	s := tr.Stats()
+	wantPer := tensor.VectorWireSizeF32(100)
+	if s.DownBytes() != 2*wantPer || s.UpBytes() != wantPer {
+		t.Fatalf("bytes down=%d up=%d want %d/%d", s.DownBytes(), s.UpBytes(), 2*wantPer, wantPer)
+	}
+	d, u := s.Messages()
+	if d != 2 || u != 1 {
+		t.Fatalf("msgs %d/%d", d, u)
+	}
+	if s.TotalBytes() != 3*wantPer {
+		t.Fatal("total")
+	}
+	if !strings.Contains(s.String(), "MB") {
+		t.Fatal("stats string")
+	}
+}
+
+func TestLosslessTransportIdentity(t *testing.T) {
+	tr := NewLosslessTransport()
+	v := []float64{math.Pi}
+	if got := tr.Down(0, 1, v); got[0] != math.Pi {
+		t.Fatal("lossless transport changed data")
+	}
+	tr.Up(0, 1, v)
+	if tr.Stats().TotalBytes() != 16 {
+		t.Fatalf("bytes %d", tr.Stats().TotalBytes())
+	}
+}
+
+// End-to-end: a run over the float32 transport must track the lossless run
+// closely (quantization is benign) and meter exactly the analytic wire
+// bytes.
+func TestF32TransportEndToEnd(t *testing.T) {
+	build := func(tr core.Transport) core.Config {
+		train, test, err := data.Generate(data.Spec{Kind: data.KindMNIST, Train: 300, Test: 100, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, err := partition.Partition(partition.Dirichlet(0.5), train.Y, train.Classes, 6, 50, rand.New(rand.NewSource(6)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Config{
+			Model:           nn.ModelSpec{Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10},
+			Train:           train,
+			Test:            test,
+			Parts:           parts,
+			Rounds:          6,
+			ClientsPerRound: 3,
+			BatchSize:       10,
+			LocalEpochs:     1,
+			LR:              0.01,
+			Momentum:        0.9,
+			Algo:            core.NewFedTrip(0.4),
+			Seed:            7,
+			Transport:       tr,
+		}
+	}
+	tr := NewF32Transport()
+	resF32, err := core.Run(build(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRef, err := core.Run(build(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire bytes: 6 rounds x 3 clients x (down + up).
+	m, _ := (nn.ModelSpec{Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10}).Build(1)
+	per := tensor.VectorWireSizeF32(m.NumParams())
+	want := int64(6 * 3 * 2 * per)
+	if tr.Stats().TotalBytes() != want {
+		t.Fatalf("wire bytes %d want %d", tr.Stats().TotalBytes(), want)
+	}
+	// Accuracy: float32 quantization must not change the outcome much.
+	d := math.Abs(resF32.FinalAccuracy - resRef.FinalAccuracy)
+	if d > 0.1 {
+		t.Fatalf("f32 transport moved final accuracy by %.3f (%.3f vs %.3f)", d, resF32.FinalAccuracy, resRef.FinalAccuracy)
+	}
+	if resF32.BestAccuracy < 0.3 {
+		t.Fatalf("f32 run failed to learn: %v", resF32.BestAccuracy)
+	}
+}

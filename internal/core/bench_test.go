@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// BenchmarkAggregate measures Eq. 2 weighted averaging of 10 CNN-sized
+// updates — the server's per-round vector work.
+func BenchmarkAggregate(b *testing.B) {
+	const n = 61706 // paper CNN |w|
+	rng := rand.New(rand.NewSource(1))
+	updates := make([]Update, 10)
+	for i := range updates {
+		p := make([]float64, n)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		updates[i] = Update{Params: p, NumSamples: 100 + i}
+	}
+	dst := make([]float64, n)
+	weights := make([]float64, len(updates))
+	vecs := make([][]float64, len(updates))
+	var total float64
+	for i, u := range updates {
+		weights[i] = float64(u.NumSamples)
+		vecs[i] = u.Params
+		total += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	b.SetBytes(int64(n * len(updates) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.WeightedSumInto(dst, weights, vecs)
+	}
+}
+
+// BenchmarkFedTripTransform measures the triplet gradient transform on a
+// CNN-sized vector — the paper's 4|w| attaching operation.
+func BenchmarkFedTripTransform(b *testing.B) {
+	cfg := benchConfig(b)
+	f := NewFedTrip(0.4)
+	cfg.Algo = f
+	s, err := NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := s.Clients()[0]
+	global := s.Global()
+	f.BeginRound(c, 2, global)
+	c.Hist = make([]float64, c.NumParams())
+	copy(c.Hist, global)
+	c.SetScalar("fedtrip.xi", 0.5)
+	w := c.Model.Params()
+	g := make([]float64, len(w))
+	b.SetBytes(int64(4 * len(w) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.TransformGrad(c, 2, w, g)
+	}
+}
+
+// BenchmarkLocalTrainRound measures one client's full local round (MLP,
+// 80 samples, batch 10) under FedTrip.
+func BenchmarkLocalTrainRound(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.Algo = NewFedTrip(0.4)
+	s, err := NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := s.Clients()[0]
+	global := s.Global()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.LocalTrain(i+1, global)
+	}
+}
+
+func benchConfig(b *testing.B) Config {
+	b.Helper()
+	cfg, err := benchConfigErr()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/partition"
+)
+
+// benchConfigErr builds a small MLP config for benchmarks without a
+// *testing.T.
+func benchConfigErr() (Config, error) {
+	train, test, err := data.Generate(data.Spec{Kind: data.KindMNIST, Train: 800, Test: 100, Seed: 42})
+	if err != nil {
+		return Config{}, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	parts, err := partition.Partition(partition.Dirichlet(0.5), train.Y, train.Classes, 10, 80, rng)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Model:           nn.ModelSpec{Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10},
+		Train:           train,
+		Test:            test,
+		Parts:           parts,
+		Rounds:          3,
+		ClientsPerRound: 4,
+		BatchSize:       10,
+		LocalEpochs:     1,
+		LR:              0.01,
+		Momentum:        0.9,
+		Algo:            NewFedTrip(0.4),
+		Seed:            1,
+	}, nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/flops"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// Client is one federated participant: its private data indices, its model
+// instance, its optimizer, and per-method state. Clients are trained
+// concurrently by the server; a Client is confined to one goroutine at a
+// time and owns all of its buffers.
+type Client struct {
+	// ID is the client's index in the population.
+	ID int
+	// Indices are the client's sample indices in the training set.
+	Indices []int
+	// Model is the client's working model (parameters overwritten by the
+	// global model at the start of each participating round).
+	Model *nn.Model
+	// Opt is the local optimizer U(.) of Algorithm 1 line 8.
+	Opt optim.Optimizer
+	// Counter meters this client's training FLOPs (model forward/backward
+	// plus the method's attaching operations).
+	Counter *flops.Counter
+
+	// Hist is the client's historical local model: the parameters it
+	// uploaded the last time it participated (Algorithm 1 line 4). nil
+	// until the first participation.
+	Hist []float64
+	// LastRound is the round of the client's previous participation
+	// (0 if never). FedTrip's staleness factor xi derives from it.
+	LastRound int
+
+	cfg *Config
+	rng *rand.Rand
+	// state holds named per-method vectors (FedDyn's h_k, SCAFFOLD's c_k,
+	// FedDANE's gradients...), allocated on first use.
+	state map[string][]float64
+	// scalars holds named per-method scalars (FedTrip's xi for the
+	// current round).
+	scalars map[string]float64
+
+	// Scratch models for representation methods (MOON): same architecture,
+	// parameters loaded on demand. Lazily built.
+	scratchA, scratchB *nn.Model
+
+	// Reusable batch buffers.
+	batchX   *tensor.Tensor
+	batchY   []int
+	dLogits  *tensor.Tensor
+	featGrad *tensor.Tensor
+}
+
+func newClient(cfg *Config, id int, indices []int, seed int64) (*Client, error) {
+	m, err := cfg.Model.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		ID:      id,
+		Indices: indices,
+		Model:   m,
+		Counter: &flops.Counter{},
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		state:   make(map[string][]float64),
+		scalars: make(map[string]float64),
+	}
+	if oc, ok := cfg.Algo.(OptimizerChooser); ok {
+		c.Opt = oc.NewOptimizer(cfg.LR, cfg.Momentum)
+	} else {
+		c.Opt = optim.NewSGDMomentum(cfg.LR, cfg.Momentum)
+	}
+	m.SetCounter(c.Counter)
+	return c, nil
+}
+
+// NumSamples returns |D_k|, the client's data size (the aggregation weight
+// numerator in Eq. 2).
+func (c *Client) NumSamples() int { return len(c.Indices) }
+
+// NumParams returns |w|.
+func (c *Client) NumParams() int { return c.Model.NumParams() }
+
+// StateVec returns the named per-method state vector of length
+// Model.NumParams(), allocating it zeroed on first use.
+func (c *Client) StateVec(name string) []float64 {
+	v, ok := c.state[name]
+	if !ok {
+		v = make([]float64, c.Model.NumParams())
+		c.state[name] = v
+	}
+	return v
+}
+
+// HasStateVec reports whether the named vector has been allocated.
+func (c *Client) HasStateVec(name string) bool {
+	_, ok := c.state[name]
+	return ok
+}
+
+// SetScalar stores a named per-method scalar.
+func (c *Client) SetScalar(name string, v float64) { c.scalars[name] = v }
+
+// Scalar returns a named per-method scalar (0 if unset).
+func (c *Client) Scalar(name string) float64 { return c.scalars[name] }
+
+// Config returns the run configuration (read-only for algorithms).
+func (c *Client) Config() *Config { return c.cfg }
+
+// RNG exposes the client's deterministic random source (dropout, method-
+// specific sampling).
+func (c *Client) RNG() *rand.Rand { return c.rng }
+
+// ScratchModels returns two scratch model instances with the same
+// architecture as the client's model, building them on first use. MOON
+// loads the global and historical parameters into them for its extra
+// forward passes. Their FLOPs are metered on the client's counter.
+func (c *Client) ScratchModels() (*nn.Model, *nn.Model) {
+	if c.scratchA == nil {
+		a, err := c.cfg.Model.Build(c.rng.Int63())
+		if err != nil {
+			panic(fmt.Sprintf("core: scratch model: %v", err))
+		}
+		b, err := c.cfg.Model.Build(c.rng.Int63())
+		if err != nil {
+			panic(fmt.Sprintf("core: scratch model: %v", err))
+		}
+		a.SetCounter(c.Counter)
+		b.SetCounter(c.Counter)
+		c.scratchA, c.scratchB = a, b
+	}
+	return c.scratchA, c.scratchB
+}
+
+// ensureBatch sizes the reusable batch buffers for n samples.
+func (c *Client) ensureBatch(n int) {
+	if c.batchX == nil || c.batchX.Dim(0) != n {
+		shape := append([]int{n}, c.Model.InShape()...)
+		c.batchX = tensor.New(shape...)
+		c.batchY = make([]int, n)
+		c.dLogits = tensor.New(n, c.Model.OutDim())
+	}
+}
+
+// LocalTrain runs one participating round: load the global model, run E
+// local epochs of mini-batch SGD with the method's hooks, update the
+// historical model, and return the upload.
+func (c *Client) LocalTrain(round int, global []float64) Update {
+	cfg := c.cfg
+	algo := cfg.Algo
+	c.Model.SetParams(global)
+	c.Opt.Reset()
+	algo.BeginRound(c, round, global)
+	fg, hasFG := algo.(FeatureGradder)
+	lg, hasLG := algo.(LogitGradder)
+
+	var lossSum float64
+	var batches int
+	n := len(c.Indices)
+	idx := make([]int, 0, cfg.BatchSize)
+	for e := 0; e < cfg.LocalEpochs; e++ {
+		perm := c.rng.Perm(n)
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			idx = idx[:0]
+			for _, p := range perm[start:end] {
+				idx = append(idx, c.Indices[p])
+			}
+			c.ensureBatch(len(idx))
+			cfg.Train.FillBatch(c.batchX, c.batchY, idx)
+
+			logits := c.Model.Forward(c.batchX, true)
+			lossSum += nn.SoftmaxCrossEntropy(logits, c.batchY, c.dLogits)
+			batches++
+
+			if hasLG {
+				lg.LogitGrad(c, c.batchX, c.batchY, logits, c.dLogits)
+			}
+			var extra *tensor.Tensor
+			if hasFG {
+				feat := c.Model.Features()
+				if c.featGrad == nil || !tensor.SameShape(c.featGrad, feat) {
+					c.featGrad = tensor.New(feat.Shape()...)
+				}
+				if fg.FeatureGrad(c, c.batchX, c.batchY, feat, c.featGrad) {
+					extra = c.featGrad
+				}
+			}
+			c.Model.ZeroGrad()
+			c.Model.Backward(c.dLogits, extra)
+			algo.TransformGrad(c, round, c.Model.Params(), c.Model.Grads())
+			if cfg.ClipNorm > 0 {
+				clipToNorm(c.Model.Grads(), cfg.ClipNorm)
+			}
+			c.Opt.Step(c.Model.Params(), c.Model.Grads())
+		}
+	}
+	algo.EndRound(c, round)
+
+	// Historical-model bookkeeping (Algorithm 1 line 4): remember what
+	// this client is about to upload, and when.
+	if c.Hist == nil {
+		c.Hist = make([]float64, c.Model.NumParams())
+	}
+	copy(c.Hist, c.Model.Params())
+	c.LastRound = round
+
+	var meanLoss float64
+	if batches > 0 {
+		meanLoss = lossSum / float64(batches)
+	}
+	return Update{
+		ClientID:   c.ID,
+		Params:     c.Model.ParamsCopy(),
+		NumSamples: len(c.Indices),
+		TrainLoss:  meanLoss,
+	}
+}
+
+// clipToNorm rescales g in place so ||g|| <= maxNorm.
+func clipToNorm(g []float64, maxNorm float64) {
+	n := tensor.Norm2(g)
+	if n > maxNorm {
+		tensor.Scale(maxNorm/n, g)
+	}
+}
+
+// FullGrad computes the full-batch gradient of the client's empirical risk
+// at the given parameters (used by FedDANE / MimeLite / SCAFFOLD-style
+// methods). The model's parameters are restored afterwards. The cost — one
+// forward+backward over all local data — lands on the client's FLOP
+// counter, matching the n(FP+BP) term of Appendix A.
+func (c *Client) FullGrad(at []float64) []float64 {
+	saved := c.Model.ParamsCopy()
+	c.Model.SetParams(at)
+	grad := make([]float64, c.Model.NumParams())
+	n := len(c.Indices)
+	bs := c.cfg.BatchSize
+	idx := make([]int, 0, bs)
+	for start := 0; start < n; start += bs {
+		end := start + bs
+		if end > n {
+			end = n
+		}
+		idx = append(idx[:0], c.Indices[start:end]...)
+		c.ensureBatch(len(idx))
+		c.cfg.Train.FillBatch(c.batchX, c.batchY, idx)
+		logits := c.Model.Forward(c.batchX, false)
+		nn.SoftmaxCrossEntropy(logits, c.batchY, c.dLogits)
+		c.Model.ZeroGrad()
+		c.Model.Backward(c.dLogits, nil)
+		// SoftmaxCrossEntropy mean-reduces per batch; reweight so the sum
+		// over batches is the mean over all n samples.
+		tensor.Axpy(float64(len(idx))/float64(n), c.Model.Grads(), grad)
+	}
+	c.Model.SetParams(saved)
+	return grad
+}

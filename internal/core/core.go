@@ -1,0 +1,215 @@
+// Package core implements the federated-learning runtime the paper's
+// experiments run on, and FedTrip itself — the paper's contribution.
+//
+// The runtime follows the standard FL template (§III.A): at each
+// communication round the server selects K of N clients uniformly at
+// random, ships them the global model w^{t-1}, the clients run E local
+// epochs of mini-batch training in parallel, and the server aggregates the
+// returned models with data-size weights (Eq. 2). Methods plug in through
+// the Algorithm interface: a gradient transform on the client (FedProx,
+// FedTrip, FedDyn, SCAFFOLD...), an optional representation-level loss
+// term (MOON), an optional server-side aggregation override (SlowMo,
+// FedDyn), and an optional pre-round communication phase (FedDANE,
+// MimeLite).
+//
+// Everything is metered: training FLOPs (model forward/backward plus each
+// method's attaching operations) and client<->server communication bytes,
+// so the paper's resource-efficiency tables (IV, V, VI) can be produced
+// from a Run's Result.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// Config describes one federated run.
+type Config struct {
+	// Model is the architecture every client and the server share.
+	Model nn.ModelSpec
+	// Train and Test are the synthetic datasets.
+	Train, Test *data.Dataset
+	// Parts assigns training sample indices to clients (see
+	// internal/partition); len(Parts) is the client population N.
+	Parts [][]int
+	// Rounds is the number of communication rounds T.
+	Rounds int
+	// ClientsPerRound is K, the number of clients selected each round.
+	ClientsPerRound int
+	// BatchSize is the local mini-batch size (paper default 50).
+	BatchSize int
+	// LocalEpochs is E, passes over local data per round (paper default 1).
+	LocalEpochs int
+	// LR and Momentum configure the local optimizer (paper: 0.01, 0.9).
+	// Algorithms that require plain SGD (SlowMo, FedDyn) override via the
+	// OptimizerChooser interface.
+	LR, Momentum float64
+	// ClipNorm, when positive, rescales each post-transform mini-batch
+	// gradient to at most this global L2 norm before the optimizer step.
+	// Long aggregation intervals (Table VII's 5-10 local epochs) compound
+	// SGDm amplification with the regularizers' drift terms; clipping is
+	// the standard stabiliser and is applied to every method uniformly.
+	ClipNorm float64
+	// Algo is the federated method under test.
+	Algo Algorithm
+	// Seed drives every stochastic choice (init, selection, shuffling).
+	Seed int64
+	// TargetAccuracy, if positive, is recorded in Result.RoundsToTarget.
+	TargetAccuracy float64
+	// StopAtTarget ends the run early once TargetAccuracy is reached
+	// (used by the rounds-to-target tables to save compute).
+	StopAtTarget bool
+	// EvalEvery evaluates test accuracy every k rounds (default 1).
+	EvalEvery int
+	// Logf, if non-nil, receives per-round progress lines.
+	Logf func(format string, args ...any)
+	// OnRound, if non-nil, is called at the end of every round with the
+	// live server (after aggregation and evaluation). The Fig. 2 harness
+	// uses it to snapshot global and local models mid-run.
+	OnRound func(round int, s *Server)
+	// OnUpdates, if non-nil, observes each round's raw client uploads
+	// together with the global model they started from, before
+	// aggregation. Slices are only valid during the call; copy to retain.
+	// The trace package uses it to measure global-local divergence and
+	// current-historical distances (the quantities FedTrip manipulates).
+	OnUpdates func(round int, globalBefore []float64, updates []Update)
+	// Transport, if non-nil, carries every model transfer between server
+	// and clients (the comm package provides a float32 wire transport
+	// with true byte metering). nil means lossless in-memory handoff.
+	Transport Transport
+}
+
+// Transport intercepts model transfers. Down is called once per selected
+// client per round with the global model; the returned vector is what the
+// client actually receives. Up is called with the client's upload; the
+// returned vector is what the server actually receives. Implementations
+// must be safe for concurrent calls (clients run in parallel).
+type Transport interface {
+	Down(clientID, round int, global []float64) []float64
+	Up(clientID, round int, params []float64) []float64
+}
+
+// Validate checks the configuration and fills defaults.
+func (c *Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Train == nil || c.Test == nil {
+		return fmt.Errorf("core: nil dataset")
+	}
+	if len(c.Parts) == 0 {
+		return fmt.Errorf("core: no client partitions")
+	}
+	for k, p := range c.Parts {
+		if len(p) == 0 {
+			return fmt.Errorf("core: client %d has no data", k)
+		}
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("core: rounds %d", c.Rounds)
+	}
+	if c.ClientsPerRound <= 0 || c.ClientsPerRound > len(c.Parts) {
+		return fmt.Errorf("core: clients per round %d outside [1,%d]", c.ClientsPerRound, len(c.Parts))
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("core: batch size %d", c.BatchSize)
+	}
+	if c.LocalEpochs <= 0 {
+		return fmt.Errorf("core: local epochs %d", c.LocalEpochs)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("core: learning rate %v", c.LR)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("core: momentum %v", c.Momentum)
+	}
+	if c.Algo == nil {
+		return fmt.Errorf("core: nil algorithm")
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	return nil
+}
+
+// Update is what a client returns to the server after local training.
+type Update struct {
+	ClientID   int
+	Params     []float64
+	NumSamples int
+	TrainLoss  float64
+}
+
+// Algorithm customises client-side local training. The zero-cost base
+// implementation (FedAvg) is the Base struct; methods embed it and
+// override what they need. Optional capabilities are expressed as extra
+// interfaces: FeatureGradder, Aggregator, PreRounder, OptimizerChooser,
+// and CommCoster.
+type Algorithm interface {
+	// Name returns the registry name ("fedtrip", "fedavg", ...).
+	Name() string
+	// BeginRound runs on the client after it loaded the global model and
+	// before local iterations start.
+	BeginRound(c *Client, round int, global []float64)
+	// TransformGrad mutates the freshly computed mini-batch gradient g in
+	// place, given the current local parameters w. This is where model
+	// regularization methods live (Algorithm 1 line 7).
+	TransformGrad(c *Client, round int, w, g []float64)
+	// EndRound runs after the client's last local iteration, before the
+	// model is uploaded.
+	EndRound(c *Client, round int)
+}
+
+// FeatureGradder is implemented by model-representation methods (MOON)
+// that add a loss term on the representation z (the model's penultimate
+// activation). FeatureGrad is called after the local forward pass of every
+// batch; it writes d(extraLoss)/d(features) into out ([N, featureDim]) and
+// reports whether it contributed anything.
+type FeatureGradder interface {
+	FeatureGrad(c *Client, x *tensor.Tensor, labels []int, features, out *tensor.Tensor) bool
+}
+
+// LogitGradder is implemented by methods that add a loss term on the
+// model's logits (FedGKD's knowledge distillation). LogitGrad is called
+// after the cross-entropy gradient has been written to dLogits; the
+// implementation adds its own term in place.
+type LogitGradder interface {
+	LogitGrad(c *Client, x *tensor.Tensor, labels []int, logits, dLogits *tensor.Tensor)
+}
+
+// Aggregator overrides the server's default data-size-weighted averaging
+// (Eq. 2). It returns the new global parameter vector.
+type Aggregator interface {
+	Aggregate(round int, global []float64, updates []Update) []float64
+}
+
+// PreRounder runs a pre-round communication phase over the selected
+// clients before local training (FedDANE's gradient exchange, MimeLite's
+// server-state update).
+type PreRounder interface {
+	PreRound(round int, selected []*Client, global []float64)
+}
+
+// OptimizerChooser lets a method pick its local optimizer (the paper runs
+// SlowMo and FedDyn with plain SGD, everything else with SGDm).
+type OptimizerChooser interface {
+	NewOptimizer(lr, momentum float64) optim.Optimizer
+}
+
+// CommCoster reports extra per-client per-round communication in units of
+// one model transfer (SCAFFOLD/FedDANE/MimeLite ship an extra 2|w|).
+type CommCoster interface {
+	ExtraCommFactor() float64
+}
+
+// Base is the no-op Algorithm; embedded by every method. On its own it is
+// exactly FedAvg.
+type Base struct{}
+
+func (Base) BeginRound(c *Client, round int, global []float64)  {}
+func (Base) TransformGrad(c *Client, round int, w, g []float64) {}
+func (Base) EndRound(c *Client, round int)                      {}

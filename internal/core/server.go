@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Result summarises a federated run.
+type Result struct {
+	// Algorithm is the method's registry name.
+	Algorithm string
+	// Rounds actually executed (may be fewer than Config.Rounds when
+	// StopAtTarget fires).
+	Rounds int
+	// Accuracy[t] is the global model's test accuracy after round t+1
+	// (NaN for rounds skipped by EvalEvery).
+	Accuracy []float64
+	// TrainLoss[t] is the mean local training loss across the selected
+	// clients in round t+1.
+	TrainLoss []float64
+	// GFLOPsByRound[t] is the cumulative training cost (all clients'
+	// forward+backward+attaching FLOPs) through round t+1, in GFLOPs.
+	GFLOPsByRound []float64
+	// CommBytesByRound[t] is the cumulative client<->server traffic
+	// through round t+1 (float32 model transfers, as in the paper).
+	CommBytesByRound []int64
+	// TargetAccuracy echoes the config; RoundsToTarget is the first round
+	// whose evaluation reached it (-1 if never reached).
+	TargetAccuracy float64
+	RoundsToTarget int
+	// BestAccuracy is the highest test accuracy observed (Fig. 7 metric).
+	BestAccuracy float64
+	// FinalAccuracy is the mean accuracy over the last 10 evaluated
+	// rounds (Fig. 6 metric).
+	FinalAccuracy float64
+}
+
+// TotalGFLOPs returns the cumulative training cost of the whole run.
+func (r *Result) TotalGFLOPs() float64 {
+	if len(r.GFLOPsByRound) == 0 {
+		return 0
+	}
+	return r.GFLOPsByRound[len(r.GFLOPsByRound)-1]
+}
+
+// GFLOPsToTarget returns the cumulative cost through the round that
+// reached the target accuracy (Table V), or the full-run cost if the
+// target was never reached.
+func (r *Result) GFLOPsToTarget() float64 {
+	if r.RoundsToTarget > 0 && r.RoundsToTarget <= len(r.GFLOPsByRound) {
+		return r.GFLOPsByRound[r.RoundsToTarget-1]
+	}
+	return r.TotalGFLOPs()
+}
+
+// CommBytesToTarget returns cumulative traffic through the target round
+// (or the whole run if the target was never reached).
+func (r *Result) CommBytesToTarget() int64 {
+	if r.RoundsToTarget > 0 && r.RoundsToTarget <= len(r.CommBytesByRound) {
+		return r.CommBytesByRound[r.RoundsToTarget-1]
+	}
+	if len(r.CommBytesByRound) == 0 {
+		return 0
+	}
+	return r.CommBytesByRound[len(r.CommBytesByRound)-1]
+}
+
+// Server owns the global model and the client population for one run.
+type Server struct {
+	cfg       Config
+	clients   []*Client
+	global    []float64
+	evalModel *nn.Model
+	rng       *rand.Rand
+}
+
+// NewServer builds the population and the initial global model.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	global, err := cfg.Model.Build(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	evalModel, err := cfg.Model.Build(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		global:    global.ParamsCopy(),
+		evalModel: evalModel,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for k, part := range cfg.Parts {
+		c, err := newClient(&s.cfg, k, part, cfg.Seed+1000+int64(k))
+		if err != nil {
+			return nil, err
+		}
+		s.clients = append(s.clients, c)
+	}
+	return s, nil
+}
+
+// Global returns the current global parameter vector (live slice).
+func (s *Server) Global() []float64 { return s.global }
+
+// Clients returns the population (read-mostly; used by tests and the
+// Fig. 2 harness).
+func (s *Server) Clients() []*Client { return s.clients }
+
+// selectClients draws K distinct clients uniformly at random, matching the
+// paper's random selection.
+func (s *Server) selectClients() []*Client {
+	perm := s.rng.Perm(len(s.clients))
+	sel := make([]*Client, s.cfg.ClientsPerRound)
+	for i := range sel {
+		sel[i] = s.clients[perm[i]]
+	}
+	return sel
+}
+
+// aggregate applies Eq. 2 with a_k = |D_k| / |D_St| unless the algorithm
+// overrides aggregation.
+func (s *Server) aggregate(round int, updates []Update) {
+	if agg, ok := s.cfg.Algo.(Aggregator); ok {
+		next := agg.Aggregate(round, s.global, updates)
+		copy(s.global, next)
+		return
+	}
+	weights := make([]float64, len(updates))
+	vecs := make([][]float64, len(updates))
+	var total float64
+	for i, u := range updates {
+		weights[i] = float64(u.NumSamples)
+		vecs[i] = u.Params
+		total += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	tensor.WeightedSumInto(s.global, weights, vecs)
+}
+
+// EvaluateGlobal computes test accuracy of the current global model.
+func (s *Server) EvaluateGlobal() float64 {
+	return EvaluateAccuracy(s.evalModel, s.global, s.cfg.Test, 200)
+}
+
+// EvaluateAccuracy loads params into model and computes accuracy over the
+// dataset in batches.
+func EvaluateAccuracy(model *nn.Model, params []float64, ds interface {
+	Len() int
+	SampleSize() int
+	FillBatch(x *tensor.Tensor, labels []int, idx []int)
+}, batch int) float64 {
+	model.SetParams(params)
+	n := ds.Len()
+	if n == 0 {
+		return 0
+	}
+	correct := 0.0
+	idx := make([]int, 0, batch)
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		idx = idx[:0]
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		shape := append([]int{len(idx)}, model.InShape()...)
+		x := tensor.New(shape...)
+		labels := make([]int, len(idx))
+		ds.FillBatch(x, labels, idx)
+		logits := model.Forward(x, false)
+		correct += nn.Accuracy(logits, labels) * float64(len(idx))
+	}
+	return correct / float64(n)
+}
+
+// Run executes the full federated training loop and collects metrics.
+func Run(cfg Config) (*Result, error) {
+	s, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Run executes the configured number of communication rounds.
+func (s *Server) Run() (*Result, error) {
+	cfg := &s.cfg
+	res := &Result{
+		Algorithm:      cfg.Algo.Name(),
+		TargetAccuracy: cfg.TargetAccuracy,
+		RoundsToTarget: -1,
+	}
+	commPerClient := int64(4 * len(s.global)) // float32 transfer, one way
+	extraComm := 0.0
+	if cc, ok := cfg.Algo.(CommCoster); ok {
+		extraComm = cc.ExtraCommFactor()
+	}
+	var cumComm int64
+	var lastAcc float64
+	for t := 1; t <= cfg.Rounds; t++ {
+		selected := s.selectClients()
+		if pr, ok := cfg.Algo.(PreRounder); ok {
+			pr.PreRound(t, selected, s.global)
+		}
+		// Local training in parallel (the paper's "clients in St perform
+		// local model training ... in parallel").
+		updates := parallel.Map(len(selected), func(i int) Update {
+			c := selected[i]
+			global := s.global
+			if cfg.Transport != nil {
+				global = cfg.Transport.Down(c.ID, t, global)
+			}
+			u := c.LocalTrain(t, global)
+			if cfg.Transport != nil {
+				u.Params = cfg.Transport.Up(c.ID, t, u.Params)
+			}
+			return u
+		})
+		if cfg.OnUpdates != nil {
+			cfg.OnUpdates(t, s.global, updates)
+		}
+		s.aggregate(t, updates)
+		if !tensor.AllFinite(s.global) {
+			return res, fmt.Errorf("core: %s diverged at round %d (non-finite global model)", cfg.Algo.Name(), t)
+		}
+
+		var lossSum float64
+		for _, u := range updates {
+			lossSum += u.TrainLoss
+		}
+		res.TrainLoss = append(res.TrainLoss, lossSum/float64(len(updates)))
+
+		// Communication accounting: down + up per selected client, plus
+		// method extras.
+		cumComm += int64(float64(len(selected)) * (2 + extraComm) * float64(commPerClient))
+		res.CommBytesByRound = append(res.CommBytesByRound, cumComm)
+
+		// FLOP accounting: sum of client counters (cumulative by design).
+		var fl int64
+		for _, c := range s.clients {
+			fl += c.Counter.Total()
+		}
+		res.GFLOPsByRound = append(res.GFLOPsByRound, float64(fl)/1e9)
+
+		acc := lastAcc
+		if t%cfg.EvalEvery == 0 || t == cfg.Rounds {
+			acc = s.EvaluateGlobal()
+			lastAcc = acc
+		}
+		res.Accuracy = append(res.Accuracy, acc)
+		if acc > res.BestAccuracy {
+			res.BestAccuracy = acc
+		}
+		if cfg.TargetAccuracy > 0 && res.RoundsToTarget < 0 && acc >= cfg.TargetAccuracy {
+			res.RoundsToTarget = t
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("round %3d/%d algo=%s acc=%.4f loss=%.4f gflops=%.2f", t, cfg.Rounds, cfg.Algo.Name(), acc, res.TrainLoss[t-1], res.GFLOPsByRound[t-1])
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(t, s)
+		}
+		res.Rounds = t
+		if cfg.StopAtTarget && res.RoundsToTarget > 0 {
+			break
+		}
+	}
+	// Final accuracy: mean over the last up-to-10 recorded rounds.
+	k := len(res.Accuracy)
+	lo := k - 10
+	if lo < 0 {
+		lo = 0
+	}
+	var sum float64
+	for _, a := range res.Accuracy[lo:] {
+		sum += a
+	}
+	if k > lo {
+		res.FinalAccuracy = sum / float64(k-lo)
+	}
+	return res, nil
+}

@@ -1,0 +1,24 @@
+package data
+
+import "testing"
+
+// BenchmarkGenerateMNIST measures synthesis throughput of the MNIST-like
+// generator (1000 28x28 samples per iteration).
+func BenchmarkGenerateMNIST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(Spec{Kind: KindMNIST, Train: 1000, Test: 10, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1000 * 784 * 8)
+}
+
+// BenchmarkGenerateCIFAR measures the 3-channel 32x32 generator.
+func BenchmarkGenerateCIFAR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(Spec{Kind: KindCIFAR, Train: 500, Test: 10, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(500 * 3072 * 8)
+}

@@ -1,0 +1,271 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	want := map[Kind]Stats{
+		KindMNIST:  {Kind: KindMNIST, TotalSamples: 60000, Classes: 10, Channels: 1, Height: 28, Width: 28, ClientSamples: 600},
+		KindFMNIST: {Kind: KindFMNIST, TotalSamples: 60000, Classes: 10, Channels: 1, Height: 28, Width: 28, ClientSamples: 1000},
+		KindEMNIST: {Kind: KindEMNIST, TotalSamples: 112800, Classes: 47, Channels: 1, Height: 28, Width: 28, ClientSamples: 3000},
+		KindCIFAR:  {Kind: KindCIFAR, TotalSamples: 50000, Classes: 10, Channels: 3, Height: 32, Width: 32, ClientSamples: 2000},
+	}
+	for _, k := range Kinds() {
+		got, err := TableII(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[k] {
+			t.Errorf("TableII(%s) = %+v, want %+v", k, got, want[k])
+		}
+	}
+	if _, err := TableII(Kind("bogus")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestGenerateShapesAndLabels(t *testing.T) {
+	train, test, err := Generate(Spec{Kind: KindMNIST, Train: 500, Test: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 500 || test.Len() != 100 {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+	if train.SampleSize() != 784 {
+		t.Fatalf("sample size %d", train.SampleSize())
+	}
+	for _, y := range train.Y {
+		if y < 0 || y >= train.Classes {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+	if len(train.X) != 500*784 {
+		t.Fatalf("X len %d", len(train.X))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, err := Generate(Spec{Kind: KindCIFAR, Train: 50, Test: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _ := Generate(Spec{Kind: KindCIFAR, Train: 50, Test: 10, Seed: 7})
+	if tensor.MaxAbsDiff(a.X, b.X) != 0 {
+		t.Fatal("same seed, different data")
+	}
+	c, _, _ := Generate(Spec{Kind: KindCIFAR, Train: 50, Test: 10, Seed: 8})
+	if tensor.MaxAbsDiff(a.X, c.X) == 0 {
+		t.Fatal("different seed, identical data")
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, _, err := Generate(Spec{Kind: "nope", Train: 10, Test: 10}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	train, test, err := Generate(Spec{Kind: KindMNIST, Seed: 1, Train: 0, Test: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 60000 {
+		t.Fatalf("default train size %d != Table II total", train.Len())
+	}
+	if test.Len() <= 0 {
+		t.Fatal("default test size not positive")
+	}
+}
+
+func TestClassesRoughlyBalanced(t *testing.T) {
+	train, _, err := Generate(Spec{Kind: KindMNIST, Train: 5000, Test: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := train.ClassCounts(nil)
+	for c, n := range counts {
+		if n < 300 || n > 700 {
+			t.Fatalf("class %d has %d samples (expected ~500)", c, n)
+		}
+	}
+}
+
+// Class signal sanity: the mean intra-class distance must be smaller than
+// the mean inter-class distance, otherwise nothing is learnable.
+func TestClassSeparationExists(t *testing.T) {
+	for _, k := range Kinds() {
+		train, _, err := Generate(Spec{Kind: k, Train: 400, Test: 10, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := train.SampleSize()
+		var intra, inter float64
+		var nIntra, nInter int
+		for i := 0; i < 100; i++ {
+			for j := i + 1; j < 100; j++ {
+				d := tensor.DistSq(train.X[i*size:(i+1)*size], train.X[j*size:(j+1)*size])
+				if train.Y[i] == train.Y[j] {
+					intra += d
+					nIntra++
+				} else {
+					inter += d
+					nInter++
+				}
+			}
+		}
+		if nIntra == 0 || nInter == 0 {
+			t.Fatalf("%s: degenerate label draw", k)
+		}
+		intra /= float64(nIntra)
+		inter /= float64(nInter)
+		if inter <= intra*1.05 {
+			t.Errorf("%s: inter-class distance %.3f not larger than intra-class %.3f", k, inter, intra)
+		}
+	}
+}
+
+// Difficulty ordering: MNIST-like must have the largest class-separation
+// margin of the four kinds (it is the easy dataset everywhere in the
+// paper), and every kind must retain a positive margin. FMNIST/EMNIST/
+// CIFAR difficulty additionally comes from class count and input size, so
+// only MNIST's dominance is asserted on raw pixels.
+func TestDifficultyOrdering(t *testing.T) {
+	margin := func(k Kind) float64 {
+		train, _, err := Generate(Spec{Kind: k, Train: 300, Test: 10, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := train.SampleSize()
+		var intra, inter float64
+		var nIntra, nInter int
+		for i := 0; i < 150; i++ {
+			for j := i + 1; j < 150; j++ {
+				d := tensor.DistSq(train.X[i*size:(i+1)*size], train.X[j*size:(j+1)*size]) / float64(size)
+				if train.Y[i] == train.Y[j] {
+					intra += d
+					nIntra++
+				} else {
+					inter += d
+					nInter++
+				}
+			}
+		}
+		return (inter / float64(nInter)) / (intra / float64(nIntra))
+	}
+	mnist := margin(KindMNIST)
+	for _, k := range []Kind{KindFMNIST, KindEMNIST, KindCIFAR} {
+		if m := margin(k); m <= 1.0 {
+			t.Errorf("%s margin %.3f: no class signal", k, m)
+		}
+	}
+	// Same-class-count comparisons: MNIST must be the easiest 10-class
+	// set (EMNIST's difficulty is its 47 classes, not pixel distance).
+	for _, k := range []Kind{KindFMNIST, KindCIFAR} {
+		if m := margin(k); mnist <= m {
+			t.Errorf("MNIST margin %.3f should exceed %s margin %.3f", mnist, k, m)
+		}
+	}
+}
+
+func TestFillBatch(t *testing.T) {
+	train, _, err := Generate(Spec{Kind: KindMNIST, Train: 20, Test: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(3, 1, 28, 28)
+	labels := make([]int, 3)
+	idx := []int{5, 0, 19}
+	train.FillBatch(x, labels, idx)
+	for bi, si := range idx {
+		if labels[bi] != train.Y[si] {
+			t.Fatalf("label %d mismatch", bi)
+		}
+		if x.Data[bi*784] != train.X[si*784] {
+			t.Fatalf("pixel 0 of batch row %d mismatch", bi)
+		}
+	}
+}
+
+func TestFillBatchPanics(t *testing.T) {
+	train, _, _ := Generate(Spec{Kind: KindMNIST, Train: 5, Test: 10, Seed: 2})
+	t.Run("shape", func(t *testing.T) {
+		defer expectPanic(t)
+		train.FillBatch(tensor.New(2, 10), make([]int, 2), []int{0, 1})
+	})
+	t.Run("labels", func(t *testing.T) {
+		defer expectPanic(t)
+		train.FillBatch(tensor.New(2, 784), make([]int, 1), []int{0, 1})
+	})
+	t.Run("index", func(t *testing.T) {
+		defer expectPanic(t)
+		train.FillBatch(tensor.New(1, 784), make([]int, 1), []int{99})
+	})
+}
+
+func TestClassCountsSubset(t *testing.T) {
+	train, _, _ := Generate(Spec{Kind: KindMNIST, Train: 100, Test: 10, Seed: 4})
+	idx := []int{0, 1, 2}
+	counts := train.ClassCounts(idx)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("subset counts sum %d", total)
+	}
+}
+
+// Train/test must share prototypes: a nearest-class-mean classifier fit on
+// train must beat chance on test by a wide margin.
+func TestTrainTestShareClassStructure(t *testing.T) {
+	train, test, err := Generate(Spec{Kind: KindMNIST, Train: 1000, Test: 300, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := train.SampleSize()
+	means := make([][]float64, train.Classes)
+	counts := make([]int, train.Classes)
+	for c := range means {
+		means[c] = make([]float64, size)
+	}
+	for i := 0; i < train.Len(); i++ {
+		y := train.Y[i]
+		counts[y]++
+		tensor.Axpy(1, train.X[i*size:(i+1)*size], means[y])
+	}
+	for c := range means {
+		if counts[c] > 0 {
+			tensor.Scale(1/float64(counts[c]), means[c])
+		}
+	}
+	correct := 0
+	for i := 0; i < test.Len(); i++ {
+		x := test.X[i*size : (i+1)*size]
+		best, bestD := -1, math.Inf(1)
+		for c := range means {
+			if d := tensor.DistSq(x, means[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == test.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	if acc < 0.5 {
+		t.Fatalf("nearest-mean test accuracy %.3f — class signal does not generalise", acc)
+	}
+}
+
+func expectPanic(t *testing.T) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatal("expected panic")
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Tiny-profile integration runs for the cheaper round-based experiments.
+// These execute real federated training (seconds each) and are skipped in
+// -short mode.
+
+func runTiny(t *testing.T, id string) []*Table {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	tabs, err := e.Run(Tiny(), nil)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tabs) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	return tabs
+}
+
+func TestTheoryXiValidatesClosedForm(t *testing.T) {
+	tabs := runTiny(t, "theory-xi")
+	if len(tabs[0].Rows) != 4 {
+		t.Fatalf("rows %d", len(tabs[0].Rows))
+	}
+	for _, row := range tabs[0].Rows {
+		relErr := strings.TrimSuffix(row[4], "%")
+		v, err := strconv.ParseFloat(relErr, 64)
+		if err != nil {
+			t.Fatalf("bad rel err cell %q", row[4])
+		}
+		if v > 5 {
+			t.Fatalf("E[xi] deviates %s%% from the closed form (row %v)", relErr, row)
+		}
+	}
+}
+
+func TestFig3MechanismTiny(t *testing.T) {
+	tabs := runTiny(t, "fig3")
+	tab := tabs[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("fig3 should compare 3 methods, got %d", len(tab.Rows))
+	}
+	// Parse the global-local divergence column; the regularized methods
+	// must not exceed FedAvg's divergence (paper's core mechanism).
+	div := map[string]float64{}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad divergence cell %q", row[1])
+		}
+		div[row[0]] = v
+	}
+	if div["fedprox"] > div["fedavg"]*1.05 {
+		t.Errorf("fedprox divergence %.4f should be <= fedavg %.4f", div["fedprox"], div["fedavg"])
+	}
+	if div["fedtrip"] > div["fedavg"]*1.1 {
+		t.Errorf("fedtrip divergence %.4f should not exceed fedavg %.4f by >10%%", div["fedtrip"], div["fedavg"])
+	}
+}
+
+func TestAblationXiTiny(t *testing.T) {
+	tabs := runTiny(t, "abl-xi")
+	if len(tabs[0].Rows) != 4 {
+		t.Fatalf("abl-xi should list 4 variants, got %d", len(tabs[0].Rows))
+	}
+}
+
+func TestTheoryRhoTiny(t *testing.T) {
+	tabs := runTiny(t, "theory-rho")
+	tab := tabs[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("theory-rho rows %d", len(tab.Rows))
+	}
+	// The final row uses the paper's mu = 6LB^2 choice, which must
+	// guarantee rho > 0.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[2] != "yes" {
+		t.Fatalf("mu=6LB^2 must guarantee decrease, got row %v", last)
+	}
+}
+
+func TestRhoFormula(t *testing.T) {
+	// With gamma=0 the paper's example: mu = 6LB^2, rho must be positive
+	// for any positive L and B >= 1.
+	for _, lb := range [][2]float64{{1, 1}, {5, 2}, {0.3, 4}, {10, 1.5}} {
+		l, b := lb[0], lb[1]
+		mu := 6 * l * b * b
+		if rho := rhoOf(mu, l, b); rho <= 0 {
+			t.Fatalf("rho(6LB^2)=%v for L=%v B=%v", rho, l, b)
+		}
+	}
+	// Tiny mu violates the condition when LB is large.
+	if rho := rhoOf(0.01, 10, 3); rho >= 0 {
+		t.Fatalf("rho should be negative for small mu, got %v", rho)
+	}
+}
+
+func TestFig2Tiny(t *testing.T) {
+	tabs := runTiny(t, "fig2")
+	if len(tabs[0].Rows) != 3 {
+		t.Fatalf("fig2 should list 3 snapshots, got %d", len(tabs[0].Rows))
+	}
+	for _, row := range tabs[0].Rows {
+		if _, err := strconv.ParseFloat(row[1], 64); err != nil {
+			t.Fatalf("bad silhouette cell %q", row[1])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import "fmt"
+
+// Experiment is one registered reproduction target: a paper table/figure
+// or an ablation.
+type Experiment struct {
+	// ID is the paper artifact id ("table4", "fig5", "abl-xi"...).
+	ID string
+	// Title describes what the experiment reproduces.
+	Title string
+	// Run executes the experiment under a profile and returns its tables.
+	Run func(p Profile, logf Logf) ([]*Table, error)
+}
+
+// All returns every registered experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Method families: information utilization vs resource cost", Run: runTable1},
+		{ID: "table2", Title: "Dataset description", Run: runTable2},
+		{ID: "table3", Title: "Model communication/computation statistics", Run: runTable3},
+		{ID: "table4", Title: "Rounds to target accuracy (Dir-0.5, 4-of-10)", Run: runTable4},
+		{ID: "table5", Title: "GFLOPs to target accuracy", Run: runTable5},
+		{ID: "table6", Title: "Rounds to target accuracy (4-of-50 scalability)", Run: runTable6},
+		{ID: "table7", Title: "Accuracy with 5/10 local epochs", Run: runTable7},
+		{ID: "table8", Title: "Analytic attaching cost per method (Appendix A)", Run: runTable8},
+		{ID: "fig2", Title: "Representation separability (t-SNE/silhouette motivation)", Run: runFig2},
+		{ID: "fig3", Title: "Update-geometry mechanism (global-local vs current-historical distance)", Run: runFig3},
+		{ID: "fig4", Title: "Client label distributions under 4 heterogeneity types", Run: runFig4},
+		{ID: "fig5", Title: "Convergence curves (CNN x 3 datasets x 2 schemes)", Run: runFig5},
+		{ID: "fig6", Title: "Final-accuracy boxplots (CNN+MLP on FMNIST)", Run: runFig6},
+		{ID: "fig7", Title: "FedTrip mu sensitivity", Run: runFig7},
+		{ID: "theory-xi", Title: "Theorem 1 staleness coefficient: empirical vs closed form", Run: runTheoryXi},
+		{ID: "theory-rho", Title: "Theorem 1 decrease coefficient rho from measured L and B", Run: runTheoryRho},
+		{ID: "ext-quant", Title: "Extension: FedTrip with quantized uplink", Run: runExtQuant},
+		{ID: "abl-xi", Title: "Ablation: xi schedule", Run: runAblationXi},
+		{ID: "abl-hist", Title: "Ablation: triplet terms", Run: runAblationHistory},
+		{ID: "abl-extra", Title: "Ablation: appendix methods resource comparison", Run: runAblationAppendix},
+	}
+}
+
+// Get looks up an experiment by id.
+func Get(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment ids.
+func IDs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ErrUnknown formats the standard unknown-experiment error.
+func ErrUnknown(id string) error {
+	return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/algos"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// Logf receives progress lines from long experiments (may be nil).
+type Logf func(format string, args ...any)
+
+func (l Logf) printf(format string, args ...any) {
+	if l != nil {
+		l(format, args...)
+	}
+}
+
+// Case identifies one federated run inside an experiment.
+type Case struct {
+	Kind   data.Kind
+	Arch   nn.Arch
+	Scheme partition.Scheme
+	// Algo is the registry name; Params tunes it. Factory, if non-nil,
+	// overrides the registry (used by the FedTrip ablations).
+	Algo    string
+	Params  algos.Params
+	Factory func() core.Algorithm
+	// FactoryKey disambiguates Factory-built cases in the run cache.
+	FactoryKey string
+	// Clients / PerRound override the profile when non-zero (Table VI's
+	// 4-of-50 setting).
+	Clients, PerRound int
+	// LocalEpochs overrides the profile when non-zero (Table VII).
+	LocalEpochs int
+	// ClipNorm enables gradient clipping for every method in the case
+	// (Table VII's long aggregation intervals need it for stability).
+	ClipNorm float64
+	// Trial indexes repeated runs; it offsets every seed.
+	Trial int
+}
+
+func (c Case) key(p Profile) string {
+	algoKey := c.Algo
+	if c.Factory != nil {
+		algoKey = "factory:" + c.FactoryKey
+	}
+	return fmt.Sprintf("%s|%s|%s|%s|%+v|%d|%d|%d|%v|%d|%s|%d|%d|%d|%v|%d",
+		p.Name, c.Kind, c.Arch, c.Scheme, c.Params, c.Clients, c.PerRound,
+		c.LocalEpochs, c.ClipNorm, c.Trial, algoKey, p.Rounds, p.SamplesPerClient,
+		p.Batch, p.ConvScale, p.Seed)
+}
+
+var (
+	cacheMu   sync.Mutex
+	dataCache = map[string][2]*data.Dataset{}
+	runCache  = map[string]*core.Result{}
+)
+
+// ResetCaches clears memoised datasets and run results (tests).
+func ResetCaches() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	dataCache = map[string][2]*data.Dataset{}
+	runCache = map[string]*core.Result{}
+}
+
+// datasets returns (train, test) for a case, memoised.
+func (p Profile) datasets(kind data.Kind, clients, perClient, trial int) (*data.Dataset, *data.Dataset, error) {
+	trainN := clients * perClient
+	key := fmt.Sprintf("%s|%d|%d|%d|%d", kind, trainN, p.TestSamples, p.Seed, trial)
+	cacheMu.Lock()
+	if ds, ok := dataCache[key]; ok {
+		cacheMu.Unlock()
+		return ds[0], ds[1], nil
+	}
+	cacheMu.Unlock()
+	train, test, err := data.Generate(data.Spec{
+		Kind:  kind,
+		Train: trainN,
+		Test:  p.TestSamples,
+		Seed:  p.Seed + int64(1000*trial) + int64(kindSeed(kind)),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cacheMu.Lock()
+	dataCache[key] = [2]*data.Dataset{train, test}
+	cacheMu.Unlock()
+	return train, test, nil
+}
+
+func kindSeed(kind data.Kind) int {
+	switch kind {
+	case data.KindMNIST:
+		return 1
+	case data.KindFMNIST:
+		return 2
+	case data.KindEMNIST:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// modelSpec builds the architecture for a case at the profile's scale.
+func (p Profile) modelSpec(arch nn.Arch, kind data.Kind) (nn.ModelSpec, error) {
+	st, err := data.TableII(kind)
+	if err != nil {
+		return nn.ModelSpec{}, err
+	}
+	scale := 1.0
+	switch arch {
+	case nn.ArchCNN:
+		scale = p.ConvScale
+	case nn.ArchAlexNet:
+		scale = p.AlexScale
+	}
+	return nn.ModelSpec{
+		Arch:     arch,
+		Channels: st.Channels,
+		Height:   st.Height,
+		Width:    st.Width,
+		Classes:  st.Classes,
+		Scale:    scale,
+	}, nil
+}
+
+// samplesPerClient resolves the per-client data size for a case.
+func (p Profile) samplesPerClient(kind data.Kind) (int, error) {
+	if kind == data.KindCIFAR && p.CIFARSamples > 0 {
+		return p.CIFARSamples, nil
+	}
+	if kind == data.KindEMNIST && p.EMNISTSamples > 0 {
+		return p.EMNISTSamples, nil
+	}
+	if p.SamplesPerClient > 0 {
+		return p.SamplesPerClient, nil
+	}
+	st, err := data.TableII(kind)
+	if err != nil {
+		return 0, err
+	}
+	return st.ClientSamples, nil
+}
+
+// MuFedTrip returns the paper's FedTrip mu for an architecture (§V.A:
+// 1.0 for all MLP experiments, 0.4 otherwise).
+func MuFedTrip(arch nn.Arch) float64 {
+	if arch == nn.ArchMLP {
+		return 1.0
+	}
+	return 0.4
+}
+
+// AlphaFedDyn returns the paper's FedDyn alpha (1.0 on MNIST, 0.1 else).
+func AlphaFedDyn(kind data.Kind) float64 {
+	if kind == data.KindMNIST {
+		return 1.0
+	}
+	return 0.1
+}
+
+// DefaultParams fills the paper's §V.A hyperparameters for a method/case.
+func DefaultParams(algo string, arch nn.Arch, kind data.Kind) algos.Params {
+	switch algo {
+	case "fedtrip":
+		return algos.Params{Mu: MuFedTrip(arch)}
+	case "feddyn":
+		return algos.Params{Alpha: AlphaFedDyn(kind)}
+	default:
+		return algos.Params{}
+	}
+}
+
+// Run executes (or recalls from cache) the federated run for a case.
+func (p Profile) Run(c Case, logf Logf) (*core.Result, error) {
+	key := c.key(p)
+	cacheMu.Lock()
+	if r, ok := runCache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+
+	clients := p.Clients
+	if c.Clients > 0 {
+		clients = c.Clients
+	}
+	perRound := p.PerRound
+	if c.PerRound > 0 {
+		perRound = c.PerRound
+	}
+	epochs := p.LocalEpochs
+	if c.LocalEpochs > 0 {
+		epochs = c.LocalEpochs
+	}
+	perClient, err := p.samplesPerClient(c.Kind)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := p.datasets(c.Kind, clients, perClient, c.Trial)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := p.modelSpec(c.Arch, c.Kind)
+	if err != nil {
+		return nil, err
+	}
+	seed := p.Seed + int64(100000*(c.Trial+1))
+	rng := rand.New(rand.NewSource(seed))
+	parts, err := partition.Partition(c.Scheme, train.Y, train.Classes, clients, perClient, rng)
+	if err != nil {
+		return nil, err
+	}
+	var algo core.Algorithm
+	if c.Factory != nil {
+		algo = c.Factory()
+	} else {
+		algo, err = algos.New(c.Algo, c.Params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := core.Config{
+		Model:           spec,
+		Train:           train,
+		Test:            test,
+		Parts:           parts,
+		Rounds:          p.Rounds,
+		ClientsPerRound: perRound,
+		BatchSize:       p.Batch,
+		LocalEpochs:     epochs,
+		LR:              p.LR,
+		Momentum:        p.Momentum,
+		ClipNorm:        c.ClipNorm,
+		Algo:            algo,
+		Seed:            seed,
+	}
+	logf.printf("run %s %s %s %s (clients %d/%d, epochs %d, trial %d)",
+		algo.Name(), c.Arch, c.Kind, c.Scheme, perRound, clients, epochs, c.Trial)
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("case %s/%s/%s/%s: %w", c.Algo, c.Arch, c.Kind, c.Scheme, err)
+	}
+	cacheMu.Lock()
+	runCache[key] = res
+	cacheMu.Unlock()
+	return res, nil
+}
+
+// RunTrials executes Repeats trials of a case and returns all results.
+func (p Profile) RunTrials(c Case, logf Logf) ([]*core.Result, error) {
+	out := make([]*core.Result, 0, p.Repeats)
+	for trial := 0; trial < p.Repeats; trial++ {
+		c.Trial = trial
+		r, err := p.Run(c, logf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// adaptiveTarget derives a rounds-to-target threshold from the FedAvg
+// baseline's trajectory: 97% of FedAvg's final accuracy (mean of the last
+// 10 rounds, which is robust to single-round spikes). The paper uses
+// fixed absolute targets tuned to the real datasets; on the synthetic
+// substrate the reachable accuracy differs, so the threshold self-
+// calibrates per case while preserving the comparison (every method is
+// measured against the same bar). Documented in EXPERIMENTS.md.
+func adaptiveTarget(fedavg []*core.Result) float64 {
+	var final []float64
+	for _, r := range fedavg {
+		final = append(final, r.FinalAccuracy)
+	}
+	return 0.97 * stats.Mean(final)
+}
+
+// meanRoundsToTarget averages rounds-to-target over trials; unreached
+// trials count as the full round budget (reported with a ">" marker).
+func meanRoundsToTarget(results []*core.Result, target float64) (mean float64, reached bool) {
+	reached = true
+	var vals []float64
+	for _, r := range results {
+		rt := stats.RoundsToTarget(r.Accuracy, target)
+		if rt < 0 {
+			rt = len(r.Accuracy)
+			reached = false
+		}
+		vals = append(vals, float64(rt))
+	}
+	return stats.Mean(vals), reached
+}
+
+// formatRounds renders a rounds-to-target cell, with ">" when unreached.
+func formatRounds(mean float64, reached bool) string {
+	if !reached {
+		return fmt.Sprintf(">%.0f", mean)
+	}
+	return fmt.Sprintf("%.0f", mean)
+}
+
+// speedupCell renders "rounds (ratio x)" relative to a reference method's
+// rounds, mirroring Table IV's blue ratio annotations.
+func speedupCell(mean float64, reached bool, ref float64) string {
+	cell := formatRounds(mean, reached)
+	if ref > 0 {
+		cell += fmt.Sprintf(" (%.2fx)", mean/ref)
+	}
+	return cell
+}

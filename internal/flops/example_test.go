@@ -1,0 +1,26 @@
+package flops_test
+
+import (
+	"fmt"
+
+	"repro/internal/flops"
+)
+
+// The Appendix A cost model: FedTrip's attaching cost is 4K|w| FLOPs per
+// round — double FedProx's, and vanishing next to MOON's extra forward
+// passes.
+func ExampleAttachCost() {
+	model := flops.ModelCost{Params: 61706, Forward: 0.85e6, Backward: 1.7e6}
+	round := flops.RoundParams{K: 12, M: 50, N: 600, P: 1}
+	for _, method := range []string{"fedprox", "fedtrip", "moon"} {
+		c, err := flops.AttachCost(method, model, round)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %.2f MFLOPs\n", method, c.AttachFLOPs/1e6)
+	}
+	// Output:
+	// fedprox: 1.48 MFLOPs
+	// fedtrip: 2.96 MFLOPs
+	// moon: 1020.00 MFLOPs
+}

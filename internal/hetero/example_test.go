@@ -1,0 +1,22 @@
+package hetero_test
+
+import (
+	"fmt"
+
+	"repro/internal/hetero"
+)
+
+// Quantify how skewed a partition is from its client x class count matrix.
+func ExampleAnalyze() {
+	// Two single-class clients with disjoint classes (Orthogonal-style).
+	counts := [][]int{
+		{100, 0},
+		{0, 100},
+	}
+	s, err := hetero.Analyze(counts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("entropy %.1f, pairwise TV %.1f\n", s.MeanEntropy, s.MeanTVDistance)
+	// Output: entropy 0.0, pairwise TV 1.0
+}

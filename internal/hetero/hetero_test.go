@@ -1,0 +1,105 @@
+package hetero
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestAnalyzeUniform(t *testing.T) {
+	// Two clients, both perfectly balanced over 4 classes.
+	counts := [][]int{{5, 5, 5, 5}, {10, 10, 10, 10}}
+	s, err := Analyze(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.MeanEntropy-1) > 1e-12 {
+		t.Fatalf("entropy %v want 1", s.MeanEntropy)
+	}
+	if s.MeanTVDistance != 0 || s.MeanDivergence != 0 {
+		t.Fatalf("identical distributions: %+v", s)
+	}
+	if s.MeanEffectiveClasses != 4 {
+		t.Fatalf("effective classes %v", s.MeanEffectiveClasses)
+	}
+}
+
+func TestAnalyzeDisjoint(t *testing.T) {
+	// Single-class clients with disjoint classes: maximal heterogeneity.
+	counts := [][]int{{10, 0}, {0, 10}}
+	s, err := Analyze(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeanEntropy != 0 {
+		t.Fatalf("entropy %v want 0", s.MeanEntropy)
+	}
+	if s.MeanTVDistance != 1 {
+		t.Fatalf("pair TV %v want 1", s.MeanTVDistance)
+	}
+	if math.Abs(s.MeanDivergence-0.5) > 1e-12 {
+		t.Fatalf("divergence %v want 0.5", s.MeanDivergence)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := Analyze([][]int{{}}); err == nil {
+		t.Fatal("zero classes accepted")
+	}
+	if _, err := Analyze([][]int{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := Analyze([][]int{{0, 0}}); err == nil {
+		t.Fatal("empty client accepted")
+	}
+	if _, err := Analyze([][]int{{-1, 2}}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+// The indices must order the paper's four heterogeneity settings
+// correctly: IID < Dir-0.5 < Dir-0.1 < Orthogonal-10 in pairwise TV.
+func TestSchemesOrderedByHeterogeneity(t *testing.T) {
+	labels := make([]int, 6000)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	tvOf := func(s partition.Scheme) float64 {
+		rng := rand.New(rand.NewSource(42))
+		parts, err := partition.Partition(s, labels, 10, 10, 300, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := Analyze(partition.LabelCounts(parts, labels, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum.MeanTVDistance
+	}
+	iid := tvOf(partition.IID())
+	dir05 := tvOf(partition.Dirichlet(0.5))
+	dir01 := tvOf(partition.Dirichlet(0.1))
+	orth10 := tvOf(partition.Orthogonal(10))
+	if !(iid < dir05 && dir05 < dir01 && dir01 < orth10) {
+		t.Fatalf("heterogeneity not ordered: iid=%.3f dir0.5=%.3f dir0.1=%.3f orth10=%.3f",
+			iid, dir05, dir01, orth10)
+	}
+	if orth10 != 1 {
+		t.Fatalf("orthogonal-10 pairwise TV %v want 1 (disjoint single-class clients)", orth10)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, err := Analyze([][]int{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}

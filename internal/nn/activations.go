@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// reluLayer applies max(0, x) elementwise.
+type reluLayer struct {
+	shape []int
+	mask  []bool // true where input was > 0
+	y     *tensor.Tensor
+	dx    *tensor.Tensor
+}
+
+// ReLU appends a rectified-linear activation.
+func (b *Builder) ReLU() *Builder {
+	b.add(&reluLayer{})
+	return b
+}
+
+func (l *reluLayer) Name() string { return "relu" }
+
+func (l *reluLayer) Resolve(in []int) ([]int, error) {
+	l.shape = append([]int(nil), in...)
+	return in, nil
+}
+
+func (l *reluLayer) ParamCount() int                              { return 0 }
+func (l *reluLayer) Bind(params, grads []float64, rng *rand.Rand) {}
+
+func (l *reluLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Numel()
+	if l.y == nil || l.y.Numel() != n {
+		l.y = tensor.New(x.Shape()...)
+		l.mask = make([]bool, n)
+	} else {
+		l.y = l.y.Reshape(x.Shape()...)
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			l.y.Data[i] = v
+			l.mask[i] = true
+		} else {
+			l.y.Data[i] = 0
+			l.mask[i] = false
+		}
+	}
+	return l.y
+}
+
+func (l *reluLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if l.dx == nil || l.dx.Numel() != dy.Numel() {
+		l.dx = tensor.New(dy.Shape()...)
+	} else {
+		l.dx = l.dx.Reshape(dy.Shape()...)
+	}
+	for i, v := range dy.Data {
+		if l.mask[i] {
+			l.dx.Data[i] = v
+		} else {
+			l.dx.Data[i] = 0
+		}
+	}
+	return l.dx
+}
+
+func (l *reluLayer) FwdFLOPs() float64 { return float64(numel(l.shape)) }
+
+// flattenLayer reshapes [N, C, H, W] (or any rank) to [N, D].
+type flattenLayer struct {
+	in []int
+}
+
+// Flatten appends a reshape to a flat per-sample vector.
+func (b *Builder) Flatten() *Builder {
+	b.add(&flattenLayer{})
+	return b
+}
+
+func (l *flattenLayer) Name() string { return "flatten" }
+
+func (l *flattenLayer) Resolve(in []int) ([]int, error) {
+	l.in = append([]int(nil), in...)
+	return []int{numel(in)}, nil
+}
+
+func (l *flattenLayer) ParamCount() int                              { return 0 }
+func (l *flattenLayer) Bind(params, grads []float64, rng *rand.Rand) {}
+
+func (l *flattenLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return x.Reshape(x.Dim(0), numel(l.in))
+}
+
+func (l *flattenLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(prependBatch(dy.Dim(0), l.in)...)
+}
+
+func (l *flattenLayer) FwdFLOPs() float64 { return 0 }
+
+// dropoutLayer implements inverted dropout: at train time each activation
+// is zeroed with probability p and survivors are scaled by 1/(1-p); at eval
+// time it is the identity.
+type dropoutLayer struct {
+	p     float64
+	shape []int
+	rng   *rand.Rand
+	keep  []bool
+	y     *tensor.Tensor
+	dx    *tensor.Tensor
+}
+
+// Dropout appends an inverted-dropout layer with drop probability p.
+func (b *Builder) Dropout(p float64) *Builder {
+	if p < 0 || p >= 1 {
+		b.fail(fmt.Errorf("nn: dropout probability %v outside [0,1)", p))
+		return b
+	}
+	b.add(&dropoutLayer{p: p})
+	return b
+}
+
+func (l *dropoutLayer) Name() string { return "dropout" }
+
+func (l *dropoutLayer) Resolve(in []int) ([]int, error) {
+	l.shape = append([]int(nil), in...)
+	return in, nil
+}
+
+func (l *dropoutLayer) ParamCount() int { return 0 }
+
+func (l *dropoutLayer) Bind(params, grads []float64, rng *rand.Rand) {
+	l.rng = rng
+}
+
+func (l *dropoutLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.p == 0 {
+		// Identity at eval time; mark mask as unused.
+		l.keep = nil
+		return x
+	}
+	n := x.Numel()
+	if l.y == nil || l.y.Numel() != n {
+		l.y = tensor.New(x.Shape()...)
+	} else {
+		l.y = l.y.Reshape(x.Shape()...)
+	}
+	if len(l.keep) != n {
+		l.keep = make([]bool, n)
+	}
+	scale := 1 / (1 - l.p)
+	for i, v := range x.Data {
+		if l.rng.Float64() < l.p {
+			l.keep[i] = false
+			l.y.Data[i] = 0
+		} else {
+			l.keep[i] = true
+			l.y.Data[i] = v * scale
+		}
+	}
+	return l.y
+}
+
+func (l *dropoutLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if l.keep == nil {
+		return dy // eval-mode forward: identity
+	}
+	if l.dx == nil || l.dx.Numel() != dy.Numel() {
+		l.dx = tensor.New(dy.Shape()...)
+	} else {
+		l.dx = l.dx.Reshape(dy.Shape()...)
+	}
+	scale := 1 / (1 - l.p)
+	for i, v := range dy.Data {
+		if l.keep[i] {
+			l.dx.Data[i] = v * scale
+		} else {
+			l.dx.Data[i] = 0
+		}
+	}
+	return l.dx
+}
+
+func (l *dropoutLayer) FwdFLOPs() float64 { return float64(numel(l.shape)) }

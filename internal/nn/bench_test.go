@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func benchModel(b *testing.B, spec ModelSpec, batch int) {
+	m, err := spec.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(append([]int{batch}, m.InShape()...)...)
+	x.RandNormal(rng, 1)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = rng.Intn(m.OutDim())
+	}
+	d := tensor.New(batch, m.OutDim())
+	b.SetBytes(int64(batch) * int64(m.Cost().Forward+m.Cost().Backward))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := m.Forward(x, true)
+		SoftmaxCrossEntropy(logits, labels, d)
+		m.ZeroGrad()
+		m.Backward(d, nil)
+	}
+}
+
+// BenchmarkMLPStep measures one training step (fwd+loss+bwd) of the
+// paper's MLP at batch 50.
+func BenchmarkMLPStep(b *testing.B) {
+	benchModel(b, ModelSpec{Arch: ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10}, 50)
+}
+
+// BenchmarkCNNStep measures one training step of the paper's LeNet5-style
+// CNN at batch 50, paper-scale width.
+func BenchmarkCNNStep(b *testing.B) {
+	benchModel(b, ModelSpec{Arch: ArchCNN, Channels: 1, Height: 28, Width: 28, Classes: 10}, 50)
+}
+
+// BenchmarkCNNStepHalfScale measures the fast-profile CNN.
+func BenchmarkCNNStepHalfScale(b *testing.B) {
+	benchModel(b, ModelSpec{Arch: ArchCNN, Channels: 1, Height: 28, Width: 28, Classes: 10, Scale: 0.5}, 50)
+}
+
+// BenchmarkAlexNetForward measures AlexNet inference at batch 8 (training
+// benches live at the experiment level; a full paper-scale AlexNet step is
+// ~1.3 GFLOPs).
+func BenchmarkAlexNetForward(b *testing.B) {
+	spec := ModelSpec{Arch: ArchAlexNet, Channels: 3, Height: 32, Width: 32, Classes: 10, Scale: 0.25}
+	m, err := spec.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(8, 3, 32, 32)
+	x.RandNormal(rng, 1)
+	b.SetBytes(int64(8 * m.Cost().Forward))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+}

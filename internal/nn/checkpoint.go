@@ -1,0 +1,29 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// SaveParams writes the model's parameter vector as a checkpoint (full
+// float64 precision).
+func (m *Model) SaveParams(w io.Writer) error {
+	return tensor.WriteVector(w, m.params)
+}
+
+// LoadParams restores a checkpoint written by SaveParams. The stored
+// vector must match the model's parameter count exactly — loading an MLP
+// checkpoint into a CNN is an error, not a silent truncation.
+func (m *Model) LoadParams(r io.Reader) error {
+	v, err := tensor.ReadVector(r)
+	if err != nil {
+		return err
+	}
+	if len(v) != len(m.params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", len(v), len(m.params))
+	}
+	copy(m.params, v)
+	return nil
+}

@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	spec := ModelSpec{Arch: ArchMLP, Channels: 1, Height: 8, Width: 8, Classes: 5}
+	m1, err := spec.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m1.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := spec.Build(2) // different init
+	if tensor.MaxAbsDiff(m1.Params(), m2.Params()) == 0 {
+		t.Fatal("test setup: same init")
+	}
+	if err := m2.LoadParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(m1.Params(), m2.Params()) != 0 {
+		t.Fatal("checkpoint did not restore parameters")
+	}
+}
+
+func TestCheckpointSizeMismatch(t *testing.T) {
+	mlp, _ := (ModelSpec{Arch: ArchMLP, Channels: 1, Height: 8, Width: 8, Classes: 5}).Build(1)
+	cnn, _ := (ModelSpec{Arch: ArchCNN, Channels: 1, Height: 28, Width: 28, Classes: 10}).Build(1)
+	var buf bytes.Buffer
+	if err := mlp.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	before := cnn.ParamsCopy()
+	if err := cnn.LoadParams(&buf); err == nil {
+		t.Fatal("cross-architecture checkpoint accepted")
+	}
+	if tensor.MaxAbsDiff(before, cnn.Params()) != 0 {
+		t.Fatal("failed load must not mutate the model")
+	}
+}
+
+func TestCheckpointGarbage(t *testing.T) {
+	m, _ := (ModelSpec{Arch: ArchMLP, Channels: 1, Height: 8, Width: 8, Classes: 5}).Build(1)
+	if err := m.LoadParams(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

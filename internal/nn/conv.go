@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// convLayer is a 2D convolution over NCHW tensors, implemented as
+// im2col + matmul per sample. The per-sample loop parallelises over the
+// batch with per-chunk scratch so worker goroutines never share buffers.
+type convLayer struct {
+	outC        int
+	kh, kw      int
+	stride, pad int
+	geom        tensor.ConvGeom
+	w, b        []float64
+	dw, db      []float64
+	x           *tensor.Tensor
+	y, dx       *tensor.Tensor
+}
+
+// Conv2D appends a convolution with outC filters of size k x k.
+func (b *Builder) Conv2D(outC, k, stride, pad int) *Builder {
+	if outC <= 0 || k <= 0 {
+		b.fail(fmt.Errorf("nn: Conv2D bad filters=%d k=%d", outC, k))
+		return b
+	}
+	b.add(&convLayer{outC: outC, kh: k, kw: k, stride: stride, pad: pad})
+	return b
+}
+
+func (l *convLayer) Name() string { return "conv2d" }
+
+func (l *convLayer) Resolve(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: conv2d needs CHW input, got shape %v", in)
+	}
+	g, err := tensor.NewConvGeom(in[0], in[1], in[2], l.kh, l.kw, l.stride, l.pad)
+	if err != nil {
+		return nil, err
+	}
+	l.geom = g
+	return []int{l.outC, g.OutH, g.OutW}, nil
+}
+
+func (l *convLayer) ParamCount() int {
+	return l.outC*l.geom.ColRows() + l.outC
+}
+
+func (l *convLayer) Bind(params, grads []float64, rng *rand.Rand) {
+	nw := l.outC * l.geom.ColRows()
+	l.w, l.b = params[:nw], params[nw:]
+	l.dw, l.db = grads[:nw], grads[nw:]
+	std := math.Sqrt(2.0 / float64(l.geom.ColRows()))
+	for i := range l.w {
+		l.w[i] = rng.NormFloat64() * std
+	}
+	for i := range l.b {
+		l.b[i] = 0
+	}
+}
+
+func (l *convLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	g := l.geom
+	inSize := g.InC * g.InH * g.InW
+	outSize := l.outC * g.OutH * g.OutW
+	l.x = x
+	if l.y == nil || l.y.Dim(0) != n {
+		l.y = tensor.New(n, l.outC, g.OutH, g.OutW)
+	}
+	wm := tensor.FromSlice(l.w, l.outC, g.ColRows())
+	parallel.ForChunked(n, func(lo, hi int) {
+		col := tensor.New(g.ColRows(), g.ColCols())
+		for s := lo; s < hi; s++ {
+			img := x.Data[s*inSize : (s+1)*inSize]
+			g.Im2Col(img, col.Data)
+			out := tensor.FromSlice(l.y.Data[s*outSize:(s+1)*outSize], l.outC, g.ColCols())
+			tensor.MatMul(out, wm, col)
+			// Add per-filter bias across the spatial map.
+			for f := 0; f < l.outC; f++ {
+				bf := l.b[f]
+				row := out.Data[f*g.ColCols() : (f+1)*g.ColCols()]
+				for i := range row {
+					row[i] += bf
+				}
+			}
+		}
+	})
+	return l.y
+}
+
+func (l *convLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n := dy.Dim(0)
+	g := l.geom
+	inSize := g.InC * g.InH * g.InW
+	outSize := l.outC * g.OutH * g.OutW
+	if l.dx == nil || l.dx.Dim(0) != n {
+		l.dx = tensor.New(n, g.InC, g.InH, g.InW)
+	}
+	wm := tensor.FromSlice(l.w, l.outC, g.ColRows())
+	var mu sync.Mutex // guards accumulation into l.dw / l.db
+	parallel.ForChunked(n, func(lo, hi int) {
+		col := tensor.New(g.ColRows(), g.ColCols())
+		dcol := tensor.New(g.ColRows(), g.ColCols())
+		dwLocal := tensor.New(l.outC, g.ColRows())
+		dbLocal := make([]float64, l.outC)
+		dwS := tensor.New(l.outC, g.ColRows())
+		for s := lo; s < hi; s++ {
+			img := l.x.Data[s*inSize : (s+1)*inSize]
+			g.Im2Col(img, col.Data)
+			dout := tensor.FromSlice(dy.Data[s*outSize:(s+1)*outSize], l.outC, g.ColCols())
+			// dW_s = dOut x col^T, accumulated locally.
+			tensor.MatMulABT(dwS, dout, col)
+			tensor.Axpy(1, dwS.Data, dwLocal.Data)
+			// db_s = row sums of dOut.
+			for f := 0; f < l.outC; f++ {
+				row := dout.Data[f*g.ColCols() : (f+1)*g.ColCols()]
+				var sum float64
+				for _, v := range row {
+					sum += v
+				}
+				dbLocal[f] += sum
+			}
+			// dcol = W^T x dOut; dx_s = col2im(dcol).
+			tensor.MatMulATB(dcol, wm, dout)
+			dximg := l.dx.Data[s*inSize : (s+1)*inSize]
+			for i := range dximg {
+				dximg[i] = 0
+			}
+			g.Col2Im(dcol.Data, dximg)
+		}
+		mu.Lock()
+		tensor.Axpy(1, dwLocal.Data, l.dw)
+		tensor.Axpy(1, dbLocal, l.db)
+		mu.Unlock()
+	})
+	return l.dx
+}
+
+func (l *convLayer) FwdFLOPs() float64 {
+	// MACs = ColRows * outC * spatial positions; 2 FLOPs per MAC + bias add.
+	g := l.geom
+	return float64(2*g.ColRows()*l.outC*g.ColCols() + l.outC*g.ColCols())
+}
+
+// maxPoolLayer is a k x k max pooling with stride k (the only configuration
+// the paper's models need).
+type maxPoolLayer struct {
+	k       int
+	c, h, w int
+	oh, ow  int
+	argmax  []int32 // flat input index of each output's max
+	y, dx   *tensor.Tensor
+}
+
+// MaxPool2D appends k x k max pooling with stride k.
+func (b *Builder) MaxPool2D(k int) *Builder {
+	if k <= 0 {
+		b.fail(fmt.Errorf("nn: MaxPool2D bad k=%d", k))
+		return b
+	}
+	b.add(&maxPoolLayer{k: k})
+	return b
+}
+
+func (l *maxPoolLayer) Name() string { return "maxpool2d" }
+
+func (l *maxPoolLayer) Resolve(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: maxpool needs CHW input, got %v", in)
+	}
+	l.c, l.h, l.w = in[0], in[1], in[2]
+	if l.h%l.k != 0 || l.w%l.k != 0 {
+		return nil, fmt.Errorf("nn: maxpool %d does not divide input %dx%d", l.k, l.h, l.w)
+	}
+	l.oh, l.ow = l.h/l.k, l.w/l.k
+	return []int{l.c, l.oh, l.ow}, nil
+}
+
+func (l *maxPoolLayer) ParamCount() int                              { return 0 }
+func (l *maxPoolLayer) Bind(params, grads []float64, rng *rand.Rand) {}
+
+func (l *maxPoolLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	outSize := l.c * l.oh * l.ow
+	if l.y == nil || l.y.Dim(0) != n {
+		l.y = tensor.New(n, l.c, l.oh, l.ow)
+		l.argmax = make([]int32, n*outSize)
+	}
+	inSize := l.c * l.h * l.w
+	parallel.ForChunked(n, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			in := x.Data[s*inSize : (s+1)*inSize]
+			out := l.y.Data[s*outSize : (s+1)*outSize]
+			am := l.argmax[s*outSize : (s+1)*outSize]
+			o := 0
+			for c := 0; c < l.c; c++ {
+				base := c * l.h * l.w
+				for oy := 0; oy < l.oh; oy++ {
+					for ox := 0; ox < l.ow; ox++ {
+						best := math.Inf(-1)
+						bestIdx := 0
+						for ky := 0; ky < l.k; ky++ {
+							rowBase := base + (oy*l.k+ky)*l.w + ox*l.k
+							for kx := 0; kx < l.k; kx++ {
+								if v := in[rowBase+kx]; v > best {
+									best = v
+									bestIdx = rowBase + kx
+								}
+							}
+						}
+						out[o] = best
+						am[o] = int32(bestIdx)
+						o++
+					}
+				}
+			}
+		}
+	})
+	return l.y
+}
+
+func (l *maxPoolLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n := dy.Dim(0)
+	inSize := l.c * l.h * l.w
+	outSize := l.c * l.oh * l.ow
+	if l.dx == nil || l.dx.Dim(0) != n {
+		l.dx = tensor.New(n, l.c, l.h, l.w)
+	}
+	parallel.ForChunked(n, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			dxs := l.dx.Data[s*inSize : (s+1)*inSize]
+			for i := range dxs {
+				dxs[i] = 0
+			}
+			dys := dy.Data[s*outSize : (s+1)*outSize]
+			am := l.argmax[s*outSize : (s+1)*outSize]
+			for o, v := range dys {
+				dxs[am[o]] += v
+			}
+		}
+	})
+	return l.dx
+}
+
+func (l *maxPoolLayer) FwdFLOPs() float64 {
+	return float64(l.c * l.oh * l.ow * l.k * l.k)
+}

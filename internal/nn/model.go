@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/flops"
+	"repro/internal/tensor"
+)
+
+// Builder assembles a Model layer by layer. Methods are chainable; errors
+// are deferred to Build so construction code stays linear.
+type Builder struct {
+	inShape []int
+	layers  []Layer
+	err     error
+}
+
+// NewBuilder starts a model whose per-sample input shape is inShape
+// (e.g. 784 for a flat vector, or 1, 28, 28 for CHW images).
+func NewBuilder(inShape ...int) *Builder {
+	b := &Builder{inShape: append([]int(nil), inShape...)}
+	if len(inShape) == 0 {
+		b.fail(fmt.Errorf("nn: empty input shape"))
+	}
+	for _, d := range inShape {
+		if d <= 0 {
+			b.fail(fmt.Errorf("nn: non-positive input dim in %v", inShape))
+		}
+	}
+	return b
+}
+
+func (b *Builder) add(l Layer) {
+	b.layers = append(b.layers, l)
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build resolves shapes, allocates the flat parameter and gradient vectors,
+// binds every layer, and initialises weights deterministically from seed.
+func (b *Builder) Build(seed int64) (*Model, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.layers) == 0 {
+		return nil, fmt.Errorf("nn: model has no layers")
+	}
+	shape := b.inShape
+	var total int
+	var fwd float64
+	featureDim := numel(shape)
+	for i, l := range b.layers {
+		if i == len(b.layers)-1 {
+			featureDim = numel(shape)
+		}
+		out, err := l.Resolve(shape)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, l.Name(), err)
+		}
+		total += l.ParamCount()
+		fwd += l.FwdFLOPs()
+		shape = out
+	}
+	if len(shape) != 1 {
+		return nil, fmt.Errorf("nn: model output shape %v is not flat (missing Flatten/Dense head?)", shape)
+	}
+	m := &Model{
+		layers:     b.layers,
+		inShape:    append([]int(nil), b.inShape...),
+		outDim:     shape[0],
+		featureDim: featureDim,
+		params:     make([]float64, total),
+		grads:      make([]float64, total),
+		rng:        rand.New(rand.NewSource(seed)),
+		fwdFLOPs:   fwd,
+	}
+	off := 0
+	for _, l := range b.layers {
+		n := l.ParamCount()
+		l.Bind(m.params[off:off+n], m.grads[off:off+n], m.rng)
+		off += n
+	}
+	return m, nil
+}
+
+// Model is a feed-forward network with all parameters in one flat vector.
+// A Model is NOT safe for concurrent use: each federated client owns its
+// own instances.
+type Model struct {
+	layers     []Layer
+	inShape    []int
+	outDim     int
+	featureDim int
+	params     []float64
+	grads      []float64
+	rng        *rand.Rand
+	fwdFLOPs   float64
+	counter    *flops.Counter
+	features   *tensor.Tensor // input to the final layer, cached by Forward
+}
+
+// Params returns the live flat parameter vector. Mutating it mutates the
+// model (this is how optimizers and FL aggregation work).
+func (m *Model) Params() []float64 { return m.params }
+
+// Grads returns the live flat gradient vector.
+func (m *Model) Grads() []float64 { return m.grads }
+
+// NumParams returns |w|.
+func (m *Model) NumParams() int { return len(m.params) }
+
+// OutDim returns the classifier width (number of classes).
+func (m *Model) OutDim() int { return m.outDim }
+
+// InShape returns the per-sample input shape.
+func (m *Model) InShape() []int { return m.inShape }
+
+// ZeroGrad clears the gradient vector.
+func (m *Model) ZeroGrad() { tensor.ZeroVec(m.grads) }
+
+// SetParams copies src into the model's parameters.
+func (m *Model) SetParams(src []float64) {
+	tensor.CopyInto(m.params, src)
+}
+
+// ParamsCopy returns a fresh copy of the parameter vector.
+func (m *Model) ParamsCopy() []float64 {
+	c := make([]float64, len(m.params))
+	copy(c, m.params)
+	return c
+}
+
+// SetCounter installs a FLOP counter; nil disables metering.
+func (m *Model) SetCounter(c *flops.Counter) { m.counter = c }
+
+// Cost returns the analytic per-sample cost (Table III row).
+func (m *Model) Cost() flops.ModelCost {
+	return flops.ModelCost{
+		Params:   len(m.params),
+		Forward:  m.fwdFLOPs,
+		Backward: 2 * m.fwdFLOPs,
+	}
+}
+
+// Forward runs the network on a batch x of shape [N, inShape...] and
+// returns the logits [N, classes]. The representation (input to the final
+// layer) is cached and available via Features until the next Forward.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dim(0) <= 0 {
+		panic("nn: empty batch")
+	}
+	h := x
+	for i, l := range m.layers {
+		if i == len(m.layers)-1 {
+			m.features = h
+		}
+		h = l.Forward(h, train)
+	}
+	m.counter.Add(int64(float64(x.Dim(0)) * m.fwdFLOPs))
+	return h
+}
+
+// Features returns the representation cached by the last Forward call:
+// the input to the model's final layer. MOON's model-contrastive loss is
+// computed on these vectors. The returned tensor is shaped [N, D].
+func (m *Model) Features() *tensor.Tensor {
+	if m.features == nil {
+		panic("nn: Features called before Forward")
+	}
+	f := m.features
+	n := f.Dim(0)
+	return f.Reshape(n, f.Numel()/n)
+}
+
+// FeatureDim returns the width of the representation Features returns
+// (the final layer's per-sample input size).
+func (m *Model) FeatureDim() int { return m.featureDim }
+
+// Backward backpropagates dLogits [N, classes] through the network,
+// accumulating into Grads. If extraFeatureGrad is non-nil it is added to
+// the gradient flowing into the representation (the final layer's input);
+// this is the hook MOON uses to inject the model-contrastive term without
+// an autograd system. Callers must ZeroGrad first if they want fresh
+// gradients.
+func (m *Model) Backward(dLogits *tensor.Tensor, extraFeatureGrad *tensor.Tensor) {
+	last := len(m.layers) - 1
+	g := m.layers[last].Backward(dLogits)
+	if extraFeatureGrad != nil {
+		if g.Numel() != extraFeatureGrad.Numel() {
+			panic(fmt.Sprintf("nn: extra feature grad %v incompatible with %v", extraFeatureGrad.Shape(), g.Shape()))
+		}
+		tensor.Axpy(1, extraFeatureGrad.Data, g.Data)
+	}
+	for i := last - 1; i >= 0; i-- {
+		g = m.layers[i].Backward(g)
+	}
+	m.counter.Add(int64(float64(dLogits.Dim(0)) * 2 * m.fwdFLOPs))
+}
+
+// NumLayers returns the number of layers (diagnostics).
+func (m *Model) NumLayers() int { return len(m.layers) }

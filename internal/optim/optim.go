@@ -1,0 +1,79 @@
+// Package optim provides the local optimizers the paper uses: plain SGD
+// and SGD with momentum (SGDm). Optimizers operate on the flat parameter
+// and gradient vectors exposed by internal/nn, i.e. they are the U(.) in
+// Algorithm 1 line 8: w <- w - alpha * U(h).
+package optim
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates a parameter vector in place from a gradient vector.
+type Optimizer interface {
+	// Step applies one update: w <- w - lr * U(g). Implementations may
+	// keep state (momentum buffers) sized to len(w) on first use.
+	Step(w, g []float64)
+	// Reset clears internal state (called when a client receives a fresh
+	// global model at the start of a round).
+	Reset()
+	// Name identifies the optimizer for logging.
+	Name() string
+}
+
+// SGD is vanilla stochastic gradient descent.
+type SGD struct {
+	LR float64
+}
+
+// NewSGD returns plain SGD with the given learning rate.
+func NewSGD(lr float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("optim: non-positive learning rate %v", lr))
+	}
+	return &SGD{LR: lr}
+}
+
+func (o *SGD) Step(w, g []float64) {
+	tensor.Axpy(-o.LR, g, w)
+}
+
+func (o *SGD) Reset()       {}
+func (o *SGD) Name() string { return "sgd" }
+
+// SGDMomentum is SGD with (non-Nesterov) momentum, the paper's default
+// local optimizer ("SGDm", lr 0.01, momentum 0.9).
+type SGDMomentum struct {
+	LR       float64
+	Momentum float64
+	buf      []float64
+}
+
+// NewSGDMomentum returns SGD with momentum.
+func NewSGDMomentum(lr, momentum float64) *SGDMomentum {
+	if lr <= 0 {
+		panic(fmt.Sprintf("optim: non-positive learning rate %v", lr))
+	}
+	if momentum < 0 || momentum >= 1 {
+		panic(fmt.Sprintf("optim: momentum %v outside [0,1)", momentum))
+	}
+	return &SGDMomentum{LR: lr, Momentum: momentum}
+}
+
+func (o *SGDMomentum) Step(w, g []float64) {
+	if len(o.buf) != len(w) {
+		o.buf = make([]float64, len(w))
+	}
+	m := o.Momentum
+	for i := range o.buf {
+		o.buf[i] = m*o.buf[i] + g[i]
+	}
+	tensor.Axpy(-o.LR, o.buf, w)
+}
+
+func (o *SGDMomentum) Reset() {
+	tensor.ZeroVec(o.buf)
+}
+
+func (o *SGDMomentum) Name() string { return "sgdm" }

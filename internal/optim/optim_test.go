@@ -1,0 +1,84 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSGDStep(t *testing.T) {
+	o := NewSGD(0.1)
+	w := []float64{1, 2}
+	o.Step(w, []float64{10, -10})
+	if w[0] != 0 || w[1] != 3 {
+		t.Fatalf("w = %v", w)
+	}
+	o.Reset() // no-op, must not panic
+	if o.Name() != "sgd" {
+		t.Fatal("name")
+	}
+}
+
+func TestSGDMomentumMatchesClosedForm(t *testing.T) {
+	// With constant gradient g, buf after k steps is g*(1-m^k)/(1-m), so
+	// w_k = w_0 - lr*g*sum_{i=1..k} (1-m^i)/(1-m).
+	o := NewSGDMomentum(0.1, 0.9)
+	w := []float64{0}
+	g := []float64{1}
+	var wantDelta float64
+	for k := 1; k <= 5; k++ {
+		o.Step(w, g)
+		wantDelta += (1 - math.Pow(0.9, float64(k))) / (1 - 0.9)
+	}
+	want := -0.1 * wantDelta
+	if math.Abs(w[0]-want) > 1e-12 {
+		t.Fatalf("w=%v want %v", w[0], want)
+	}
+}
+
+func TestSGDMomentumZeroMomentumEqualsSGD(t *testing.T) {
+	a := NewSGDMomentum(0.05, 0)
+	b := NewSGD(0.05)
+	wa, wb := []float64{1, -1}, []float64{1, -1}
+	g := []float64{0.3, 0.7}
+	for i := 0; i < 3; i++ {
+		a.Step(wa, g)
+		b.Step(wb, g)
+	}
+	for i := range wa {
+		if math.Abs(wa[i]-wb[i]) > 1e-15 {
+			t.Fatalf("divergence at %d: %v vs %v", i, wa[i], wb[i])
+		}
+	}
+}
+
+func TestSGDMomentumReset(t *testing.T) {
+	o := NewSGDMomentum(0.1, 0.9)
+	w := []float64{0}
+	o.Step(w, []float64{1})
+	o.Reset()
+	w2 := []float64{0}
+	o.Step(w2, []float64{1})
+	// After reset the first step must equal a fresh optimizer's first step.
+	if math.Abs(w2[0]-(-0.1)) > 1e-15 {
+		t.Fatalf("post-reset step %v", w2[0])
+	}
+}
+
+func TestConstructorsPanicOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSGD(0) },
+		func() { NewSGD(-1) },
+		func() { NewSGDMomentum(0, 0.9) },
+		func() { NewSGDMomentum(0.1, 1) },
+		func() { NewSGDMomentum(0.1, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

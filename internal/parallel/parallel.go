@@ -1,0 +1,102 @@
+// Package parallel provides small data-parallel building blocks used by the
+// tensor kernels and by the federated-learning server to train selected
+// clients concurrently.
+//
+// The helpers are deliberately simple: a parallel for over an index range
+// with static chunking, and a bounded worker pool. Both size themselves from
+// GOMAXPROCS so the library scales with the machine without configuration.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallelWork is the smallest index range worth splitting across
+// goroutines; below it the scheduling overhead dominates.
+const minParallelWork = 256
+
+// Workers returns the degree of parallelism used by For and ForChunked.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) using up to Workers() goroutines.
+// Iterations must be independent. Small ranges run inline on the caller's
+// goroutine.
+func For(n int, fn func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunked splits [0, n) into contiguous chunks and runs fn(lo, hi) for
+// each chunk, using up to Workers() goroutines. Chunked form lets kernels
+// amortise per-iteration overhead (index math, bounds hoisting).
+func ForChunked(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers()
+	if p <= 1 || n < minParallelWork {
+		fn(0, n)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs every task concurrently, bounded by Workers() goroutines, and
+// waits for all of them. It is used by the FL server to run the selected
+// clients' local training in parallel, mirroring the "clients train in
+// parallel" step of each communication round.
+func Do(tasks ...func()) {
+	n := len(tasks)
+	switch n {
+	case 0:
+		return
+	case 1:
+		tasks[0]()
+		return
+	}
+	sem := make(chan struct{}, Workers())
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t func()) {
+			defer wg.Done()
+			t()
+			<-sem
+		}(t)
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index in [0, n) and collects the results in
+// order. It is a convenience wrapper over For for fan-out/fan-in patterns
+// such as "evaluate every client's model".
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 255, 256, 1000, 4096} {
+		seen := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	// Chunks must tile [0,n) exactly once, with lo < hi.
+	for _, n := range []int{1, 2, 255, 256, 257, 1024, 100000} {
+		var total int64
+		ForChunked(n, func(lo, hi int) {
+			if lo >= hi || lo < 0 || hi > n {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+		if total != int64(n) {
+			t.Fatalf("n=%d covered %d elements", n, total)
+		}
+	}
+}
+
+func TestForChunkedNegativeAndZero(t *testing.T) {
+	called := false
+	ForChunked(0, func(lo, hi int) { called = true })
+	ForChunked(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn must not be called for n<=0")
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var count int64
+	tasks := make([]func(), 50)
+	for i := range tasks {
+		tasks[i] = func() { atomic.AddInt64(&count, 1) }
+	}
+	Do(tasks...)
+	if count != 50 {
+		t.Fatalf("ran %d of 50 tasks", count)
+	}
+	Do() // no tasks: must not hang
+	Do(func() { atomic.AddInt64(&count, 1) })
+	if count != 51 {
+		t.Fatalf("single-task Do did not run")
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out := Map(1000, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}
+
+// Property: parallel sum equals sequential sum for arbitrary slices.
+func TestForSumProperty(t *testing.T) {
+	f := func(xs []int64) bool {
+		var par, seq int64
+		For(len(xs), func(i int) { atomic.AddInt64(&par, xs[i]) })
+		for _, x := range xs {
+			seq += x
+		}
+		return par == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPartition(b *testing.B, s Scheme) {
+	labels := make([]int, 60000)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := Partition(s, labels, 10, 100, 600, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirichletPartition measures paper-scale partitioning: 60k
+// samples over 100 clients.
+func BenchmarkDirichletPartition(b *testing.B) { benchPartition(b, Dirichlet(0.5)) }
+
+// BenchmarkOrthogonalPartition measures the clustered scheme at the same
+// scale.
+func BenchmarkOrthogonalPartition(b *testing.B) { benchPartition(b, Orthogonal(5)) }

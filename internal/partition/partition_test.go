@@ -1,0 +1,255 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// balancedLabels builds n labels cycling through the classes.
+func balancedLabels(n, classes int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	return labels
+}
+
+func checkPartitionInvariants(t *testing.T, parts [][]int, nSamples, clients, perClient int) {
+	t.Helper()
+	if len(parts) != clients {
+		t.Fatalf("got %d parts want %d", len(parts), clients)
+	}
+	seen := make(map[int]bool)
+	for k, part := range parts {
+		if len(part) != perClient {
+			t.Fatalf("client %d has %d samples, want %d", k, len(part), perClient)
+		}
+		for _, i := range part {
+			if i < 0 || i >= nSamples {
+				t.Fatalf("index %d out of range", i)
+			}
+			if seen[i] {
+				t.Fatalf("index %d assigned twice (sampling must be without replacement)", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestIIDInvariants(t *testing.T) {
+	labels := balancedLabels(1000, 10)
+	rng := rand.New(rand.NewSource(1))
+	parts, err := Partition(IID(), labels, 10, 10, 80, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitionInvariants(t, parts, 1000, 10, 80)
+	// IID clients should see most classes.
+	counts := LabelCounts(parts, labels, 10)
+	for k, n := range EffectiveClasses(counts) {
+		if n < 7 {
+			t.Errorf("IID client %d only has %d classes", k, n)
+		}
+	}
+}
+
+func TestDirichletInvariants(t *testing.T) {
+	labels := balancedLabels(2000, 10)
+	for _, alpha := range []float64{0.1, 0.5, 10} {
+		rng := rand.New(rand.NewSource(2))
+		parts, err := Partition(Dirichlet(alpha), labels, 10, 10, 150, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPartitionInvariants(t, parts, 2000, 10, 150)
+	}
+}
+
+// The paper's Fig. 4 claims: under Dir-0.1 most clients hold 1-2 dominant
+// classes; under Dir-0.5, 3-4; large alpha approaches uniform. We verify
+// the skew ordering via the mean effective class count.
+func TestDirichletSkewOrdering(t *testing.T) {
+	labels := balancedLabels(60000, 10)
+	mean := func(alpha float64) float64 {
+		rng := rand.New(rand.NewSource(3))
+		parts, err := Partition(Dirichlet(alpha), labels, 10, 10, 600, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count classes holding >5% of a client's data (dominant classes).
+		counts := LabelCounts(parts, labels, 10)
+		var total float64
+		for _, row := range counts {
+			n := 0
+			for _, c := range row {
+				if c > 30 { // 5% of 600
+					n++
+				}
+			}
+			total += float64(n)
+		}
+		return total / float64(len(parts))
+	}
+	m01, m05, m10 := mean(0.1), mean(0.5), mean(10)
+	if !(m01 < m05 && m05 < m10) {
+		t.Fatalf("dominant-class counts not ordered: Dir-0.1=%.1f Dir-0.5=%.1f Dir-10=%.1f", m01, m05, m10)
+	}
+	if m01 > 3.5 {
+		t.Errorf("Dir-0.1 mean dominant classes %.1f, paper reports 1-2", m01)
+	}
+}
+
+func TestOrthogonalDisjointClasses(t *testing.T) {
+	labels := balancedLabels(6000, 10)
+	for _, clusters := range []int{5, 10} {
+		rng := rand.New(rand.NewSource(4))
+		parts, err := Partition(Orthogonal(clusters), labels, 10, 10, 200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPartitionInvariants(t, parts, 6000, 10, 200)
+		counts := LabelCounts(parts, labels, 10)
+		wantClasses := 10 / clusters
+		for k, row := range counts {
+			classes := 0
+			for _, c := range row {
+				if c > 0 {
+					classes++
+				}
+			}
+			if classes != wantClasses {
+				t.Errorf("clusters=%d client %d has %d classes, want %d", clusters, k, classes, wantClasses)
+			}
+		}
+		// Clients in different clusters must have non-overlapping classes.
+		for a := 0; a < clusters; a++ {
+			for b := a + 1; b < clusters; b++ {
+				for c := 0; c < 10; c++ {
+					if counts[a][c] > 0 && counts[b][c] > 0 {
+						t.Errorf("clusters %d and %d share class %d", a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOrthogonalNonDividingClasses(t *testing.T) {
+	// 47 classes over 5 clusters (EMNIST case): round-robin gives 9 or 10
+	// classes per cluster.
+	labels := balancedLabels(9400, 47)
+	rng := rand.New(rand.NewSource(5))
+	parts, err := Partition(Orthogonal(5), labels, 47, 10, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitionInvariants(t, parts, 9400, 10, 100)
+}
+
+func TestPartitionErrors(t *testing.T) {
+	labels := balancedLabels(100, 10)
+	rng := rand.New(rand.NewSource(6))
+	if _, err := Partition(IID(), labels, 10, 0, 10, rng); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := Partition(IID(), labels, 10, 10, 0, rng); err == nil {
+		t.Error("zero perClient accepted")
+	}
+	if _, err := Partition(IID(), labels, 10, 10, 11, rng); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if _, err := Partition(Dirichlet(0), labels, 10, 5, 10, rng); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := Partition(Orthogonal(0), labels, 10, 5, 10, rng); err == nil {
+		t.Error("0 clusters accepted")
+	}
+	if _, err := Partition(Orthogonal(6), labels, 10, 5, 10, rng); err == nil {
+		t.Error("clusters > clients accepted")
+	}
+	if _, err := Partition(Orthogonal(12), labels, 10, 20, 5, rng); err == nil {
+		t.Error("clusters > classes accepted")
+	}
+	if _, err := Partition(Scheme{Name: "bogus"}, labels, 10, 5, 10, rng); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if s := Dirichlet(0.5).String(); s != "Dir-0.5" {
+		t.Errorf("got %q", s)
+	}
+	if s := Orthogonal(10).String(); s != "Orthogonal-10" {
+		t.Errorf("got %q", s)
+	}
+	if s := IID().String(); s != "IID" {
+		t.Errorf("got %q", s)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	labels := balancedLabels(1000, 10)
+	a, _ := Partition(Dirichlet(0.5), labels, 10, 10, 50, rand.New(rand.NewSource(7)))
+	b, _ := Partition(Dirichlet(0.5), labels, 10, 10, 50, rand.New(rand.NewSource(7)))
+	for k := range a {
+		for i := range a[k] {
+			if a[k][i] != b[k][i] {
+				t.Fatal("same seed produced different partitions")
+			}
+		}
+	}
+}
+
+func TestLabelCountsSums(t *testing.T) {
+	labels := balancedLabels(500, 10)
+	rng := rand.New(rand.NewSource(8))
+	parts, _ := Partition(Dirichlet(0.5), labels, 10, 5, 50, rng)
+	counts := LabelCounts(parts, labels, 10)
+	for k, row := range counts {
+		sum := 0
+		for _, c := range row {
+			sum += c
+		}
+		if sum != 50 {
+			t.Fatalf("client %d counts sum %d != 50", k, sum)
+		}
+	}
+}
+
+// Property: gamma samples are positive and Dirichlet vectors sum to 1.
+func TestDirichletVectorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := 0.05 + rng.Float64()*3
+		n := 2 + rng.Intn(20)
+		p := dirichletVector(rng, n, alpha)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaSampleMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, a := range []float64{0.1, 0.5, 1, 2, 5} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += gammaSample(rng, a)
+		}
+		mean := sum / n
+		if math.Abs(mean-a) > 0.15*a+0.02 {
+			t.Errorf("Gamma(%v) sample mean %.4f far from %v", a, mean, a)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package quantize implements communication-compression primitives for
+// the federated uplink: uniform b-bit quantization and top-k
+// sparsification of model vectors, plus a core.Transport that quantizes
+// client uploads as deltas against the last downlink (the standard
+// delta-encoding used by production FL systems).
+//
+// The paper reduces communication by needing fewer rounds; these
+// primitives reduce bytes per round, and the ext-quant experiment shows
+// the two axes compose: FedTrip at 8-bit uplink keeps its convergence
+// while shrinking upload traffic ~4x versus float32.
+package quantize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantized is a uniformly quantized vector: values are mapped to
+// [0, 2^bits-1] over [Min, Max] and packed little-endian, lowest bits
+// first.
+type Quantized struct {
+	Bits     int
+	N        int
+	Min, Max float64
+	Data     []byte
+}
+
+// Quantize compresses v to bits per element (1..16). All-equal vectors
+// (Max == Min) are representable exactly.
+func Quantize(v []float64, bits int) (*Quantized, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("quantize: bits %d outside [1,16]", bits)
+	}
+	q := &Quantized{Bits: bits, N: len(v)}
+	if len(v) == 0 {
+		return q, nil
+	}
+	q.Min, q.Max = v[0], v[0]
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("quantize: non-finite value %v", x)
+		}
+		if x < q.Min {
+			q.Min = x
+		}
+		if x > q.Max {
+			q.Max = x
+		}
+	}
+	levels := float64(uint64(1)<<bits - 1)
+	span := q.Max - q.Min
+	q.Data = make([]byte, (len(v)*bits+7)/8)
+	var acc uint64
+	accBits := 0
+	byteIdx := 0
+	for _, x := range v {
+		var code uint64
+		if span > 0 {
+			code = uint64(math.Round((x - q.Min) / span * levels))
+		}
+		acc |= code << accBits
+		accBits += bits
+		for accBits >= 8 {
+			q.Data[byteIdx] = byte(acc)
+			acc >>= 8
+			accBits -= 8
+			byteIdx++
+		}
+	}
+	if accBits > 0 {
+		q.Data[byteIdx] = byte(acc)
+	}
+	return q, nil
+}
+
+// Dequantize reconstructs the (lossy) vector.
+func (q *Quantized) Dequantize() []float64 {
+	out := make([]float64, q.N)
+	if q.N == 0 {
+		return out
+	}
+	levels := float64(uint64(1)<<q.Bits - 1)
+	span := q.Max - q.Min
+	var acc uint64
+	accBits := 0
+	byteIdx := 0
+	mask := uint64(1)<<q.Bits - 1
+	for i := 0; i < q.N; i++ {
+		for accBits < q.Bits {
+			acc |= uint64(q.Data[byteIdx]) << accBits
+			accBits += 8
+			byteIdx++
+		}
+		code := acc & mask
+		acc >>= q.Bits
+		accBits -= q.Bits
+		if span > 0 {
+			out[i] = q.Min + float64(code)/levels*span
+		} else {
+			out[i] = q.Min
+		}
+	}
+	return out
+}
+
+// WireSize returns the encoded size in bytes: header (bits, n, min, max)
+// plus the packed payload.
+func (q *Quantized) WireSize() int64 {
+	return 1 + 8 + 8 + 8 + int64(len(q.Data))
+}
+
+// MaxError returns the worst-case absolute reconstruction error of this
+// quantization: half a quantization step.
+func (q *Quantized) MaxError() float64 {
+	levels := float64(uint64(1)<<q.Bits - 1)
+	if levels == 0 || q.Max == q.Min {
+		return 0
+	}
+	return (q.Max - q.Min) / levels / 2
+}
+
+// Sparse is a top-k sparsified vector: the k largest-magnitude entries,
+// stored as (index, float32 value) pairs.
+type Sparse struct {
+	N       int
+	Indices []int32
+	Values  []float32
+}
+
+// TopK keeps the k largest-magnitude entries of v.
+func TopK(v []float64, k int) (*Sparse, error) {
+	if k < 0 || k > len(v) {
+		return nil, fmt.Errorf("quantize: top-k %d outside [0,%d]", k, len(v))
+	}
+	s := &Sparse{N: len(v)}
+	if k == 0 {
+		return s, nil
+	}
+	// Threshold selection via quickselect on magnitudes.
+	mags := make([]float64, len(v))
+	for i, x := range v {
+		mags[i] = math.Abs(x)
+	}
+	thresh := quickselectDesc(mags, k)
+	s.Indices = make([]int32, 0, k)
+	s.Values = make([]float32, 0, k)
+	for i, x := range v {
+		if math.Abs(x) > thresh {
+			s.Indices = append(s.Indices, int32(i))
+			s.Values = append(s.Values, float32(x))
+		}
+	}
+	// Fill remaining slots with entries exactly at the threshold.
+	for i, x := range v {
+		if len(s.Indices) >= k {
+			break
+		}
+		if math.Abs(x) == thresh {
+			s.Indices = append(s.Indices, int32(i))
+			s.Values = append(s.Values, float32(x))
+		}
+	}
+	return s, nil
+}
+
+// quickselectDesc returns the k-th largest value of xs (1-based k),
+// mutating xs.
+func quickselectDesc(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	target := k - 1 // index in descending order
+	for lo < hi {
+		pivot := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] > pivot {
+				i++
+			}
+			for xs[j] < pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if target <= j {
+			hi = j
+		} else if target >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[target]
+}
+
+// DenseInto scatters the sparse entries into dst (which must have length
+// N); untouched entries keep their current values, so callers can apply
+// the sparse delta on top of a reference vector.
+func (s *Sparse) DenseInto(dst []float64) error {
+	if len(dst) != s.N {
+		return fmt.Errorf("quantize: dense target %d != %d", len(dst), s.N)
+	}
+	for i, idx := range s.Indices {
+		dst[idx] = float64(s.Values[i])
+	}
+	return nil
+}
+
+// WireSize returns the encoded byte size: header + (int32 index + float32
+// value) per kept entry.
+func (s *Sparse) WireSize() int64 {
+	return 8 + int64(len(s.Indices))*8
+}

@@ -1,0 +1,213 @@
+package quantize
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 1000)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	for _, bits := range []int{1, 2, 4, 8, 12, 16} {
+		q, err := Quantize(v, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := q.Dequantize()
+		maxErr := q.MaxError()
+		for i := range v {
+			if e := math.Abs(got[i] - v[i]); e > maxErr+1e-12 {
+				t.Fatalf("bits=%d elem %d err %v > bound %v", bits, i, e, maxErr)
+			}
+		}
+	}
+}
+
+func TestQuantizeHigherBitsSmallerError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := make([]float64, 500)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	var prev float64 = math.Inf(1)
+	for _, bits := range []int{2, 4, 8, 12} {
+		q, _ := Quantize(v, bits)
+		if e := q.MaxError(); e >= prev {
+			t.Fatalf("bits=%d error %v not smaller than %v", bits, e, prev)
+		} else {
+			prev = e
+		}
+	}
+}
+
+func TestQuantizeEdgeCases(t *testing.T) {
+	// Constant vector reconstructs exactly.
+	q, err := Quantize([]float64{3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range q.Dequantize() {
+		if x != 3 {
+			t.Fatalf("constant vector broke: %v", x)
+		}
+	}
+	// Empty vector.
+	q0, err := Quantize(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q0.Dequantize()) != 0 {
+		t.Fatal("empty dequantize")
+	}
+	// Errors.
+	if _, err := Quantize([]float64{1}, 0); err == nil {
+		t.Fatal("0 bits accepted")
+	}
+	if _, err := Quantize([]float64{1}, 17); err == nil {
+		t.Fatal("17 bits accepted")
+	}
+	if _, err := Quantize([]float64{math.NaN()}, 8); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := Quantize([]float64{math.Inf(1)}, 8); err == nil {
+		t.Fatal("Inf accepted")
+	}
+}
+
+func TestQuantizeWireSize(t *testing.T) {
+	v := make([]float64, 1000)
+	q8, _ := Quantize(v, 8)
+	q4, _ := Quantize(v, 4)
+	if q8.WireSize() != 25+1000 {
+		t.Fatalf("8-bit wire size %d", q8.WireSize())
+	}
+	if q4.WireSize() != 25+500 {
+		t.Fatalf("4-bit wire size %d", q4.WireSize())
+	}
+}
+
+// Property: quantization error bound holds for arbitrary vectors and bit
+// widths.
+func TestQuantizeBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		bits := 1 + rng.Intn(12)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+		}
+		q, err := Quantize(v, bits)
+		if err != nil {
+			return false
+		}
+		got := q.Dequantize()
+		bound := q.MaxError() + 1e-9*(math.Abs(q.Max)+math.Abs(q.Min))
+		for i := range v {
+			if math.Abs(got[i]-v[i]) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKSelectsLargest(t *testing.T) {
+	v := []float64{0.1, -5, 2, 0, 3, -0.2}
+	s, err := TopK(v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Indices) != 3 {
+		t.Fatalf("kept %d", len(s.Indices))
+	}
+	kept := map[int32]bool{}
+	for _, idx := range s.Indices {
+		kept[idx] = true
+	}
+	if !kept[1] || !kept[4] || !kept[2] {
+		t.Fatalf("wrong selection: %v", s.Indices)
+	}
+	dst := make([]float64, len(v))
+	if err := s.DenseInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[1] != -5 || dst[4] != 3 || dst[2] != 2 || dst[0] != 0 {
+		t.Fatalf("dense: %v", dst)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if _, err := TopK([]float64{1}, 2); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := TopK([]float64{1}, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	s, err := TopK([]float64{1, 2}, 0)
+	if err != nil || len(s.Indices) != 0 {
+		t.Fatal("k=0")
+	}
+	// Ties at the threshold must still return exactly k entries.
+	s2, err := TopK([]float64{1, 1, 1, 1}, 2)
+	if err != nil || len(s2.Indices) != 2 {
+		t.Fatalf("tie handling: %v", s2)
+	}
+	if err := s2.DenseInto(make([]float64, 3)); err == nil {
+		t.Fatal("bad dense target accepted")
+	}
+}
+
+// Property: top-k keeps exactly k entries and they are the k largest by
+// magnitude.
+func TestTopKProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := rng.Intn(n + 1)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		s, err := TopK(v, k)
+		if err != nil || len(s.Indices) != k {
+			return false
+		}
+		// The smallest kept magnitude must be >= the largest dropped one
+		// (up to ties).
+		mags := make([]float64, n)
+		for i, x := range v {
+			mags[i] = math.Abs(x)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(mags)))
+		if k == 0 || k == n {
+			return true
+		}
+		minKept := math.Inf(1)
+		for _, idx := range s.Indices {
+			if m := math.Abs(v[idx]); m < minKept {
+				minKept = m
+			}
+		}
+		return minKept >= mags[k]-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseWireSize(t *testing.T) {
+	s, _ := TopK(make([]float64, 100), 0)
+	if s.WireSize() != 8 {
+		t.Fatalf("empty wire %d", s.WireSize())
+	}
+}

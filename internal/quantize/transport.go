@@ -1,0 +1,83 @@
+package quantize
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+)
+
+// Transport implements core.Transport with a quantized uplink: the
+// downlink ships float32 (as in the paper's accounting), and each client's
+// upload is delta-encoded against the model it received this round, then
+// uniformly quantized to Bits per element. This mirrors production FL
+// compression, where the server reconstructs w_k = w_received + dq(delta).
+type Transport struct {
+	// Bits is the uplink quantization width (e.g. 8).
+	Bits int
+
+	mu       sync.Mutex
+	lastDown map[int][]float64
+
+	downBytes atomic.Int64
+	upBytes   atomic.Int64
+}
+
+// NewTransport returns a quantized-uplink transport.
+func NewTransport(bits int) (*Transport, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("quantize: transport bits %d outside [1,16]", bits)
+	}
+	return &Transport{Bits: bits, lastDown: make(map[int][]float64)}, nil
+}
+
+// Down implements core.Transport: float32 downlink.
+func (t *Transport) Down(clientID, round int, global []float64) []float64 {
+	received := make([]float64, len(global))
+	for i, x := range global {
+		received[i] = float64(float32(x))
+	}
+	t.mu.Lock()
+	t.lastDown[clientID] = received
+	t.mu.Unlock()
+	t.downBytes.Add(tensor.VectorWireSizeF32(len(global)))
+	return received
+}
+
+// Up implements core.Transport: delta-quantized uplink.
+func (t *Transport) Up(clientID, round int, params []float64) []float64 {
+	t.mu.Lock()
+	ref := t.lastDown[clientID]
+	t.mu.Unlock()
+	if ref == nil {
+		// No recorded downlink (shouldn't happen in a normal round loop):
+		// fall back to float32 shipping.
+		t.upBytes.Add(tensor.VectorWireSizeF32(len(params)))
+		out := make([]float64, len(params))
+		for i, x := range params {
+			out[i] = float64(float32(x))
+		}
+		return out
+	}
+	delta := make([]float64, len(params))
+	tensor.SubInto(delta, params, ref)
+	q, err := Quantize(delta, t.Bits)
+	if err != nil {
+		// Non-finite upload: ship raw and let the server's divergence
+		// check handle it.
+		t.upBytes.Add(tensor.VectorWireSizeF32(len(params)))
+		return params
+	}
+	t.upBytes.Add(q.WireSize())
+	rec := q.Dequantize()
+	out := make([]float64, len(params))
+	tensor.AddInto(out, ref, rec)
+	return out
+}
+
+// DownBytes returns total downlink traffic.
+func (t *Transport) DownBytes() int64 { return t.downBytes.Load() }
+
+// UpBytes returns total uplink traffic.
+func (t *Transport) UpBytes() int64 { return t.upBytes.Load() }

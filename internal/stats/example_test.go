@@ -1,0 +1,32 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleEMA() {
+	curve := []float64{0.10, 0.50, 0.55, 0.80, 0.82}
+	smooth := stats.EMA(curve, 0.5)
+	for _, v := range smooth {
+		fmt.Printf("%.3f ", v)
+	}
+	fmt.Println()
+	// Output: 0.100 0.300 0.425 0.613 0.716
+}
+
+func ExampleRoundsToTarget() {
+	accuracy := []float64{0.3, 0.6, 0.85, 0.9}
+	fmt.Println(stats.RoundsToTarget(accuracy, 0.85))
+	fmt.Println(stats.RoundsToTarget(accuracy, 0.99))
+	// Output:
+	// 3
+	// -1
+}
+
+func ExampleBoxStats() {
+	b := stats.BoxStats([]float64{0.70, 0.72, 0.74, 0.76, 0.78})
+	fmt.Printf("median %.2f, IQR [%.2f, %.2f]\n", b.Median, b.Q1, b.Q3)
+	// Output: median 0.74, IQR [0.72, 0.76]
+}

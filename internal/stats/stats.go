@@ -1,0 +1,132 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: streaming mean/variance, exponential moving averages
+// (Fig. 5's smoothed curves), quantile/boxplot summaries (Fig. 6), and
+// rounds-to-target extraction (Tables IV and VI).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance (0 for fewer than 2 values).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// EMA returns the exponential moving average of xs with smoothing factor
+// alpha in (0,1]: out[i] = alpha*xs[i] + (1-alpha)*out[i-1]. The paper's
+// Fig. 5 curves are smoothed this way.
+func EMA(xs []float64, alpha float64) []float64 {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EMA alpha %v outside (0,1]", alpha))
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if i == 0 {
+			out[0] = x
+			continue
+		}
+		out[i] = alpha*x + (1-alpha)*out[i-1]
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Box is a five-number summary, the paper's Fig. 6 boxplot statistic.
+type Box struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// BoxStats computes the five-number summary of xs.
+func BoxStats(xs []float64) Box {
+	return Box{
+		Min:    Quantile(xs, 0),
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+	}
+}
+
+// String renders the box compactly for table cells.
+func (b Box) String() string {
+	return fmt.Sprintf("min %.3f | q1 %.3f | med %.3f | q3 %.3f | max %.3f", b.Min, b.Q1, b.Median, b.Q3, b.Max)
+}
+
+// RoundsToTarget returns the 1-based index of the first accuracy >= target,
+// or -1 if the series never reaches it (the Tables IV/VI metric).
+func RoundsToTarget(acc []float64, target float64) int {
+	for i, a := range acc {
+		if a >= target {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// MeanStd summarises repeated trials as mean and standard deviation.
+type MeanStd struct {
+	Mean, Std float64
+	N         int
+}
+
+// Summarize aggregates trial values.
+func Summarize(xs []float64) MeanStd {
+	return MeanStd{Mean: Mean(xs), Std: StdDev(xs), N: len(xs)}
+}
+
+// String renders "mean±std".
+func (m MeanStd) String() string {
+	if m.N <= 1 {
+		return fmt.Sprintf("%.4g", m.Mean)
+	}
+	return fmt.Sprintf("%.4g±%.2g", m.Mean, m.Std)
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("variance %v", Variance(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Fatalf("std %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty/singleton cases")
+	}
+}
+
+func TestEMA(t *testing.T) {
+	out := EMA([]float64{1, 2, 3}, 0.5)
+	if out[0] != 1 || out[1] != 1.5 || out[2] != 2.25 {
+		t.Fatalf("EMA %v", out)
+	}
+	// alpha=1 is identity.
+	id := EMA([]float64{3, 1, 4}, 1)
+	if id[0] != 3 || id[1] != 1 || id[2] != 4 {
+		t.Fatalf("alpha=1 EMA %v", id)
+	}
+	if len(EMA(nil, 0.5)) != 0 {
+		t.Fatal("empty EMA")
+	}
+}
+
+func TestEMAPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EMA([]float64{1}, 0)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5} // unsorted on purpose
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extremes")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatalf("median %v", Quantile(xs, 0.5))
+	}
+	if Quantile(xs, 0.25) != 2 || Quantile(xs, 0.75) != 4 {
+		t.Fatal("quartiles")
+	}
+	// Interpolation: quantile 0.5 of {1,2} is 1.5.
+	if Quantile([]float64{2, 1}, 0.5) != 1.5 {
+		t.Fatal("interpolation")
+	}
+	if Quantile([]float64{7}, 0.3) != 7 {
+		t.Fatal("singleton")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestBoxStats(t *testing.T) {
+	b := BoxStats([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Q1 != 2 || b.Median != 3 || b.Q3 != 4 || b.Max != 5 {
+		t.Fatalf("box %+v", b)
+	}
+	if b.String() == "" {
+		t.Fatal("box string")
+	}
+}
+
+func TestRoundsToTarget(t *testing.T) {
+	acc := []float64{0.1, 0.3, 0.5, 0.4, 0.9}
+	if RoundsToTarget(acc, 0.5) != 3 {
+		t.Fatalf("got %d", RoundsToTarget(acc, 0.5))
+	}
+	if RoundsToTarget(acc, 0.95) != -1 {
+		t.Fatal("unreachable target")
+	}
+	if RoundsToTarget(acc, 0.05) != 1 {
+		t.Fatal("immediate target")
+	}
+	if RoundsToTarget(nil, 0.5) != -1 {
+		t.Fatal("empty series")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m := Summarize([]float64{1, 3})
+	if m.Mean != 2 || m.N != 2 || m.Std != 1 {
+		t.Fatalf("%+v", m)
+	}
+	if Summarize([]float64{5}).String() != "5" {
+		t.Fatalf("singleton string %q", Summarize([]float64{5}).String())
+	}
+	if Summarize([]float64{1, 3}).String() == "" {
+		t.Fatal("string")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EMA output is bounded by the input range.
+func TestEMABounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		for _, v := range EMA(xs, 0.3) {
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

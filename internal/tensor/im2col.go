@@ -1,0 +1,117 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom captures the geometry of a 2D convolution or pooling over NCHW
+// tensors. All fields are in elements.
+type ConvGeom struct {
+	InC, InH, InW int // input channels / height / width
+	KH, KW        int // kernel height / width
+	Stride        int
+	Pad           int
+	OutH, OutW    int // derived output spatial dims
+}
+
+// NewConvGeom computes output dimensions and validates the geometry.
+func NewConvGeom(inC, inH, inW, kh, kw, stride, pad int) (ConvGeom, error) {
+	if inC <= 0 || inH <= 0 || inW <= 0 || kh <= 0 || kw <= 0 || stride <= 0 || pad < 0 {
+		return ConvGeom{}, fmt.Errorf("tensor: invalid conv geometry c=%d h=%d w=%d k=%dx%d s=%d p=%d", inC, inH, inW, kh, kw, stride, pad)
+	}
+	oh := (inH+2*pad-kh)/stride + 1
+	ow := (inW+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return ConvGeom{}, fmt.Errorf("tensor: conv output empty (in %dx%d kernel %dx%d stride %d pad %d)", inH, inW, kh, kw, stride, pad)
+	}
+	return ConvGeom{InC: inC, InH: inH, InW: inW, KH: kh, KW: kw, Stride: stride, Pad: pad, OutH: oh, OutW: ow}, nil
+}
+
+// ColRows returns the row count of the im2col matrix: C*KH*KW.
+func (g ConvGeom) ColRows() int { return g.InC * g.KH * g.KW }
+
+// ColCols returns the column count of the im2col matrix: OutH*OutW.
+func (g ConvGeom) ColCols() int { return g.OutH * g.OutW }
+
+// Im2Col expands one image (CHW layout, len = C*H*W) into the column matrix
+// col (len = ColRows x ColCols, row-major) so that convolution becomes a
+// matrix multiply: out[F, OH*OW] = W[F, C*KH*KW] x col.
+// Out-of-bounds (padding) taps contribute zeros.
+func (g ConvGeom) Im2Col(img, col []float64) {
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: im2col image len %d != %d", len(img), g.InC*g.InH*g.InW))
+	}
+	cols := g.ColCols()
+	if len(col) != g.ColRows()*cols {
+		panic(fmt.Sprintf("tensor: im2col col len %d != %d", len(col), g.ColRows()*cols))
+	}
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chBase := c * g.InH * g.InW
+		for ky := 0; ky < g.KH; ky++ {
+			for kx := 0; kx < g.KW; kx++ {
+				dst := col[row*cols : (row+1)*cols]
+				di := 0
+				for oy := 0; oy < g.OutH; oy++ {
+					iy := oy*g.Stride - g.Pad + ky
+					if iy < 0 || iy >= g.InH {
+						for ox := 0; ox < g.OutW; ox++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := chBase + iy*g.InW
+					for ox := 0; ox < g.OutW; ox++ {
+						ix := ox*g.Stride - g.Pad + kx
+						if ix < 0 || ix >= g.InW {
+							dst[di] = 0
+						} else {
+							dst[di] = img[rowBase+ix]
+						}
+						di++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im scatter-adds the column matrix back into an image, accumulating
+// overlapping taps. It is the adjoint of Im2Col and is used to propagate
+// gradients to a convolution layer's input. The caller must zero img first
+// if accumulation from a clean slate is desired.
+func (g ConvGeom) Col2Im(col, img []float64) {
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: col2im image len %d != %d", len(img), g.InC*g.InH*g.InW))
+	}
+	cols := g.ColCols()
+	if len(col) != g.ColRows()*cols {
+		panic(fmt.Sprintf("tensor: col2im col len %d != %d", len(col), g.ColRows()*cols))
+	}
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chBase := c * g.InH * g.InW
+		for ky := 0; ky < g.KH; ky++ {
+			for kx := 0; kx < g.KW; kx++ {
+				src := col[row*cols : (row+1)*cols]
+				si := 0
+				for oy := 0; oy < g.OutH; oy++ {
+					iy := oy*g.Stride - g.Pad + ky
+					if iy < 0 || iy >= g.InH {
+						si += g.OutW
+						continue
+					}
+					rowBase := chBase + iy*g.InW
+					for ox := 0; ox < g.OutW; ox++ {
+						ix := ox*g.Stride - g.Pad + kx
+						if ix >= 0 && ix < g.InW {
+							img[rowBase+ix] += src[si]
+						}
+						si++
+					}
+				}
+				row++
+			}
+		}
+	}
+}

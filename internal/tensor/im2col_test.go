@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConvGeom(t *testing.T) {
+	g, err := NewConvGeom(3, 32, 32, 5, 5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OutH != 32 || g.OutW != 32 {
+		t.Fatalf("same-pad 5x5 should preserve dims, got %dx%d", g.OutH, g.OutW)
+	}
+	g, err = NewConvGeom(1, 28, 28, 5, 5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OutH != 24 || g.OutW != 24 {
+		t.Fatalf("valid conv dims wrong: %dx%d", g.OutH, g.OutW)
+	}
+	if g.ColRows() != 25 || g.ColCols() != 24*24 {
+		t.Fatalf("col dims wrong: %dx%d", g.ColRows(), g.ColCols())
+	}
+}
+
+func TestNewConvGeomErrors(t *testing.T) {
+	if _, err := NewConvGeom(0, 8, 8, 3, 3, 1, 0); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := NewConvGeom(1, 2, 2, 5, 5, 1, 0); err == nil {
+		t.Fatal("kernel larger than padded input accepted")
+	}
+	if _, err := NewConvGeom(1, 8, 8, 3, 3, 0, 0); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	if _, err := NewConvGeom(1, 8, 8, 3, 3, 1, -1); err == nil {
+		t.Fatal("negative pad accepted")
+	}
+}
+
+// naiveConv computes a direct convolution for reference.
+func naiveConv(g ConvGeom, img, kernel []float64, outC int) []float64 {
+	out := make([]float64, outC*g.OutH*g.OutW)
+	for f := 0; f < outC; f++ {
+		for oy := 0; oy < g.OutH; oy++ {
+			for ox := 0; ox < g.OutW; ox++ {
+				var s float64
+				for c := 0; c < g.InC; c++ {
+					for ky := 0; ky < g.KH; ky++ {
+						for kx := 0; kx < g.KW; kx++ {
+							iy := oy*g.Stride - g.Pad + ky
+							ix := ox*g.Stride - g.Pad + kx
+							if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+								continue
+							}
+							kidx := ((f*g.InC+c)*g.KH+ky)*g.KW + kx
+							s += kernel[kidx] * img[(c*g.InH+iy)*g.InW+ix]
+						}
+					}
+				}
+				out[(f*g.OutH+oy)*g.OutW+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatMulMatchesNaiveConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct{ c, h, w, kh, kw, s, p, f int }{
+		{1, 6, 6, 3, 3, 1, 0, 2},
+		{2, 8, 7, 3, 3, 1, 1, 3},
+		{3, 9, 9, 5, 5, 2, 2, 4},
+		{1, 5, 5, 5, 5, 1, 0, 1},
+	}
+	for _, tc := range cases {
+		g, err := NewConvGeom(tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.s, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := make([]float64, tc.c*tc.h*tc.w)
+		for i := range img {
+			img[i] = rng.NormFloat64()
+		}
+		kernel := make([]float64, tc.f*tc.c*tc.kh*tc.kw)
+		for i := range kernel {
+			kernel[i] = rng.NormFloat64()
+		}
+		col := New(g.ColRows(), g.ColCols())
+		g.Im2Col(img, col.Data)
+		w := FromSlice(kernel, tc.f, g.ColRows())
+		out := New(tc.f, g.ColCols())
+		MatMul(out, w, col)
+		want := naiveConv(g, img, kernel, tc.f)
+		if d := MaxAbsDiff(out.Data, want); d > 1e-10 {
+			t.Fatalf("case %+v: im2col conv differs from naive by %v", tc, d)
+		}
+	}
+}
+
+// Adjoint property: <Im2Col(x), y> == <x, Col2Im(y)> for all x, y. This is
+// exactly the condition for Col2Im to backpropagate gradients correctly.
+func TestIm2ColCol2ImAdjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, h, w := 1+r.Intn(3), 4+r.Intn(5), 4+r.Intn(5)
+		k := 2 + r.Intn(2)
+		pad := r.Intn(2)
+		stride := 1 + r.Intn(2)
+		g, err := NewConvGeom(c, h, w, k, k, stride, pad)
+		if err != nil {
+			return true // geometry invalid, skip
+		}
+		x := make([]float64, c*h*w)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		cx := make([]float64, g.ColRows()*g.ColCols())
+		g.Im2Col(x, cx)
+		y := make([]float64, len(cx))
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		xy := make([]float64, len(x))
+		g.Col2Im(y, xy)
+		return math.Abs(Dot(cx, y)-Dot(x, xy)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColLengthPanics(t *testing.T) {
+	g, _ := NewConvGeom(1, 4, 4, 3, 3, 1, 0)
+	defer expectPanic(t, "img len")
+	g.Im2Col(make([]float64, 3), make([]float64, g.ColRows()*g.ColCols()))
+}
+
+func TestCol2ImLengthPanics(t *testing.T) {
+	g, _ := NewConvGeom(1, 4, 4, 3, 3, 1, 0)
+	defer expectPanic(t, "col len")
+	g.Col2Im(make([]float64, 3), make([]float64, 16))
+}

@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Vector serialization: a compact, versioned binary format for flat
+// parameter vectors (model checkpoints, server state). Layout:
+//
+//	magic   [4]byte  "FTV1"
+//	count   uint64   number of float64 values
+//	values  count * float64, little endian
+//
+// WriteVectorF32/ReadVectorF32 use the same layout with magic "FTV2" and
+// float32 payloads — the transport precision the paper's communication
+// accounting assumes.
+
+var (
+	magicF64 = [4]byte{'F', 'T', 'V', '1'}
+	magicF32 = [4]byte{'F', 'T', 'V', '2'}
+)
+
+// WriteVector writes v in full float64 precision.
+func WriteVector(w io.Writer, v []float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magicF64[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(v))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVector reads a float64 vector written by WriteVector.
+func ReadVector(r io.Reader) ([]float64, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("tensor: reading vector magic: %w", err)
+	}
+	if magic != magicF64 {
+		return nil, fmt.Errorf("tensor: bad vector magic %q (want %q)", magic, magicF64)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("tensor: reading vector length: %w", err)
+	}
+	const maxElems = 1 << 31 // 16 GiB of float64s; reject corrupt headers
+	if count > maxElems {
+		return nil, fmt.Errorf("tensor: vector length %d implausibly large", count)
+	}
+	v := make([]float64, count)
+	buf := make([]byte, 8)
+	for i := range v {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("tensor: reading vector element %d: %w", i, err)
+		}
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return v, nil
+}
+
+// WriteVectorF32 writes v at float32 transport precision (half the bytes;
+// this is the precision the paper's MB columns assume).
+func WriteVectorF32(w io.Writer, v []float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magicF32[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(v))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, x := range v {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(float32(x)))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVectorF32 reads a float32 vector written by WriteVectorF32,
+// widening to float64.
+func ReadVectorF32(r io.Reader) ([]float64, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("tensor: reading vector magic: %w", err)
+	}
+	if magic != magicF32 {
+		return nil, fmt.Errorf("tensor: bad vector magic %q (want %q)", magic, magicF32)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("tensor: reading vector length: %w", err)
+	}
+	const maxElems = 1 << 31
+	if count > maxElems {
+		return nil, fmt.Errorf("tensor: vector length %d implausibly large", count)
+	}
+	v := make([]float64, count)
+	buf := make([]byte, 4)
+	for i := range v {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("tensor: reading vector element %d: %w", i, err)
+		}
+		v[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf)))
+	}
+	return v, nil
+}
+
+// VectorWireSizeF32 returns the encoded size in bytes of a float32
+// vector message of length n (header + payload), used by the comm layer's
+// byte accounting.
+func VectorWireSizeF32(n int) int64 { return 4 + 8 + 4*int64(n) }

@@ -1,0 +1,142 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorRoundTripF64(t *testing.T) {
+	v := []float64{0, 1, -1, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64, math.Inf(1), math.NaN()}
+	var buf bytes.Buffer
+	if err := WriteVector(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(v) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range v {
+		if math.IsNaN(v[i]) {
+			if !math.IsNaN(got[i]) {
+				t.Fatalf("NaN not preserved at %d", i)
+			}
+			continue
+		}
+		if got[i] != v[i] {
+			t.Fatalf("elem %d: %v != %v", i, got[i], v[i])
+		}
+	}
+}
+
+func TestVectorRoundTripF32(t *testing.T) {
+	v := []float64{0, 0.5, -2, 1e10}
+	var buf bytes.Buffer
+	if err := WriteVectorF32(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != VectorWireSizeF32(len(v)) {
+		t.Fatalf("wire size %d want %d", buf.Len(), VectorWireSizeF32(len(v)))
+	}
+	got, err := ReadVectorF32(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != float64(float32(v[i])) {
+			t.Fatalf("elem %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestVectorEmptyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVector(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("len %d", len(got))
+	}
+}
+
+func TestVectorBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVectorF32(&buf, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVector(&buf); err == nil {
+		t.Fatal("f64 reader accepted f32 stream")
+	}
+	if _, err := ReadVector(bytes.NewReader([]byte("junkdata"))); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestVectorTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVector(&buf, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadVector(bytes.NewReader(raw[:len(raw)-4])); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := ReadVector(bytes.NewReader(raw[:6])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := ReadVector(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestVectorCorruptLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVector(&buf, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := 4; i < 12; i++ {
+		raw[i] = 0xFF // absurd length
+	}
+	if _, err := ReadVector(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt length accepted")
+	}
+}
+
+// Property: f64 round trip is exact for arbitrary finite vectors.
+func TestVectorRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+		}
+		var buf bytes.Buffer
+		if err := WriteVector(&buf, v); err != nil {
+			return false
+		}
+		got, err := ReadVector(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// MatMul computes C = A x B for A[m,k], B[k,n], writing into C[m,n].
+// C must not alias A or B. The kernel parallelises over rows of A and uses
+// i-k-j loop order so the inner loop streams contiguous rows of B and C.
+func MatMul(c, a, b *Tensor) {
+	m, k, n := mmDims(c, a, b)
+	ad, bd, cd := a.Data, b.Data, c.Data
+	parallel.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := cd[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			ai := ad[i*k : (i+1)*k]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := bd[p*n : (p+1)*n]
+				axpyKernel(ci, bp, av)
+			}
+		}
+	})
+}
+
+// MatMulAddBias computes C = A x B + bias, where bias is a length-n vector
+// broadcast over rows. This is the dense-layer forward kernel.
+func MatMulAddBias(c, a, b *Tensor, bias []float64) {
+	m, k, n := mmDims(c, a, b)
+	if len(bias) != n {
+		panic(fmt.Sprintf("tensor: bias length %d != %d", len(bias), n))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	parallel.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := cd[i*n : (i+1)*n]
+			copy(ci, bias)
+			ai := ad[i*k : (i+1)*k]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := bd[p*n : (p+1)*n]
+				axpyKernel(ci, bp, av)
+			}
+		}
+	})
+}
+
+// MatMulATB computes C = A^T x B for A[m,k], B[m,n], writing into C[k,n].
+// This is the weight-gradient kernel of a dense layer (dW = X^T dY).
+// Parallelises over rows of the output (columns of A).
+func MatMulATB(c, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic("tensor: MatMulATB requires rank-2 tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	if b.Dim(0) != m || c.Dim(0) != k || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch A%v B%v C%v", a.shape, b.shape, c.shape))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	parallel.ForChunked(k, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			cp := cd[p*n : (p+1)*n]
+			for j := range cp {
+				cp[j] = 0
+			}
+			for i := 0; i < m; i++ {
+				av := ad[i*k+p]
+				if av == 0 {
+					continue
+				}
+				bi := bd[i*n : (i+1)*n]
+				axpyKernel(cp, bi, av)
+			}
+		}
+	})
+}
+
+// MatMulABT computes C = A x B^T for A[m,n], B[k,n], writing into C[m,k].
+// This is the input-gradient kernel of a dense layer (dX = dY W^T): each
+// output element is a dot product of two contiguous rows.
+func MatMulABT(c, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic("tensor: MatMulABT requires rank-2 tensors")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	k := b.Dim(0)
+	if b.Dim(1) != n || c.Dim(0) != m || c.Dim(1) != k {
+		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch A%v B%v C%v", a.shape, b.shape, c.shape))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	parallel.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := ad[i*n : (i+1)*n]
+			ci := cd[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				bp := bd[p*n : (p+1)*n]
+				ci[p] = dotKernel(ai, bp)
+			}
+		}
+	})
+}
+
+func mmDims(c, a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k = a.Dim(0), a.Dim(1)
+	n = b.Dim(1)
+	if b.Dim(0) != k || c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch A%v B%v C%v", a.shape, b.shape, c.shape))
+	}
+	return m, k, n
+}
+
+// axpyKernel computes dst += alpha * src with 4-way unrolling.
+func axpyKernel(dst, src []float64, alpha float64) {
+	n := len(dst)
+	_ = src[n-1]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// dotKernel computes the dot product of equal-length slices with 4-way
+// unrolling into independent accumulators.
+func dotKernel(a, b []float64) float64 {
+	n := len(a)
+	_ = b[n-1]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the reference implementation all kernels are checked
+// against.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	t.RandNormal(rng, 1)
+	return t
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 1, 7}, {17, 23, 9}, {64, 31, 64}, {3, 128, 2}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+		c := New(m, n)
+		MatMul(c, a, b)
+		want := naiveMatMul(a, b)
+		if d := MaxAbsDiff(c.Data, want.Data); d > 1e-10 {
+			t.Fatalf("MatMul %v: max diff %v", dims, d)
+		}
+	}
+}
+
+func TestMatMulOverwritesOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, b := randTensor(rng, 3, 4), randTensor(rng, 4, 5)
+	c := New(3, 5)
+	c.Fill(99) // stale values must be overwritten, not accumulated
+	MatMul(c, a, b)
+	want := naiveMatMul(a, b)
+	if d := MaxAbsDiff(c.Data, want.Data); d > 1e-10 {
+		t.Fatalf("stale output leaked: %v", d)
+	}
+}
+
+func TestMatMulAddBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := randTensor(rng, 6, 3), randTensor(rng, 3, 4)
+	bias := []float64{1, -2, 3, -4}
+	c := New(6, 4)
+	MatMulAddBias(c, a, b, bias)
+	want := naiveMatMul(a, b)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			want.Data[i*4+j] += bias[j]
+		}
+	}
+	if d := MaxAbsDiff(c.Data, want.Data); d > 1e-10 {
+		t.Fatalf("bias broadcast wrong: %v", d)
+	}
+}
+
+func TestMatMulATB(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, dims := range [][3]int{{2, 3, 4}, {33, 7, 5}, {1, 9, 1}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randTensor(rng, m, k), randTensor(rng, m, n)
+		c := New(k, n)
+		c.Fill(5)
+		MatMulATB(c, a, b)
+		// Reference: transpose A explicitly.
+		at := New(k, m)
+		for i := 0; i < m; i++ {
+			for p := 0; p < k; p++ {
+				at.Data[p*m+i] = a.Data[i*k+p]
+			}
+		}
+		want := naiveMatMul(at, b)
+		if d := MaxAbsDiff(c.Data, want.Data); d > 1e-10 {
+			t.Fatalf("MatMulATB %v: max diff %v", dims, d)
+		}
+	}
+}
+
+func TestMatMulABT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][3]int{{2, 3, 4}, {13, 6, 21}, {1, 5, 1}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a, b := randTensor(rng, m, n), randTensor(rng, k, n)
+		c := New(m, k)
+		c.Fill(-3)
+		MatMulABT(c, a, b)
+		bt := New(n, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				bt.Data[j*k+i] = b.Data[i*n+j]
+			}
+		}
+		want := naiveMatMul(a, bt)
+		if d := MaxAbsDiff(c.Data, want.Data); d > 1e-10 {
+			t.Fatalf("MatMulABT %v: max diff %v", dims, d)
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "shape mismatch")
+	MatMul(New(2, 2), New(2, 3), New(4, 2))
+}
+
+func TestMatMulRankPanics(t *testing.T) {
+	defer expectPanic(t, "rank")
+	MatMul(New(2, 2), New(4), New(2, 2))
+}
+
+// Property: matrix multiplication distributes over addition.
+func TestMatMulDistributive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a := randTensor(rng, m, k)
+		b1, b2 := randTensor(rng, k, n), randTensor(rng, k, n)
+		sum := New(k, n)
+		AddInto(sum.Data, b1.Data, b2.Data)
+		left := New(m, n)
+		MatMul(left, a, sum)
+		r1, r2 := New(m, n), New(m, n)
+		MatMul(r1, a, b1)
+		MatMul(r2, a, b2)
+		right := New(m, n)
+		AddInto(right.Data, r1.Data, r2.Data)
+		return MaxAbsDiff(left.Data, right.Data) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randTensor(rng, 128, 128), randTensor(rng, 128, 128)
+	c := New(128, 128)
+	b.SetBytes(128 * 128 * 128 * 2 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(c, x, y)
+	}
+}

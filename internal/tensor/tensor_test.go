@@ -1,0 +1,162 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewZeroed(t *testing.T) {
+	a := New(2, 3)
+	if a.Numel() != 6 || a.Rank() != 2 || a.Dim(0) != 2 || a.Dim(1) != 3 {
+		t.Fatalf("bad metadata: %v", a)
+	}
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestFromSliceSharesData(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	a := FromSlice(d, 2, 2)
+	a.Data[0] = 9
+	if d[0] != 9 {
+		t.Fatal("FromSlice must not copy")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "length mismatch")
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestBadShapePanics(t *testing.T) {
+	defer expectPanic(t, "non-positive dim")
+	New(2, 0)
+}
+
+func TestEmptyShapePanics(t *testing.T) {
+	defer expectPanic(t, "empty shape")
+	New()
+}
+
+func TestReshapeView(t *testing.T) {
+	a := New(2, 6)
+	a.Data[7] = 5
+	b := a.Reshape(3, 4)
+	if b.At(1, 3) != 5 {
+		t.Fatalf("reshape moved data: %v", b.Data)
+	}
+	b.Set(7, 0, 0)
+	if a.Data[0] != 7 {
+		t.Fatal("reshape must be a view")
+	}
+}
+
+func TestReshapeBadCountPanics(t *testing.T) {
+	defer expectPanic(t, "bad reshape")
+	New(2, 3).Reshape(7)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(3)
+	a.Data[1] = 2
+	b := a.Clone()
+	b.Data[1] = 9
+	if a.Data[1] != 2 {
+		t.Fatal("clone must copy")
+	}
+}
+
+func TestAtSetOffsets(t *testing.T) {
+	a := New(2, 3, 4)
+	a.Set(42, 1, 2, 3)
+	if a.Data[1*12+2*4+3] != 42 {
+		t.Fatal("row-major offset wrong")
+	}
+	if a.At(1, 2, 3) != 42 {
+		t.Fatal("At/Set disagree")
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer expectPanic(t, "out of range")
+	New(2, 2).At(0, 2)
+}
+
+func TestAtWrongRankPanics(t *testing.T) {
+	defer expectPanic(t, "wrong rank")
+	New(2, 2).At(1)
+}
+
+func TestZeroFill(t *testing.T) {
+	a := New(4)
+	a.Fill(3)
+	for _, v := range a.Data {
+		if v != 3 {
+			t.Fatal("Fill failed")
+		}
+	}
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !SameShape(New(2, 3), New(2, 3)) {
+		t.Fatal("equal shapes reported different")
+	}
+	if SameShape(New(2, 3), New(3, 2)) || SameShape(New(6), New(2, 3)) {
+		t.Fatal("different shapes reported equal")
+	}
+}
+
+func TestRandFills(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(1000)
+	a.RandNormal(rng, 0.5)
+	mean, varsum := 0.0, 0.0
+	for _, v := range a.Data {
+		mean += v
+	}
+	mean /= 1000
+	for _, v := range a.Data {
+		varsum += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(varsum / 1000)
+	if math.Abs(mean) > 0.1 || math.Abs(sd-0.5) > 0.1 {
+		t.Fatalf("RandNormal stats off: mean=%v sd=%v", mean, sd)
+	}
+	b := New(1000)
+	b.RandUniform(rng, 2, 3)
+	for _, v := range b.Data {
+		if v < 2 || v >= 3 {
+			t.Fatalf("uniform sample %v outside [2,3)", v)
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromSlice([]float64{-3, 1, 2}, 3)
+	if a.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs=%v", a.MaxAbs())
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if s := New(2, 3).String(); s != "Tensor[2 3]" {
+		t.Fatalf("String()=%q", s)
+	}
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("expected panic: %s", what)
+	}
+}

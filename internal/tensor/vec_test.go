@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 2, 3, 4, 5}
+	Axpy(2, []float64{10, 20, 30, 40, 50}, y)
+	want := []float64{21, 42, 63, 84, 105}
+	if MaxAbsDiff(y, want) != 0 {
+		t.Fatalf("Axpy: %v", y)
+	}
+}
+
+func TestAxpyLenMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "len mismatch")
+	Axpy(1, []float64{1}, []float64{1, 2})
+}
+
+func TestScaleDotSumSqNorm(t *testing.T) {
+	x := []float64{3, 4}
+	Scale(2, x)
+	if x[0] != 6 || x[1] != 8 {
+		t.Fatalf("Scale: %v", x)
+	}
+	if Dot(x, []float64{1, 1}) != 14 {
+		t.Fatal("Dot")
+	}
+	if SumSq(x) != 100 {
+		t.Fatal("SumSq")
+	}
+	if Norm2(x) != 10 {
+		t.Fatal("Norm2")
+	}
+	if Dot(nil, nil) != 0 || SumSq(nil) != 0 {
+		t.Fatal("empty vectors must give 0")
+	}
+}
+
+func TestSubAddCopyZero(t *testing.T) {
+	a, b := []float64{5, 7}, []float64{2, 3}
+	d := make([]float64, 2)
+	SubInto(d, a, b)
+	if d[0] != 3 || d[1] != 4 {
+		t.Fatalf("SubInto: %v", d)
+	}
+	AddInto(d, a, b)
+	if d[0] != 7 || d[1] != 10 {
+		t.Fatalf("AddInto: %v", d)
+	}
+	CopyInto(d, a)
+	if d[0] != 5 || d[1] != 7 {
+		t.Fatalf("CopyInto: %v", d)
+	}
+	ZeroVec(d)
+	if d[0] != 0 || d[1] != 0 {
+		t.Fatalf("ZeroVec: %v", d)
+	}
+}
+
+func TestWeightedSumInto(t *testing.T) {
+	dst := []float64{99, 99}
+	WeightedSumInto(dst, []float64{0.25, 0.75}, [][]float64{{4, 0}, {0, 8}})
+	if dst[0] != 1 || dst[1] != 6 {
+		t.Fatalf("WeightedSumInto: %v", dst)
+	}
+	// Zero weight short-circuits but result still correct.
+	WeightedSumInto(dst, []float64{0, 1}, [][]float64{{4, 4}, {2, 2}})
+	if dst[0] != 2 || dst[1] != 2 {
+		t.Fatalf("WeightedSumInto zero-weight: %v", dst)
+	}
+}
+
+func TestWeightedSumMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "count mismatch")
+	WeightedSumInto([]float64{0}, []float64{1, 2}, [][]float64{{1}})
+}
+
+func TestDistSqAndMaxAbsDiff(t *testing.T) {
+	a, b := []float64{1, 2, 3}, []float64{2, 0, 3}
+	if DistSq(a, b) != 1+4 {
+		t.Fatalf("DistSq=%v", DistSq(a, b))
+	}
+	if MaxAbsDiff(a, b) != 2 {
+		t.Fatalf("MaxAbsDiff=%v", MaxAbsDiff(a, b))
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN not caught")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("+Inf not caught")
+	}
+	if !AllFinite(nil) {
+		t.Fatal("empty vector is vacuously finite")
+	}
+}
+
+// Property: DistSq(a,b) == SumSq(a-b).
+func TestDistSqMatchesSumSq(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		a, b, d := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i], b[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		SubInto(d, a, b)
+		return math.Abs(DistSq(a, b)-SumSq(d)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Axpy is linear — axpy(alpha, x, y) then axpy(-alpha, x, y)
+// returns y (within fp error).
+func TestAxpyInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(64)
+		x, y, orig := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := range x {
+			x[i], y[i] = r.NormFloat64(), r.NormFloat64()
+			orig[i] = y[i]
+		}
+		alpha := r.NormFloat64()
+		Axpy(alpha, x, y)
+		Axpy(-alpha, x, y)
+		return MaxAbsDiff(y, orig) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package tsne
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkEmbed150 measures the Fig. 2 workload: t-SNE of 150 points in
+// 84 dimensions (the CNN's representation width).
+func BenchmarkEmbed150(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, dim := 150, 84
+	x := make([]float64, n*dim)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Embed(x, n, dim, Config{Iters: 250, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSilhouette measures the separability metric on the same
+// workload.
+func BenchmarkSilhouette(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n, dim := 150, 84
+	x := make([]float64, n*dim)
+	labels := make([]int, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Silhouette(x, labels, n, dim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package tsne implements exact t-SNE (van der Maaten & Hinton, 2008) and
+// the silhouette score. The paper's Fig. 2 uses t-SNE to show that the
+// global model's representations separate classes better than a client's
+// local model, and that newer local models beat older ones; this package
+// reproduces that experiment quantitatively (silhouette on the embedding)
+// since the repository cannot render scatter plots.
+//
+// The implementation is the exact O(n^2) algorithm — fine for the few
+// hundred test points Fig. 2 visualises.
+package tsne
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/parallel"
+)
+
+// Config controls the embedding.
+type Config struct {
+	// Perplexity is the effective number of neighbours (default 30,
+	// clamped to (n-1)/3).
+	Perplexity float64
+	// Iters is the number of gradient-descent iterations (default 400).
+	Iters int
+	// LearningRate is the embedding step size (default 100).
+	LearningRate float64
+	// Seed makes the embedding deterministic.
+	Seed int64
+}
+
+func (c *Config) defaults(n int) {
+	if c.Perplexity <= 0 {
+		c.Perplexity = 30
+	}
+	if max := float64(n-1) / 3; c.Perplexity > max && max > 1 {
+		c.Perplexity = max
+	}
+	if c.Iters <= 0 {
+		c.Iters = 400
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 100
+	}
+}
+
+// Embed computes a 2-D t-SNE embedding of n points with dim features
+// (x is row-major [n*dim]). Returns [n*2] row-major coordinates.
+func Embed(x []float64, n, dim int, cfg Config) ([]float64, error) {
+	if n <= 1 || dim <= 0 || len(x) != n*dim {
+		return nil, fmt.Errorf("tsne: bad input n=%d dim=%d len=%d", n, dim, len(x))
+	}
+	cfg.defaults(n)
+	p := jointProbabilities(x, n, dim, cfg.Perplexity)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	y := make([]float64, n*2)
+	for i := range y {
+		y[i] = rng.NormFloat64() * 1e-2
+	}
+	vel := make([]float64, n*2)
+	grad := make([]float64, n*2)
+	q := make([]float64, n*n)
+	num := make([]float64, n*n)
+
+	const earlyExaggeration = 4.0
+	exaggerationUntil := cfg.Iters / 4
+	for iter := 0; iter < cfg.Iters; iter++ {
+		// Student-t affinities in embedding space.
+		var qsum float64
+		for i := 0; i < n; i++ {
+			yi0, yi1 := y[i*2], y[i*2+1]
+			for j := i + 1; j < n; j++ {
+				d0 := yi0 - y[j*2]
+				d1 := yi1 - y[j*2+1]
+				v := 1 / (1 + d0*d0 + d1*d1)
+				num[i*n+j] = v
+				num[j*n+i] = v
+				qsum += 2 * v
+			}
+		}
+		if qsum < 1e-12 {
+			qsum = 1e-12
+		}
+		for i := range q {
+			q[i] = num[i] / qsum
+			if q[i] < 1e-12 {
+				q[i] = 1e-12
+			}
+		}
+		exag := 1.0
+		if iter < exaggerationUntil {
+			exag = earlyExaggeration
+		}
+		// Gradient: 4 * sum_j (exag*p_ij - q_ij) * num_ij * (y_i - y_j).
+		parallel.For(n, func(i int) {
+			var g0, g1 float64
+			yi0, yi1 := y[i*2], y[i*2+1]
+			row := i * n
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				mult := (exag*p[row+j] - q[row+j]) * num[row+j]
+				g0 += mult * (yi0 - y[j*2])
+				g1 += mult * (yi1 - y[j*2+1])
+			}
+			grad[i*2] = 4 * g0
+			grad[i*2+1] = 4 * g1
+		})
+		momentum := 0.5
+		if iter >= 250 {
+			momentum = 0.8
+		}
+		for i := range y {
+			vel[i] = momentum*vel[i] - cfg.LearningRate*grad[i]
+			y[i] += vel[i]
+		}
+		// Centre the embedding.
+		var m0, m1 float64
+		for i := 0; i < n; i++ {
+			m0 += y[i*2]
+			m1 += y[i*2+1]
+		}
+		m0 /= float64(n)
+		m1 /= float64(n)
+		for i := 0; i < n; i++ {
+			y[i*2] -= m0
+			y[i*2+1] -= m1
+		}
+	}
+	return y, nil
+}
+
+// jointProbabilities computes symmetrised input affinities with a
+// per-point bandwidth found by binary search to match the perplexity.
+func jointProbabilities(x []float64, n, dim int, perplexity float64) []float64 {
+	d2 := make([]float64, n*n)
+	parallel.For(n, func(i int) {
+		xi := x[i*dim : (i+1)*dim]
+		for j := i + 1; j < n; j++ {
+			xj := x[j*dim : (j+1)*dim]
+			var s float64
+			for k := range xi {
+				df := xi[k] - xj[k]
+				s += df * df
+			}
+			d2[i*n+j] = s
+			d2[j*n+i] = s
+		}
+	})
+	logU := math.Log(perplexity)
+	p := make([]float64, n*n)
+	parallel.For(n, func(i int) {
+		row := d2[i*n : (i+1)*n]
+		prow := p[i*n : (i+1)*n]
+		beta := 1.0
+		betaMin, betaMax := math.Inf(-1), math.Inf(1)
+		for tries := 0; tries < 50; tries++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					prow[j] = 0
+					continue
+				}
+				prow[j] = math.Exp(-row[j] * beta)
+				sum += prow[j]
+			}
+			if sum < 1e-300 {
+				sum = 1e-300
+			}
+			// Shannon entropy of the conditional distribution.
+			var h float64
+			for j := 0; j < n; j++ {
+				if j == i || prow[j] == 0 {
+					continue
+				}
+				pj := prow[j] / sum
+				h -= pj * math.Log(pj)
+			}
+			diff := h - logU
+			if math.Abs(diff) < 1e-5 {
+				for j := 0; j < n; j++ {
+					prow[j] /= sum
+				}
+				return
+			}
+			if diff > 0 { // entropy too high: sharpen
+				betaMin = beta
+				if math.IsInf(betaMax, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaMax) / 2
+				}
+			} else {
+				betaMax = beta
+				if math.IsInf(betaMin, -1) {
+					beta /= 2
+				} else {
+					beta = (beta + betaMin) / 2
+				}
+			}
+			_ = sum
+		}
+		// Normalise with the final beta even if not converged.
+		var sum float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				sum += prow[j]
+			}
+		}
+		if sum > 0 {
+			for j := 0; j < n; j++ {
+				prow[j] /= sum
+			}
+		}
+	})
+	// Symmetrise: p_ij = (p_j|i + p_i|j) / (2n), floored.
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p[i*n+j] + p[j*n+i]) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			out[i*n+j] = v
+			out[j*n+i] = v
+		}
+	}
+	return out
+}
+
+// Silhouette computes the mean silhouette coefficient of labelled points
+// (x row-major [n*dim]) using Euclidean distance: values near 1 mean
+// tight, well-separated clusters; near 0, overlapping clusters. Points in
+// singleton classes contribute 0, per the standard definition.
+func Silhouette(x []float64, labels []int, n, dim int) (float64, error) {
+	if n <= 1 || len(x) != n*dim || len(labels) != n {
+		return 0, fmt.Errorf("tsne: bad silhouette input n=%d dim=%d len=%d labels=%d", n, dim, len(x), len(labels))
+	}
+	classes := 0
+	for _, l := range labels {
+		if l < 0 {
+			return 0, fmt.Errorf("tsne: negative label")
+		}
+		if l+1 > classes {
+			classes = l + 1
+		}
+	}
+	counts := make([]int, classes)
+	for _, l := range labels {
+		counts[l]++
+	}
+	sil := parallel.Map(n, func(i int) float64 {
+		xi := x[i*dim : (i+1)*dim]
+		sums := make([]float64, classes)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			xj := x[j*dim : (j+1)*dim]
+			var s float64
+			for k := range xi {
+				d := xi[k] - xj[k]
+				s += d * d
+			}
+			sums[labels[j]] += math.Sqrt(s)
+		}
+		own := labels[i]
+		if counts[own] <= 1 {
+			return 0
+		}
+		a := sums[own] / float64(counts[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < classes; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if v := sums[c] / float64(counts[c]); v < b {
+				b = v
+			}
+		}
+		if math.IsInf(b, 1) {
+			return 0 // only one non-empty class
+		}
+		den := math.Max(a, b)
+		if den == 0 {
+			return 0
+		}
+		return (b - a) / den
+	})
+	var total float64
+	for _, s := range sil {
+		total += s
+	}
+	return total / float64(n), nil
+}

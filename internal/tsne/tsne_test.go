@@ -1,0 +1,151 @@
+package tsne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// threeBlobs builds n points in dim dimensions drawn from 3 well-separated
+// Gaussian clusters.
+func threeBlobs(rng *rand.Rand, n, dim int) ([]float64, []int) {
+	x := make([]float64, n*dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = c
+		for k := 0; k < dim; k++ {
+			center := 0.0
+			if k == 0 {
+				center = float64(c) * 10
+			}
+			x[i*dim+k] = center + rng.NormFloat64()*0.5
+		}
+	}
+	return x, labels
+}
+
+func TestEmbedSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, dim := 90, 5
+	x, labels := threeBlobs(rng, n, dim)
+	y, err := Embed(x, n, dim, Config{Iters: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != n*2 {
+		t.Fatalf("embedding length %d", len(y))
+	}
+	for _, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite embedding")
+		}
+	}
+	// The embedding must preserve cluster structure: silhouette of the 2-D
+	// embedding should be clearly positive.
+	sil, err := Silhouette(y, labels, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sil < 0.3 {
+		t.Fatalf("embedding silhouette %.3f — clusters not preserved", sil)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, dim := 30, 4
+	x, _ := threeBlobs(rng, n, dim)
+	a, err := Embed(x, n, dim, Config{Iters: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Embed(x, n, dim, Config{Iters: 100, Seed: 5})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different embedding")
+		}
+	}
+}
+
+func TestEmbedBadInput(t *testing.T) {
+	if _, err := Embed([]float64{1}, 1, 1, Config{}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Embed([]float64{1, 2, 3}, 2, 2, Config{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSilhouetteKnownCases(t *testing.T) {
+	// Two tight, distant clusters: silhouette near 1.
+	x := []float64{0, 0.01, 0.02, 10, 10.01, 10.02}
+	labels := []int{0, 0, 0, 1, 1, 1}
+	s, err := Silhouette(x, labels, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.95 {
+		t.Fatalf("tight clusters silhouette %.3f", s)
+	}
+	// Interleaved labels: silhouette near or below 0.
+	x2 := []float64{0, 1, 2, 3, 4, 5}
+	labels2 := []int{0, 1, 0, 1, 0, 1}
+	s2, err := Silhouette(x2, labels2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 > 0.1 {
+		t.Fatalf("interleaved silhouette %.3f should be ~<=0", s2)
+	}
+	if s <= s2 {
+		t.Fatal("separated clusters must outscore interleaved ones")
+	}
+}
+
+func TestSilhouetteSingletonAndSingleClass(t *testing.T) {
+	// Singleton class contributes 0.
+	s, err := Silhouette([]float64{0, 1, 2}, []int{0, 0, 1}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(s) {
+		t.Fatal("NaN silhouette")
+	}
+	// All one class: defined as 0 here.
+	s1, err := Silhouette([]float64{0, 1, 2}, []int{0, 0, 0}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != 0 {
+		t.Fatalf("single-class silhouette %v", s1)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	if _, err := Silhouette([]float64{1}, []int{0}, 1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Silhouette([]float64{1, 2}, []int{0}, 2, 1); err == nil {
+		t.Fatal("label length mismatch accepted")
+	}
+	if _, err := Silhouette([]float64{1, 2}, []int{0, -1}, 2, 1); err == nil {
+		t.Fatal("negative label accepted")
+	}
+}
+
+func TestPerplexityClamped(t *testing.T) {
+	// Tiny n with default (30) perplexity must not blow up.
+	rng := rand.New(rand.NewSource(7))
+	n, dim := 12, 3
+	x, _ := threeBlobs(rng, n, dim)
+	y, err := Embed(x, n, dim, Config{Iters: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range y {
+		if math.IsNaN(v) {
+			t.Fatal("NaN with clamped perplexity")
+		}
+	}
+}
