@@ -12,11 +12,16 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/partition"
 )
 
 var (
@@ -119,3 +124,82 @@ func BenchmarkAblationHistoryOnly(b *testing.B) { benchExperiment(b, "abl-hist")
 
 // Ablation: appendix methods (SCAFFOLD/FedDANE/MimeLite) resource costs.
 func BenchmarkAblationAppendixMethods(b *testing.B) { benchExperiment(b, "abl-extra") }
+
+// --- Runtime throughput: synchronous vs asynchronous ---
+//
+// Both benchmarks meter client updates per second of real wall-clock time
+// (the simulated latency clock is free). Run with -cpu 1,2,4,8 to see how
+// each runtime scales with GOMAXPROCS: the async event loop keeps
+// Concurrency clients training in their own goroutines, so its
+// updates/sec grows with cores until Concurrency saturates.
+
+// benchRuntimeConfig is a small-but-real FL setup: 16 clients, MLP,
+// MNIST-like data.
+func benchRuntimeConfig(b *testing.B) core.Config {
+	b.Helper()
+	const clients, perClient = 16, 40
+	train, test, err := data.Generate(data.Spec{
+		Kind: data.KindMNIST, Train: clients * perClient, Test: 100, Seed: 61,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts, err := partition.Partition(partition.Dirichlet(0.5), train.Y,
+		train.Classes, clients, perClient, rand.New(rand.NewSource(62)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Config{
+		Model: nn.ModelSpec{
+			Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10,
+		},
+		Train: train, Test: test, Parts: parts,
+		Rounds: 4, ClientsPerRound: 8,
+		BatchSize: 20, LocalEpochs: 1,
+		LR: 0.01, Momentum: 0.9,
+		Algo: core.NewFedTrip(0.4), Seed: 63,
+		EvalEvery: 100, // meter training throughput, not evaluation
+	}
+}
+
+// BenchmarkSyncRuntimeThroughput: lock-step rounds, clients trained
+// concurrently within each round, full barrier between rounds.
+func BenchmarkSyncRuntimeThroughput(b *testing.B) {
+	cfg := benchRuntimeConfig(b)
+	b.ResetTimer()
+	updates := 0
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Algo = core.NewFedTrip(0.4)
+		res, err := core.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates += res.Rounds * c.ClientsPerRound
+	}
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
+}
+
+// BenchmarkAsyncRuntimeThroughput: buffered async, 8 clients always in
+// flight, aggregate every 4 arrivals — no inter-round barrier, so idle
+// cores pick up the next dispatch immediately.
+func BenchmarkAsyncRuntimeThroughput(b *testing.B) {
+	cfg := benchRuntimeConfig(b)
+	b.ResetTimer()
+	updates := 0
+	for i := 0; i < b.N; i++ {
+		c := core.AsyncConfig{
+			Config:      cfg,
+			Concurrency: 8,
+			BufferSize:  4,
+			Latency:     core.UniformLatency{Min: 1, Max: 3},
+		}
+		c.Algo = core.NewFedTrip(0.4)
+		res, err := core.RunAsync(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates += res.Rounds * c.BufferSize
+	}
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
+}

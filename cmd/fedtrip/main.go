@@ -6,6 +6,12 @@
 //
 // All methods from the paper are available via -algo: fedtrip, fedavg,
 // fedprox, slowmo, moon, feddyn, scaffold, feddane, mimelite.
+//
+// The asynchronous, staleness-aware runtime is selected with -async; its
+// buffered aggregation and simulated client latency are configured with
+// -buffer, -concurrency, -latency, and -stale-exp:
+//
+//	fedtrip -algo fedtrip -async -latency straggler:1,10,5 -buffer 2 -rounds 60
 package main
 
 import (
@@ -49,6 +55,11 @@ func main() {
 		savePath  = flag.String("save", "", "write the final global model checkpoint to this file")
 		tracePath = flag.String("trace", "", "write per-client round telemetry CSV to this file")
 		wire      = flag.Bool("wire", false, "ship models through the float32 wire transport and report true traffic")
+		async     = flag.Bool("async", false, "use the asynchronous staleness-aware runtime (buffered aggregation)")
+		buffer    = flag.Int("buffer", 0, "async: arrivals per aggregation (0 = K)")
+		conc      = flag.Int("concurrency", 0, "async: clients training simultaneously (0 = K)")
+		latSpec   = flag.String("latency", "zero", "async: client latency model (zero|const:D|uniform:MIN,MAX|exp:MEAN|lognormal:MU,SIGMA|straggler:F,S,E)")
+		staleExp  = flag.Float64("stale-exp", 0.5, "async: polynomial staleness discount exponent (0 = no discount)")
 	)
 	flag.Parse()
 	if err := run(runOpts{
@@ -59,6 +70,8 @@ func main() {
 		lr: *lr, momentum: *momentum, mu: *mu, scale: *scale,
 		target: *target, seed: *seed, quiet: *quiet, clip: *clip,
 		savePath: *savePath, tracePath: *tracePath, wire: *wire,
+		async: *async, buffer: *buffer, conc: *conc,
+		latSpec: *latSpec, staleExp: *staleExp,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "fedtrip:", err)
 		os.Exit(1)
@@ -76,6 +89,10 @@ type runOpts struct {
 	quiet, wire                         bool
 	clip                                float64
 	savePath, tracePath                 string
+	async                               bool
+	buffer, conc                        int
+	latSpec                             string
+	staleExp                            float64
 }
 
 func run(o runOpts) error {
@@ -143,24 +160,61 @@ func run(o runOpts) error {
 			}
 		}
 	}
-	fmt.Printf("fedtrip: %s on %s/%s, %s, %d-of-%d clients, %d rounds\n",
-		algo.Name(), o.model, o.dataset, scheme, o.perRound, o.clients, o.rounds)
-	res, err := core.Run(cfg)
-	if err != nil {
-		return err
+	var res *core.Result
+	if o.async {
+		lat, err := core.ParseLatency(o.latSpec)
+		if err != nil {
+			return err
+		}
+		if o.staleExp < 0 {
+			return fmt.Errorf("-stale-exp %g must be >= 0 (a negative exponent would amplify stale updates)", o.staleExp)
+		}
+		acfg := core.AsyncConfig{
+			Config:      cfg,
+			Concurrency: o.conc,
+			BufferSize:  o.buffer,
+			Latency:     lat,
+			Discount:    core.PolyDiscount(o.staleExp),
+		}
+		if err := acfg.Validate(); err != nil { // resolve defaults for the banner
+			return err
+		}
+		fmt.Printf("fedtrip: %s on %s/%s, %s, async buffer=%d conc=%d latency=%s, %d aggregations\n",
+			algo.Name(), o.model, o.dataset, scheme, acfg.BufferSize, acfg.Concurrency, lat, o.rounds)
+		res, err = core.RunAsync(acfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("fedtrip: %s on %s/%s, %s, %d-of-%d clients, %d rounds\n",
+			algo.Name(), o.model, o.dataset, scheme, o.perRound, o.clients, o.rounds)
+		res, err = core.Run(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	commLabel := "analytic"
+	if cfg.Transport != nil {
+		commLabel = "measured"
 	}
 	fmt.Printf("\nsummary:\n")
 	fmt.Printf("  best accuracy   %.4f\n", res.BestAccuracy)
-	fmt.Printf("  final accuracy  %.4f (mean of last 10 rounds)\n", res.FinalAccuracy)
+	fmt.Printf("  final accuracy  %.4f (mean of last 10 evaluated rounds)\n", res.FinalAccuracy)
 	fmt.Printf("  train GFLOPs    %.2f (all clients, incl. attaching ops)\n", res.TotalGFLOPs())
-	fmt.Printf("  communication   %.2f MB (analytic)\n", float64(res.CommBytesByRound[len(res.CommBytesByRound)-1])/1e6)
+	fmt.Printf("  communication   %.2f MB (%s)\n", float64(res.CommBytesByRound[len(res.CommBytesByRound)-1])/1e6, commLabel)
 	if wireTransport != nil {
 		fmt.Printf("  wire traffic    %s\n", wireTransport.Stats())
+	}
+	if n := len(res.SimTimeByRound); n > 0 {
+		fmt.Printf("  simulated time  %.1f s\n", res.SimTimeByRound[n-1])
 	}
 	if o.target > 0 {
 		if res.RoundsToTarget > 0 {
 			fmt.Printf("  rounds to %.0f%%  %d (%.2f GFLOPs, %.2f MB)\n",
 				o.target*100, res.RoundsToTarget, res.GFLOPsToTarget(), float64(res.CommBytesToTarget())/1e6)
+			if len(res.SimTimeByRound) > 0 {
+				fmt.Printf("  time to %.0f%%    %.1f s (simulated)\n", o.target*100, res.TimeToTarget())
+			}
 		} else {
 			fmt.Printf("  target %.0f%% not reached in %d rounds\n", o.target*100, res.Rounds)
 		}

@@ -61,6 +61,13 @@ func NewF32Transport() *F32Transport { return &F32Transport{} }
 // Stats exposes the traffic counters.
 func (t *F32Transport) Stats() *Stats { return &t.stats }
 
+// WireBytes implements core.MeteredTransport: the runtime records these
+// measured bytes in Result.CommBytesByRound instead of the analytic
+// formula.
+func (t *F32Transport) WireBytes() (down, up int64) {
+	return t.stats.DownBytes(), t.stats.UpBytes()
+}
+
 func (t *F32Transport) roundTrip(v []float64) []float64 {
 	var buf bytes.Buffer
 	if err := tensor.WriteVectorF32(&buf, v); err != nil {
@@ -102,6 +109,11 @@ func NewLosslessTransport() *LosslessTransport { return &LosslessTransport{} }
 
 // Stats exposes the traffic counters.
 func (t *LosslessTransport) Stats() *Stats { return &t.stats }
+
+// WireBytes implements core.MeteredTransport.
+func (t *LosslessTransport) WireBytes() (down, up int64) {
+	return t.stats.DownBytes(), t.stats.UpBytes()
+}
 
 // Down implements core.Transport.
 func (t *LosslessTransport) Down(clientID, round int, global []float64) []float64 {

@@ -120,3 +120,61 @@ func TestF32TransportEndToEnd(t *testing.T) {
 		t.Fatalf("f32 run failed to learn: %v", resF32.BestAccuracy)
 	}
 }
+
+// The runtime must prefer the transport's measured wire bytes over the
+// analytic 4|w| formula: with an F32Transport installed, CommBytesByRound
+// has to equal the Stats counters exactly (headers included), and each
+// round's increment must match the per-transfer wire size.
+func TestMeteredTransportFeedsCommBytes(t *testing.T) {
+	train, test, err := data.Generate(data.Spec{Kind: data.KindMNIST, Train: 300, Test: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := partition.Partition(partition.Dirichlet(0.5), train.Y, train.Classes, 6, 50, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewF32Transport()
+	cfg := core.Config{
+		Model:           nn.ModelSpec{Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10},
+		Train:           train,
+		Test:            test,
+		Parts:           parts,
+		Rounds:          4,
+		ClientsPerRound: 3,
+		BatchSize:       10,
+		LocalEpochs:     1,
+		LR:              0.01,
+		Momentum:        0.9,
+		Algo:            core.NewFedTrip(0.4),
+		Seed:            7,
+		Transport:       tr,
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.CommBytesByRound[len(res.CommBytesByRound)-1], tr.Stats().TotalBytes(); got != want {
+		t.Fatalf("CommBytesByRound final %d, measured stats %d", got, want)
+	}
+	m, _ := cfg.Model.Build(1)
+	perRound := int64(cfg.ClientsPerRound) * 2 * tensor.VectorWireSizeF32(m.NumParams())
+	prev := int64(0)
+	for i, cum := range res.CommBytesByRound {
+		if cum-prev != perRound {
+			t.Fatalf("round %d delta %d want %d", i+1, cum-prev, perRound)
+		}
+		prev = cum
+	}
+	// Without a transport the analytic formula remains in force (no
+	// header bytes).
+	cfg.Transport = nil
+	resA, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := int64(cfg.Rounds) * int64(cfg.ClientsPerRound) * 2 * int64(4*m.NumParams())
+	if got := resA.CommBytesByRound[len(resA.CommBytesByRound)-1]; got != analytic {
+		t.Fatalf("analytic fallback %d want %d", got, analytic)
+	}
+}

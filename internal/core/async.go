@@ -1,0 +1,408 @@
+// Asynchronous, staleness-aware federated runtime.
+//
+// The synchronous Server.Run is the paper's lock-step loop: select K
+// clients, wait for all of them, aggregate. Under heterogeneous client
+// speeds every round costs the straggler's latency. The AsyncServer
+// instead keeps a fixed number of clients training at all times and
+// aggregates every BufferSize arrivals (FedBuff-style buffered async),
+// discounting each merged update by its staleness — the number of
+// aggregations the server completed while the update was in flight.
+//
+// Time is simulated: a LatencyModel assigns each dispatch a virtual
+// duration, and the event loop processes arrivals in virtual-time order
+// (ties broken by dispatch order, so runs are deterministic). Local
+// training itself really executes — concurrently, up to Concurrency
+// goroutines — which is what the throughput benchmarks measure; only the
+// clock is virtual.
+//
+// Staleness is exactly FedTrip's xi regime: a client dispatched for round
+// d whose previous participation was round r trains with a genuine
+// participation gap d-r, so the XiInverseGap schedule is exercised under
+// real partial participation and stale uploads rather than the uniform
+// gaps of lock-step rounds.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// PolyDiscount returns the polynomial staleness discount of the async FL
+// literature (FedAsync/FedBuff): weight(s) = (1+s)^(-a). a = 0 disables
+// discounting; a = 0.5 is the customary default. The discount at
+// staleness 0 is exactly 1, which the barrier equivalence mode relies on.
+func PolyDiscount(a float64) func(staleness int) float64 {
+	return func(s int) float64 {
+		if s <= 0 {
+			return 1
+		}
+		return math.Pow(1+float64(s), -a)
+	}
+}
+
+// AsyncConfig configures the asynchronous runtime on top of a base
+// Config. Config.Rounds counts buffered aggregations (the async analogue
+// of a communication round); Config.ClientsPerRound seeds the defaults
+// for Concurrency and BufferSize.
+type AsyncConfig struct {
+	Config
+	// Concurrency is the number of clients training simultaneously
+	// (FedBuff's M). Defaults to ClientsPerRound. Must not exceed the
+	// population.
+	Concurrency int
+	// BufferSize is the number of arrivals per aggregation (FedBuff's K).
+	// Defaults to ClientsPerRound.
+	BufferSize int
+	// Latency models each dispatch's virtual duration. Defaults to
+	// ZeroLatency.
+	Latency LatencyModel
+	// RoundBarrier switches to lock-step semantics: each round selects
+	// ClientsPerRound clients exactly like the synchronous server, waits
+	// for all of them (round time = straggler's latency), and merges with
+	// staleness 0. With ZeroLatency this reproduces Server.Run bit-for-bit
+	// on the same seed; with a real latency model it prices the
+	// synchronous straggler tax in simulated time.
+	RoundBarrier bool
+	// Discount maps staleness to a weight multiplier on the update's
+	// data-size aggregation weight. Resolution order: the Algorithm's
+	// StalenessWeighter override if implemented, then this field, then
+	// PolyDiscount(0.5).
+	Discount func(staleness int) float64
+}
+
+// Validate checks the async knobs and fills defaults (the embedded Config
+// is validated by NewServer).
+func (c *AsyncConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = c.ClientsPerRound
+	}
+	if c.Concurrency < 1 || c.Concurrency > len(c.Parts) {
+		return fmt.Errorf("core: async concurrency %d outside [1,%d]", c.Concurrency, len(c.Parts))
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = c.ClientsPerRound
+	}
+	if c.BufferSize < 1 {
+		return fmt.Errorf("core: async buffer size %d", c.BufferSize)
+	}
+	if c.Latency == nil {
+		c.Latency = ZeroLatency{}
+	}
+	if !c.RoundBarrier {
+		// The algos package contract makes PreRound and Aggregate
+		// single-threaded calls with no client phase in flight. Buffered
+		// mode aggregates while other clients are mid-training, so
+		// methods with server-side struct state (SCAFFOLD, SlowMo,
+		// FedDyn, FedNova, FedDANE, MimeLite) would race and see a bogus
+		// "selected" set. Barrier mode joins every client first and so
+		// remains safe for them.
+		if _, ok := c.Algo.(PreRounder); ok {
+			return fmt.Errorf("core: %s needs a pre-round phase; the buffered async runtime cannot run it (use RoundBarrier or a client-side method)", c.Algo.Name())
+		}
+		if _, ok := c.Algo.(Aggregator); ok {
+			return fmt.Errorf("core: %s overrides server aggregation; the buffered async runtime cannot run it (use RoundBarrier or a client-side method)", c.Algo.Name())
+		}
+	}
+	return nil
+}
+
+// AsyncServer drives the asynchronous runtime over a regular Server (same
+// population, global model, metering, and evaluation).
+type AsyncServer struct {
+	s        *Server
+	acfg     AsyncConfig
+	latRng   *rand.Rand
+	now      float64
+	discount func(int) float64
+}
+
+// NewAsyncServer validates the configuration and builds the population.
+func NewAsyncServer(cfg AsyncConfig) (*AsyncServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewServer(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	a := &AsyncServer{
+		s:    s,
+		acfg: cfg,
+		// A dedicated latency source keeps the selection stream
+		// (s.rng) identical to the synchronous server's, which the
+		// barrier equivalence mode depends on.
+		latRng:   rand.New(rand.NewSource(cfg.Seed + 99991)),
+		discount: cfg.Discount,
+	}
+	if sw, ok := cfg.Algo.(StalenessWeighter); ok {
+		a.discount = sw.StalenessWeight
+	}
+	if a.discount == nil {
+		a.discount = PolyDiscount(0.5)
+	}
+	return a, nil
+}
+
+// Server exposes the underlying synchronous server (global model, clients,
+// evaluation) for tests and hooks.
+func (a *AsyncServer) Server() *Server { return a.s }
+
+// Now returns the current virtual time in seconds.
+func (a *AsyncServer) Now() float64 { return a.now }
+
+// RunAsync builds an AsyncServer and executes the run.
+func RunAsync(cfg AsyncConfig) (*Result, error) {
+	a, err := NewAsyncServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run()
+}
+
+// asyncJob is one dispatched client: training runs in its own goroutine
+// while the event loop keeps processing; update and flops are valid after
+// done is closed.
+type asyncJob struct {
+	c      *Client
+	round  int     // server round the update was dispatched for
+	finish float64 // virtual arrival time
+	seq    int     // dispatch order, tie-break for equal arrival times
+	update Update
+	flops  int64
+	done   chan struct{}
+}
+
+// spawn starts the job's local training on a snapshot of the global model.
+func (a *AsyncServer) spawn(j *asyncJob, global []float64) {
+	go func() {
+		before := j.c.Counter.Total()
+		j.update = a.s.trainClient(j.c, j.round, global)
+		j.flops = j.c.Counter.Total() - before
+		close(j.done)
+	}()
+}
+
+// Run executes the configured number of aggregations.
+func (a *AsyncServer) Run() (*Result, error) {
+	if a.acfg.RoundBarrier {
+		return a.runBarrier()
+	}
+	return a.runBuffered()
+}
+
+// runBarrier is lock-step with a simulated clock: the synchronous
+// trajectory priced under the latency model.
+func (a *AsyncServer) runBarrier() (*Result, error) {
+	s := a.s
+	cfg := &s.cfg
+	rec := newRecorder(s)
+	res := rec.res
+	var flopsTotal int64
+	for t := 1; t <= cfg.Rounds; t++ {
+		selected := s.selectClients()
+		if pr, ok := cfg.Algo.(PreRounder); ok {
+			pr.PreRound(t, selected, s.global)
+		}
+		jobs := make([]*asyncJob, len(selected))
+		for i, c := range selected {
+			jobs[i] = &asyncJob{c: c, round: t, seq: i, done: make(chan struct{})}
+			jobs[i].finish = a.now + a.acfg.Latency.Sample(c.ID, a.latRng)
+			// All jobs read the same pre-aggregation global; no writer
+			// until every one of them has joined below.
+			a.spawn(jobs[i], s.global)
+		}
+		roundEnd := a.now
+		updates := make([]Update, len(jobs))
+		weights := make([]float64, len(jobs))
+		for i, j := range jobs {
+			<-j.done
+			if j.finish > roundEnd {
+				roundEnd = j.finish
+			}
+			updates[i] = j.update // staleness 0 by construction
+			weights[i] = float64(j.update.NumSamples) * a.discount(0)
+			flopsTotal += j.flops
+		}
+		a.now = roundEnd
+		if cfg.OnUpdates != nil {
+			cfg.OnUpdates(t, s.global, updates)
+		}
+		a.aggregate(t, weights, updates)
+		if !tensor.AllFinite(s.global) {
+			return res, fmt.Errorf("core: %s diverged at round %d (non-finite global model)", cfg.Algo.Name(), t)
+		}
+		acc := rec.record(t, cfg.Rounds, updates, flopsTotal)
+		res.SimTimeByRound = append(res.SimTimeByRound, a.now)
+		res.MeanStalenessByRound = append(res.MeanStalenessByRound, 0)
+		if cfg.Logf != nil {
+			cfg.Logf("round %3d/%d algo=%s acc=%.4f loss=%.4f t=%.1fs (barrier)", t, cfg.Rounds, cfg.Algo.Name(), acc, res.TrainLoss[t-1], a.now)
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(t, s)
+		}
+		if cfg.StopAtTarget && res.RoundsToTarget > 0 {
+			break
+		}
+	}
+	return rec.finish(), nil
+}
+
+// runBuffered is the event-driven FedBuff loop: keep Concurrency clients
+// in flight, merge every BufferSize arrivals with staleness-discounted
+// weights.
+func (a *AsyncServer) runBuffered() (*Result, error) {
+	s := a.s
+	cfg := &s.cfg
+	rec := newRecorder(s)
+	res := rec.res
+
+	busy := make([]bool, len(s.clients))
+	var inflight []*asyncJob
+	var buffer []*asyncJob
+	var flopsTotal int64
+	seq := 0
+	aggs := 0
+
+	// Never leave training goroutines running past Run: they hold client
+	// state and the transport.
+	defer func() {
+		for _, j := range inflight {
+			<-j.done
+		}
+	}()
+
+	dispatch := func() {
+		for len(inflight) < a.acfg.Concurrency {
+			id, ok := a.pickAvailable(busy)
+			if !ok {
+				break
+			}
+			busy[id] = true
+			c := s.clients[id]
+			j := &asyncJob{c: c, round: aggs + 1, seq: seq, done: make(chan struct{})}
+			seq++
+			j.finish = a.now + a.acfg.Latency.Sample(id, a.latRng)
+			// Snapshot: the global model mutates under in-flight jobs.
+			a.spawn(j, append([]float64(nil), s.global...))
+			inflight = append(inflight, j)
+		}
+	}
+
+	for aggs < cfg.Rounds {
+		dispatch()
+		if len(inflight) == 0 {
+			return res, fmt.Errorf("core: async runtime stalled with no clients in flight")
+		}
+		j := popEarliest(&inflight)
+		if j.finish > a.now {
+			a.now = j.finish
+		}
+		<-j.done
+		busy[j.c.ID] = false
+		flopsTotal += j.flops
+		buffer = append(buffer, j)
+		if len(buffer) < a.acfg.BufferSize {
+			continue
+		}
+
+		t := aggs + 1
+		updates := make([]Update, len(buffer))
+		weights := make([]float64, len(buffer))
+		var staleSum float64
+		for i, bj := range buffer {
+			u := bj.update
+			u.Staleness = t - bj.round
+			if u.Staleness < 0 {
+				u.Staleness = 0
+			}
+			updates[i] = u
+			weights[i] = float64(u.NumSamples) * a.discount(u.Staleness)
+			staleSum += float64(u.Staleness)
+		}
+		buffer = buffer[:0]
+		if cfg.OnUpdates != nil {
+			cfg.OnUpdates(t, s.global, updates)
+		}
+		a.aggregate(t, weights, updates)
+		if !tensor.AllFinite(s.global) {
+			return res, fmt.Errorf("core: %s diverged at aggregation %d (non-finite global model)", cfg.Algo.Name(), t)
+		}
+		acc := rec.record(t, cfg.Rounds, updates, flopsTotal)
+		res.SimTimeByRound = append(res.SimTimeByRound, a.now)
+		res.MeanStalenessByRound = append(res.MeanStalenessByRound, staleSum/float64(len(updates)))
+		if cfg.Logf != nil {
+			cfg.Logf("agg %3d/%d algo=%s acc=%.4f loss=%.4f t=%.1fs stale=%.2f", t, cfg.Rounds, cfg.Algo.Name(), acc, res.TrainLoss[t-1], a.now, res.MeanStalenessByRound[t-1])
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(t, s)
+		}
+		aggs = t
+		if cfg.StopAtTarget && res.RoundsToTarget > 0 {
+			break
+		}
+	}
+	return rec.finish(), nil
+}
+
+// aggregate merges a buffer. An Algorithm's Aggregator override wins (it
+// sees Update.Staleness); otherwise the staleness-discounted data-size
+// weights go through the shared weighted average. Validate rejects
+// Aggregator methods in buffered mode, so the override branch is only
+// reachable from the barrier loop, where no client is in flight.
+func (a *AsyncServer) aggregate(t int, weights []float64, updates []Update) {
+	if agg, ok := a.s.cfg.Algo.(Aggregator); ok {
+		next := agg.Aggregate(t, a.s.global, updates)
+		copy(a.s.global, next)
+		return
+	}
+	a.s.aggregateWeighted(weights, updates)
+}
+
+// pickAvailable draws one idle client uniformly at random (the async
+// analogue of the paper's uniform selection), or reports none idle.
+func (a *AsyncServer) pickAvailable(busy []bool) (int, bool) {
+	n := 0
+	for _, b := range busy {
+		if !b {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	k := a.s.rng.Intn(n)
+	for id, b := range busy {
+		if !b {
+			if k == 0 {
+				return id, true
+			}
+			k--
+		}
+	}
+	return 0, false
+}
+
+// popEarliest removes and returns the in-flight job with the smallest
+// (finish, seq). In-flight counts stay at the concurrency bound (tens),
+// so a linear scan beats heap bookkeeping.
+func popEarliest(jobs *[]*asyncJob) *asyncJob {
+	js := *jobs
+	best := 0
+	for i := 1; i < len(js); i++ {
+		if js[i].finish < js[best].finish ||
+			(js[i].finish == js[best].finish && js[i].seq < js[best].seq) {
+			best = i
+		}
+	}
+	j := js[best]
+	js[best] = js[len(js)-1]
+	*jobs = js[:len(js)-1]
+	return j
+}

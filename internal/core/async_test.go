@@ -1,0 +1,413 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// asyncTestConfig wraps testConfig's Config into async defaults.
+func asyncTestConfig(t *testing.T, algo Algorithm) AsyncConfig {
+	t.Helper()
+	return AsyncConfig{Config: testConfig(t, algo)}
+}
+
+// The headline equivalence: the async runtime in barrier mode with zero
+// latency must reproduce the synchronous Server.Run trajectory bit-for-bit
+// on the same seed — same accuracies, losses, FLOPs, and comm bytes.
+func TestAsyncBarrierZeroLatencyMatchesSync(t *testing.T) {
+	syncRes, err := Run(testConfig(t, NewFedTrip(0.4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := asyncTestConfig(t, NewFedTrip(0.4))
+	acfg.RoundBarrier = true
+	asyncRes, err := RunAsync(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asyncRes.Rounds != syncRes.Rounds {
+		t.Fatalf("rounds %d vs %d", asyncRes.Rounds, syncRes.Rounds)
+	}
+	for i := range syncRes.Accuracy {
+		if asyncRes.Accuracy[i] != syncRes.Accuracy[i] {
+			t.Fatalf("round %d accuracy %v vs sync %v", i+1, asyncRes.Accuracy[i], syncRes.Accuracy[i])
+		}
+		if asyncRes.TrainLoss[i] != syncRes.TrainLoss[i] {
+			t.Fatalf("round %d loss %v vs sync %v", i+1, asyncRes.TrainLoss[i], syncRes.TrainLoss[i])
+		}
+		if asyncRes.GFLOPsByRound[i] != syncRes.GFLOPsByRound[i] {
+			t.Fatalf("round %d gflops %v vs sync %v", i+1, asyncRes.GFLOPsByRound[i], syncRes.GFLOPsByRound[i])
+		}
+		if asyncRes.CommBytesByRound[i] != syncRes.CommBytesByRound[i] {
+			t.Fatalf("round %d comm %v vs sync %v", i+1, asyncRes.CommBytesByRound[i], syncRes.CommBytesByRound[i])
+		}
+		if asyncRes.SimTimeByRound[i] != 0 {
+			t.Fatalf("zero latency but sim time %v", asyncRes.SimTimeByRound[i])
+		}
+	}
+	if asyncRes.BestAccuracy != syncRes.BestAccuracy || asyncRes.FinalAccuracy != syncRes.FinalAccuracy {
+		t.Fatalf("summary metrics differ: best %v/%v final %v/%v",
+			asyncRes.BestAccuracy, syncRes.BestAccuracy, asyncRes.FinalAccuracy, syncRes.FinalAccuracy)
+	}
+}
+
+// The buffered runtime under straggler latency must stay deterministic,
+// keep a monotone simulated clock, record nonnegative staleness, and
+// still learn.
+func TestAsyncBufferedStragglersLearnAndMeter(t *testing.T) {
+	build := func() AsyncConfig {
+		acfg := asyncTestConfig(t, NewFedTrip(0.4))
+		acfg.Rounds = 12
+		acfg.Concurrency = 4
+		acfg.BufferSize = 2
+		acfg.Latency = StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 3}
+		return acfg
+	}
+	res, err := RunAsync(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 12 {
+		t.Fatalf("rounds %d", res.Rounds)
+	}
+	if len(res.SimTimeByRound) != 12 || len(res.MeanStalenessByRound) != 12 {
+		t.Fatal("async metric lengths")
+	}
+	prev := 0.0
+	for i, ts := range res.SimTimeByRound {
+		if ts < prev {
+			t.Fatalf("sim time decreased at round %d: %v -> %v", i+1, prev, ts)
+		}
+		prev = ts
+		if res.MeanStalenessByRound[i] < 0 {
+			t.Fatalf("negative staleness at round %d", i+1)
+		}
+	}
+	if res.SimTimeByRound[11] <= 0 {
+		t.Fatal("latency model produced no simulated time")
+	}
+	if res.BestAccuracy < 0.3 {
+		t.Fatalf("async run failed to learn: %v", res.BestAccuracy)
+	}
+	// Determinism: the whole trajectory must replay exactly.
+	res2, err := RunAsync(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Accuracy {
+		if res.Accuracy[i] != res2.Accuracy[i] || res.SimTimeByRound[i] != res2.SimTimeByRound[i] {
+			t.Fatalf("async run not deterministic at round %d", i+1)
+		}
+	}
+}
+
+// gapAlgo wraps FedTrip and records, at every BeginRound, the dispatch
+// round and the client's LastRound as the runtime presented them.
+type gapAlgo struct {
+	*FedTrip
+	mu    sync.Mutex
+	seen  map[int][]int // clientID -> dispatch rounds in training order
+	prevs map[int][]int // clientID -> LastRound observed at BeginRound
+}
+
+func (g *gapAlgo) BeginRound(c *Client, round int, global []float64) {
+	g.mu.Lock()
+	g.seen[c.ID] = append(g.seen[c.ID], round)
+	g.prevs[c.ID] = append(g.prevs[c.ID], c.LastRound)
+	g.mu.Unlock()
+	g.FedTrip.BeginRound(c, round, global)
+}
+
+// Staleness bookkeeping equivalence: the LastRound chain each client sees
+// must be exactly its own dispatch history shifted by one (0 first), so
+// FedTrip's xi is computed from genuine participation gaps; and every
+// merged update's Staleness must sit in [0, t-1].
+func TestAsyncStalenessBookkeepingMatchesLastRound(t *testing.T) {
+	algo := &gapAlgo{FedTrip: NewFedTrip(0.4), seen: map[int][]int{}, prevs: map[int][]int{}}
+	acfg := asyncTestConfig(t, algo)
+	acfg.Rounds = 10
+	acfg.Concurrency = 3
+	acfg.BufferSize = 2
+	acfg.Latency = UniformLatency{Min: 0.5, Max: 5}
+	var mu sync.Mutex
+	type obs struct{ round, staleness int }
+	var merged []obs
+	acfg.OnUpdates = func(round int, global []float64, updates []Update) {
+		mu.Lock()
+		for _, u := range updates {
+			merged = append(merged, obs{round, u.Staleness})
+		}
+		mu.Unlock()
+	}
+	if _, err := RunAsync(acfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) == 0 {
+		t.Fatal("no updates observed")
+	}
+	sawStale := false
+	for _, o := range merged {
+		if o.staleness < 0 || o.staleness > o.round-1 {
+			t.Fatalf("staleness %d outside [0,%d]", o.staleness, o.round-1)
+		}
+		if o.staleness > 0 {
+			sawStale = true
+		}
+	}
+	if !sawStale {
+		t.Fatal("heterogeneous latency produced no stale update — buffer never lagged")
+	}
+	for id, rounds := range algo.seen {
+		prevs := algo.prevs[id]
+		if prevs[0] != 0 {
+			t.Fatalf("client %d first LastRound %d, want 0", id, prevs[0])
+		}
+		for i := 1; i < len(rounds); i++ {
+			if prevs[i] != rounds[i-1] {
+				t.Fatalf("client %d dispatch %d: LastRound %d, want previous dispatch round %d",
+					id, i, prevs[i], rounds[i-1])
+			}
+			if rounds[i] < rounds[i-1] {
+				t.Fatalf("client %d dispatch rounds not monotone: %v", id, rounds)
+			}
+		}
+	}
+}
+
+// Under partial participation with uniform random dispatch, FedTrip's
+// XiInverseGap must actually see gaps larger than one — the regime the
+// sync lock-step loop with full participation never produces.
+func TestAsyncExercisesXiGaps(t *testing.T) {
+	algo := &gapAlgo{FedTrip: NewFedTrip(0.4), seen: map[int][]int{}, prevs: map[int][]int{}}
+	acfg := asyncTestConfig(t, algo)
+	acfg.Rounds = 15
+	acfg.Concurrency = 2 // 2 of 6 clients in flight: most sit out each round
+	acfg.BufferSize = 2
+	acfg.Latency = ExponentialLatency{Mean: 2}
+	if _, err := RunAsync(acfg); err != nil {
+		t.Fatal(err)
+	}
+	maxGap := 0
+	for id, rounds := range algo.seen {
+		prevs := algo.prevs[id]
+		for i := range rounds {
+			if prevs[i] == 0 {
+				continue
+			}
+			if gap := rounds[i] - prevs[i]; gap > maxGap {
+				maxGap = gap
+			}
+		}
+		_ = id
+	}
+	if maxGap < 2 {
+		t.Fatalf("max participation gap %d — async runtime not exercising staleness", maxGap)
+	}
+}
+
+func TestAsyncConfigValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*AsyncConfig)
+		wantErr bool
+	}{
+		{"defaults", func(c *AsyncConfig) {}, false},
+		{"explicit", func(c *AsyncConfig) { c.Concurrency = 2; c.BufferSize = 3 }, false},
+		{"concurrency over population", func(c *AsyncConfig) { c.Concurrency = 7 }, true},
+		{"negative concurrency", func(c *AsyncConfig) { c.Concurrency = -1 }, true},
+		{"negative buffer", func(c *AsyncConfig) { c.BufferSize = -1 }, true},
+		{"bad base config", func(c *AsyncConfig) { c.Rounds = 0 }, true},
+	}
+	for _, tc := range cases {
+		acfg := asyncTestConfig(t, NewFedTrip(0.4))
+		tc.mutate(&acfg)
+		_, err := NewAsyncServer(acfg)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err=%v wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+	// Defaults must be filled from ClientsPerRound.
+	acfg := asyncTestConfig(t, NewFedTrip(0.4))
+	if err := acfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if acfg.Concurrency != acfg.ClientsPerRound || acfg.BufferSize != acfg.ClientsPerRound {
+		t.Fatalf("defaults %d/%d want %d", acfg.Concurrency, acfg.BufferSize, acfg.ClientsPerRound)
+	}
+	if _, ok := acfg.Latency.(ZeroLatency); !ok {
+		t.Fatalf("default latency %T", acfg.Latency)
+	}
+}
+
+// aggAlgo overrides server aggregation; preAlgo needs a pre-round phase.
+// Both are unsafe under buffered async (Aggregate/PreRound run while
+// other clients are mid-training) and must be rejected there, while the
+// barrier mode — which joins every client first — still accepts them.
+type aggAlgo struct{ Base }
+
+func (aggAlgo) Name() string { return "agg-test" }
+func (aggAlgo) Aggregate(round int, global []float64, updates []Update) []float64 {
+	return updates[0].Params
+}
+
+type preAlgo struct{ Base }
+
+func (preAlgo) Name() string                                             { return "pre-test" }
+func (preAlgo) PreRound(round int, selected []*Client, global []float64) {}
+
+func TestBufferedModeRejectsServerHookAlgorithms(t *testing.T) {
+	for _, algo := range []Algorithm{aggAlgo{}, preAlgo{}} {
+		acfg := asyncTestConfig(t, algo)
+		if _, err := NewAsyncServer(acfg); err == nil {
+			t.Errorf("buffered mode accepted %s", algo.Name())
+		}
+		barrier := asyncTestConfig(t, algo)
+		barrier.RoundBarrier = true
+		if _, err := NewAsyncServer(barrier); err != nil {
+			t.Errorf("barrier mode rejected %s: %v", algo.Name(), err)
+		}
+	}
+}
+
+// A discount that zeroes every weight (hard staleness cutoff taken to the
+// extreme) must leave the global model untouched and finite, not divide
+// it into NaNs.
+func TestFullyDiscountedBufferLeavesModelFinite(t *testing.T) {
+	acfg := asyncTestConfig(t, NewFedTrip(0.4))
+	acfg.Rounds = 3
+	acfg.Discount = func(int) float64 { return 0 }
+	a, err := NewAsyncServer(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), a.Server().Global()...)
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds %d", res.Rounds)
+	}
+	after := a.Server().Global()
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("zero-weight merges moved the global model at %d", i)
+		}
+	}
+}
+
+func TestPolyDiscount(t *testing.T) {
+	d := PolyDiscount(0.5)
+	if d(0) != 1 {
+		t.Fatalf("discount at staleness 0 must be exactly 1, got %v", d(0))
+	}
+	if got := d(3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("discount(3) = %v want 0.5", got)
+	}
+	prev := 1.0
+	for s := 1; s < 10; s++ {
+		if d(s) >= prev {
+			t.Fatalf("discount not decreasing at %d", s)
+		}
+		prev = d(s)
+	}
+	if flat := PolyDiscount(0); flat(7) != 1 {
+		t.Fatal("exponent 0 must disable discounting")
+	}
+}
+
+// stalenessAlgo overrides the runtime discount via StalenessWeighter.
+type stalenessAlgo struct {
+	Base
+	calls map[int]int
+	mu    sync.Mutex
+}
+
+func (s *stalenessAlgo) Name() string { return "stale-test" }
+func (s *stalenessAlgo) StalenessWeight(st int) float64 {
+	s.mu.Lock()
+	s.calls[st]++
+	s.mu.Unlock()
+	return 1 / (1 + float64(st))
+}
+
+func TestStalenessWeighterOverridesDiscount(t *testing.T) {
+	algo := &stalenessAlgo{calls: map[int]int{}}
+	acfg := asyncTestConfig(t, algo)
+	acfg.Rounds = 8
+	acfg.Concurrency = 4
+	acfg.BufferSize = 2
+	acfg.Latency = UniformLatency{Min: 1, Max: 9}
+	acfg.Discount = func(int) float64 { t.Fatal("algorithm override must win"); return 0 }
+	if _, err := RunAsync(acfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(algo.calls) == 0 {
+		t.Fatal("StalenessWeight never consulted")
+	}
+}
+
+func TestParseLatency(t *testing.T) {
+	good := []struct {
+		spec, str string
+	}{
+		{"zero", "zero"},
+		{"const:2", "const:2"},
+		{"uniform:0.5,2", "uniform:0.5,2"},
+		{"exp:1.5", "exp:1.5"},
+		{"lognormal:0,0.5", "lognormal:0,0.5"},
+		{"straggler:1,10,5", "straggler:1,10,5"},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range good {
+		m, err := ParseLatency(g.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", g.spec, err)
+		}
+		if m.String() != g.str {
+			t.Fatalf("%s round-tripped to %s", g.spec, m.String())
+		}
+		for i := 0; i < 100; i++ {
+			if d := m.Sample(i, rng); d < 0 {
+				t.Fatalf("%s sampled negative latency %v", g.spec, d)
+			}
+		}
+	}
+	bad := []string{"warp", "const", "const:x", "uniform:2,1", "uniform:-1,1", "exp:0", "exp:-2", "lognormal:0,-1", "straggler:1,0.5,3", "straggler:1,2,0"}
+	for _, spec := range bad {
+		if _, err := ParseLatency(spec); err == nil {
+			t.Fatalf("%s accepted", spec)
+		}
+	}
+}
+
+// Stragglers make buffered async reach a virtual-time budget far sooner
+// than the lock-step barrier: the barrier pays the slow client's latency
+// every round it participates, buffered aggregation does not wait.
+func TestAsyncBeatsBarrierWallClockUnderStragglers(t *testing.T) {
+	lat := StragglerLatency{Fast: 1, Slow: 20, SlowEvery: 2} // ids 0,2,4 slow
+	barrier := asyncTestConfig(t, NewFedTrip(0.4))
+	barrier.Rounds = 8
+	barrier.RoundBarrier = true
+	barrier.Latency = lat
+	bres, err := RunAsync(barrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered := asyncTestConfig(t, NewFedTrip(0.4))
+	buffered.Rounds = 8
+	buffered.Concurrency = 3
+	buffered.BufferSize = 3
+	buffered.Latency = lat
+	ares, err := RunAsync(buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := bres.SimTimeByRound[len(bres.SimTimeByRound)-1]
+	at := ares.SimTimeByRound[len(ares.SimTimeByRound)-1]
+	if at >= bt {
+		t.Fatalf("buffered async total time %.1fs not below barrier %.1fs", at, bt)
+	}
+}

@@ -93,6 +93,18 @@ type Transport interface {
 	Up(clientID, round int, params []float64) []float64
 }
 
+// MeteredTransport is an optional Transport capability: implementations
+// report the cumulative bytes actually encoded on the wire in each
+// direction. When the configured Transport provides it, the runtime
+// records these measured bytes in Result.CommBytesByRound instead of the
+// analytic float32 formula, so compression and header overhead show up in
+// the communication columns. Counters must be safe for concurrent reads
+// while transfers are in flight.
+type MeteredTransport interface {
+	Transport
+	WireBytes() (down, up int64)
+}
+
 // Validate checks the configuration and fills defaults.
 func (c *Config) Validate() error {
 	if err := c.Model.Validate(); err != nil {
@@ -142,6 +154,11 @@ type Update struct {
 	Params     []float64
 	NumSamples int
 	TrainLoss  float64
+	// Staleness is the number of aggregations the server completed between
+	// this update's dispatch and its merge. Always 0 in the synchronous
+	// runtime; the asynchronous runtime fills it before aggregation so
+	// Aggregator overrides and OnUpdates observers can react to it.
+	Staleness int
 }
 
 // Algorithm customises client-side local training. The zero-cost base
@@ -204,6 +221,16 @@ type OptimizerChooser interface {
 // one model transfer (SCAFFOLD/FedDANE/MimeLite ship an extra 2|w|).
 type CommCoster interface {
 	ExtraCommFactor() float64
+}
+
+// StalenessWeighter lets an Algorithm override the asynchronous runtime's
+// staleness discount: the returned weight multiplies the update's
+// data-size aggregation weight. staleness is the number of aggregations
+// completed between the update's dispatch and its merge (0 = fresh).
+// Implementations must return 1 for staleness 0 if they want the
+// zero-latency barrier mode to stay equivalent to the synchronous server.
+type StalenessWeighter interface {
+	StalenessWeight(staleness int) float64
 }
 
 // Base is the no-op Algorithm; embedded by every method. On its own it is

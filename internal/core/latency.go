@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// LatencyModel assigns each client dispatch a simulated wall-clock
+// duration in seconds: the time between the server shipping the global
+// model and the client's update arriving back. The asynchronous runtime
+// advances its virtual clock with these samples; it never sleeps, so
+// "seconds" are simulation units, deterministic for a fixed seed.
+//
+// Sample must draw all randomness from the supplied rng (the runtime's
+// dedicated latency source) and must be safe to call from a single
+// goroutine; the runtime samples at dispatch time on the event loop.
+type LatencyModel interface {
+	Sample(clientID int, rng *rand.Rand) float64
+	String() string
+}
+
+// ZeroLatency makes every dispatch complete instantly. It draws nothing
+// from the rng, so it is the model to use for the sync-equivalence barrier
+// mode.
+type ZeroLatency struct{}
+
+func (ZeroLatency) Sample(int, *rand.Rand) float64 { return 0 }
+func (ZeroLatency) String() string                 { return "zero" }
+
+// ConstantLatency gives every client the same fixed duration.
+type ConstantLatency struct{ D float64 }
+
+func (l ConstantLatency) Sample(int, *rand.Rand) float64 { return l.D }
+func (l ConstantLatency) String() string                 { return fmt.Sprintf("const:%g", l.D) }
+
+// UniformLatency draws uniformly from [Min, Max].
+type UniformLatency struct{ Min, Max float64 }
+
+func (l UniformLatency) Sample(_ int, rng *rand.Rand) float64 {
+	return l.Min + rng.Float64()*(l.Max-l.Min)
+}
+func (l UniformLatency) String() string { return fmt.Sprintf("uniform:%g,%g", l.Min, l.Max) }
+
+// ExponentialLatency draws from an exponential distribution with the
+// given mean — the classic memoryless arrival model.
+type ExponentialLatency struct{ Mean float64 }
+
+func (l ExponentialLatency) Sample(_ int, rng *rand.Rand) float64 {
+	return l.Mean * rng.ExpFloat64()
+}
+func (l ExponentialLatency) String() string { return fmt.Sprintf("exp:%g", l.Mean) }
+
+// LognormalLatency draws exp(Mu + Sigma*N(0,1)) — the heavy-tailed
+// device-speed distribution observed in production FL fleets, where a
+// small fraction of devices is dramatically slower.
+type LognormalLatency struct{ Mu, Sigma float64 }
+
+func (l LognormalLatency) Sample(_ int, rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+func (l LognormalLatency) String() string { return fmt.Sprintf("lognormal:%g,%g", l.Mu, l.Sigma) }
+
+// StragglerLatency models a fleet with systematic stragglers: every
+// SlowEvery-th client (by ID) takes Slow seconds, the rest take Fast,
+// each with ±10% uniform jitter. It is the scenario where synchronous
+// rounds pay the straggler tax every round and buffered async does not.
+type StragglerLatency struct {
+	Fast, Slow float64
+	SlowEvery  int
+}
+
+func (l StragglerLatency) Sample(clientID int, rng *rand.Rand) float64 {
+	base := l.Fast
+	if l.SlowEvery > 0 && clientID%l.SlowEvery == 0 {
+		base = l.Slow
+	}
+	return base * (0.9 + 0.2*rng.Float64())
+}
+func (l StragglerLatency) String() string {
+	return fmt.Sprintf("straggler:%g,%g,%d", l.Fast, l.Slow, l.SlowEvery)
+}
+
+// ParseLatency parses a CLI latency spec of the form "name" or
+// "name:arg1,arg2,...":
+//
+//	zero                 no latency (sync-equivalence mode)
+//	const:D              every dispatch takes D seconds
+//	uniform:MIN,MAX      uniform in [MIN, MAX]
+//	exp:MEAN             exponential with the given mean
+//	lognormal:MU,SIGMA   exp(MU + SIGMA*N(0,1))
+//	straggler:F,S,E      every E-th client takes S, others F (±10% jitter)
+func ParseLatency(spec string) (LatencyModel, error) {
+	name, rest, _ := strings.Cut(spec, ":")
+	var args []float64
+	if rest != "" {
+		for _, p := range strings.Split(rest, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: latency spec %q: %v", spec, err)
+			}
+			args = append(args, v)
+		}
+	}
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("core: latency %q wants %d args, got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "zero", "":
+		return ZeroLatency{}, want(0)
+	case "const":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		if args[0] < 0 {
+			return nil, fmt.Errorf("core: negative latency %g", args[0])
+		}
+		return ConstantLatency{D: args[0]}, nil
+	case "uniform":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		if args[0] < 0 || args[1] < args[0] {
+			return nil, fmt.Errorf("core: uniform latency wants 0 <= min <= max, got [%g,%g]", args[0], args[1])
+		}
+		return UniformLatency{Min: args[0], Max: args[1]}, nil
+	case "exp":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		if args[0] <= 0 {
+			return nil, fmt.Errorf("core: exp latency mean %g must be positive", args[0])
+		}
+		return ExponentialLatency{Mean: args[0]}, nil
+	case "lognormal":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		if args[1] < 0 {
+			return nil, fmt.Errorf("core: lognormal sigma %g must be >= 0", args[1])
+		}
+		return LognormalLatency{Mu: args[0], Sigma: args[1]}, nil
+	case "straggler":
+		if err := want(3); err != nil {
+			return nil, err
+		}
+		if args[0] <= 0 || args[1] < args[0] || args[2] < 1 {
+			return nil, fmt.Errorf("core: straggler latency wants 0 < fast <= slow and every >= 1, got %v", args)
+		}
+		return StragglerLatency{Fast: args[0], Slow: args[1], SlowEvery: int(args[2])}, nil
+	}
+	return nil, fmt.Errorf("core: unknown latency model %q (zero|const|uniform|exp|lognormal|straggler)", name)
+}

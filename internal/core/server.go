@@ -9,15 +9,17 @@ import (
 	"repro/internal/tensor"
 )
 
-// Result summarises a federated run.
+// Result summarises a federated run (synchronous or asynchronous; for the
+// async runtime "round" means one buffered aggregation).
 type Result struct {
 	// Algorithm is the method's registry name.
 	Algorithm string
 	// Rounds actually executed (may be fewer than Config.Rounds when
 	// StopAtTarget fires).
 	Rounds int
-	// Accuracy[t] is the global model's test accuracy after round t+1
-	// (NaN for rounds skipped by EvalEvery).
+	// Accuracy[t] is the global model's test accuracy after round t+1.
+	// Rounds skipped by EvalEvery carry the last evaluated value forward
+	// (0 before the first evaluation).
 	Accuracy []float64
 	// TrainLoss[t] is the mean local training loss across the selected
 	// clients in round t+1.
@@ -26,16 +28,29 @@ type Result struct {
 	// forward+backward+attaching FLOPs) through round t+1, in GFLOPs.
 	GFLOPsByRound []float64
 	// CommBytesByRound[t] is the cumulative client<->server traffic
-	// through round t+1 (float32 model transfers, as in the paper).
+	// through round t+1. When the configured Transport implements
+	// MeteredTransport these are the actually-encoded wire bytes (plus
+	// analytic method extras); otherwise the paper's analytic float32
+	// accounting is used.
 	CommBytesByRound []int64
+	// SimTimeByRound[t] is the simulated wall-clock time (seconds under
+	// the configured LatencyModel) at the end of round t+1. Only the
+	// asynchronous runtime fills it; nil for Server.Run.
+	SimTimeByRound []float64
+	// MeanStalenessByRound[t] is the mean staleness (aggregations elapsed
+	// since dispatch) of the updates merged in round t+1. Only the
+	// asynchronous runtime fills it; nil for Server.Run.
+	MeanStalenessByRound []float64
 	// TargetAccuracy echoes the config; RoundsToTarget is the first round
 	// whose evaluation reached it (-1 if never reached).
 	TargetAccuracy float64
 	RoundsToTarget int
 	// BestAccuracy is the highest test accuracy observed (Fig. 7 metric).
 	BestAccuracy float64
-	// FinalAccuracy is the mean accuracy over the last 10 evaluated
-	// rounds (Fig. 6 metric).
+	// FinalAccuracy is the mean accuracy over the last up-to-10
+	// actually-evaluated rounds (Fig. 6 metric). Rounds that EvalEvery
+	// skipped do not contribute — carrying stale values forward would
+	// bias the mean toward whatever round happened to precede a gap.
 	FinalAccuracy float64
 }
 
@@ -67,6 +82,19 @@ func (r *Result) CommBytesToTarget() int64 {
 		return 0
 	}
 	return r.CommBytesByRound[len(r.CommBytesByRound)-1]
+}
+
+// TimeToTarget returns the simulated wall-clock time at which the target
+// accuracy was reached, or the full-run time if it never was (0 when the
+// run has no simulated clock).
+func (r *Result) TimeToTarget() float64 {
+	if len(r.SimTimeByRound) == 0 {
+		return 0
+	}
+	if r.RoundsToTarget > 0 && r.RoundsToTarget <= len(r.SimTimeByRound) {
+		return r.SimTimeByRound[r.RoundsToTarget-1]
+	}
+	return r.SimTimeByRound[len(r.SimTimeByRound)-1]
 }
 
 // Server owns the global model and the client population for one run.
@@ -115,14 +143,55 @@ func (s *Server) Global() []float64 { return s.global }
 func (s *Server) Clients() []*Client { return s.clients }
 
 // selectClients draws K distinct clients uniformly at random, matching the
-// paper's random selection.
+// paper's random selection. Config.Validate rejects K > N at construction;
+// the clamp here is defence in depth so a mutated config degrades to full
+// participation instead of an index-out-of-range panic.
 func (s *Server) selectClients() []*Client {
+	k := s.cfg.ClientsPerRound
+	if k > len(s.clients) {
+		k = len(s.clients)
+	}
 	perm := s.rng.Perm(len(s.clients))
-	sel := make([]*Client, s.cfg.ClientsPerRound)
+	sel := make([]*Client, k)
 	for i := range sel {
 		sel[i] = s.clients[perm[i]]
 	}
 	return sel
+}
+
+// trainClient runs one client's participating round: ship the global model
+// through the transport, train locally, ship the upload back. It is the
+// unit of work both runtimes dispatch (concurrently — distinct clients own
+// all their state).
+func (s *Server) trainClient(c *Client, round int, global []float64) Update {
+	cfg := &s.cfg
+	if cfg.Transport != nil {
+		global = cfg.Transport.Down(c.ID, round, global)
+	}
+	u := c.LocalTrain(round, global)
+	if cfg.Transport != nil {
+		u.Params = cfg.Transport.Up(c.ID, round, u.Params)
+	}
+	return u
+}
+
+// trainSelected trains the selected clients concurrently (the paper's
+// "clients in St perform local model training ... in parallel") and
+// returns their updates in selection order. parallel.Do rather than
+// parallel.Map: Map runs inline below its minimum work threshold, which
+// realistic K values (4-10 clients) never reach, so Map would serialise
+// the round.
+func (s *Server) trainSelected(round int, selected []*Client) []Update {
+	updates := make([]Update, len(selected))
+	tasks := make([]func(), len(selected))
+	for i := range selected {
+		i := i
+		tasks[i] = func() {
+			updates[i] = s.trainClient(selected[i], round, s.global)
+		}
+	}
+	parallel.Do(tasks...)
+	return updates
 }
 
 // aggregate applies Eq. 2 with a_k = |D_k| / |D_St| unless the algorithm
@@ -134,12 +203,28 @@ func (s *Server) aggregate(round int, updates []Update) {
 		return
 	}
 	weights := make([]float64, len(updates))
+	for i, u := range updates {
+		weights[i] = float64(u.NumSamples)
+	}
+	s.aggregateWeighted(weights, updates)
+}
+
+// aggregateWeighted normalises the given weights and merges the updates
+// into the global model. Both runtimes funnel through it: the synchronous
+// server with data-size weights, the asynchronous one with data-size
+// weights scaled by the staleness discount (a discount of exactly 1
+// reproduces the synchronous arithmetic bit-for-bit). A fully-discounted
+// buffer (all weights 0 — e.g. a hard staleness cutoff) contributes
+// nothing rather than dividing the model into NaNs.
+func (s *Server) aggregateWeighted(weights []float64, updates []Update) {
 	vecs := make([][]float64, len(updates))
 	var total float64
 	for i, u := range updates {
-		weights[i] = float64(u.NumSamples)
 		vecs[i] = u.Params
 		total += weights[i]
+	}
+	if total <= 0 {
+		return
 	}
 	for i := range weights {
 		weights[i] /= total
@@ -185,6 +270,113 @@ func EvaluateAccuracy(model *nn.Model, params []float64, ds interface {
 	return correct / float64(n)
 }
 
+// recorder accumulates per-round metrics into a Result. It is the half of
+// the round machinery shared verbatim by the synchronous and asynchronous
+// runtimes, so the two produce directly comparable (and, in the async
+// runtime's barrier mode, bit-for-bit identical) metric streams.
+type recorder struct {
+	s             *Server
+	res           *Result
+	commPerClient int64
+	extraComm     float64
+	cumComm       int64
+	lastMeasured  int64
+	lastAcc       float64
+	evalAccs      []float64
+}
+
+func newRecorder(s *Server) *recorder {
+	r := &recorder{
+		s: s,
+		res: &Result{
+			Algorithm:      s.cfg.Algo.Name(),
+			TargetAccuracy: s.cfg.TargetAccuracy,
+			RoundsToTarget: -1,
+		},
+		commPerClient: int64(4 * len(s.global)), // float32 transfer, one way
+	}
+	if cc, ok := s.cfg.Algo.(CommCoster); ok {
+		r.extraComm = cc.ExtraCommFactor()
+	}
+	return r
+}
+
+// commDelta returns the traffic added by one round that merged nUpdates
+// uploads. A MeteredTransport supplies the actually-encoded bytes (method
+// extras such as control variates stay analytic — the Transport does not
+// carry them); otherwise the analytic down+up float32 formula is used.
+func (r *recorder) commDelta(nUpdates int) int64 {
+	extra := int64(float64(nUpdates) * r.extraComm * float64(r.commPerClient))
+	if mt, ok := r.s.cfg.Transport.(MeteredTransport); ok {
+		down, up := mt.WireBytes()
+		delta := down + up - r.lastMeasured
+		r.lastMeasured = down + up
+		return delta + extra
+	}
+	return int64(2*nUpdates)*r.commPerClient + extra
+}
+
+// record appends the metrics of one completed round t: mean training
+// loss over the merged updates, cumulative communication, cumulative
+// FLOPs, and (when due under EvalEvery, or on the final round) a fresh
+// evaluation. It returns the accuracy attributed to the round.
+func (r *recorder) record(t, totalRounds int, updates []Update, flopsTotal int64) float64 {
+	res := r.res
+	var lossSum float64
+	for _, u := range updates {
+		lossSum += u.TrainLoss
+	}
+	res.TrainLoss = append(res.TrainLoss, lossSum/float64(len(updates)))
+
+	r.cumComm += r.commDelta(len(updates))
+	res.CommBytesByRound = append(res.CommBytesByRound, r.cumComm)
+	res.GFLOPsByRound = append(res.GFLOPsByRound, float64(flopsTotal)/1e9)
+
+	acc := r.lastAcc
+	if t%r.s.cfg.EvalEvery == 0 || t == totalRounds {
+		acc = r.s.EvaluateGlobal()
+		r.lastAcc = acc
+		r.evalAccs = append(r.evalAccs, acc)
+	}
+	res.Accuracy = append(res.Accuracy, acc)
+	if acc > res.BestAccuracy {
+		res.BestAccuracy = acc
+	}
+	if r.s.cfg.TargetAccuracy > 0 && res.RoundsToTarget < 0 && acc >= r.s.cfg.TargetAccuracy {
+		res.RoundsToTarget = t
+	}
+	res.Rounds = t
+	return acc
+}
+
+// finish computes the end-of-run aggregates: FinalAccuracy is the mean
+// over the last up-to-10 rounds that were actually evaluated.
+func (r *recorder) finish() *Result {
+	lo := len(r.evalAccs) - 10
+	if lo < 0 {
+		lo = 0
+	}
+	if len(r.evalAccs) > lo {
+		var sum float64
+		for _, a := range r.evalAccs[lo:] {
+			sum += a
+		}
+		r.res.FinalAccuracy = sum / float64(len(r.evalAccs)-lo)
+	}
+	return r.res
+}
+
+// clientFlopsTotal sums every client's cumulative FLOP counter. Only
+// valid when no client is mid-training (the synchronous barrier); the
+// async runtime accumulates per-arrival deltas instead.
+func (s *Server) clientFlopsTotal() int64 {
+	var fl int64
+	for _, c := range s.clients {
+		fl += c.Counter.Total()
+	}
+	return fl
+}
+
 // Run executes the full federated training loop and collects metrics.
 func Run(cfg Config) (*Result, error) {
 	s, err := NewServer(cfg)
@@ -197,37 +389,14 @@ func Run(cfg Config) (*Result, error) {
 // Run executes the configured number of communication rounds.
 func (s *Server) Run() (*Result, error) {
 	cfg := &s.cfg
-	res := &Result{
-		Algorithm:      cfg.Algo.Name(),
-		TargetAccuracy: cfg.TargetAccuracy,
-		RoundsToTarget: -1,
-	}
-	commPerClient := int64(4 * len(s.global)) // float32 transfer, one way
-	extraComm := 0.0
-	if cc, ok := cfg.Algo.(CommCoster); ok {
-		extraComm = cc.ExtraCommFactor()
-	}
-	var cumComm int64
-	var lastAcc float64
+	rec := newRecorder(s)
+	res := rec.res
 	for t := 1; t <= cfg.Rounds; t++ {
 		selected := s.selectClients()
 		if pr, ok := cfg.Algo.(PreRounder); ok {
 			pr.PreRound(t, selected, s.global)
 		}
-		// Local training in parallel (the paper's "clients in St perform
-		// local model training ... in parallel").
-		updates := parallel.Map(len(selected), func(i int) Update {
-			c := selected[i]
-			global := s.global
-			if cfg.Transport != nil {
-				global = cfg.Transport.Down(c.ID, t, global)
-			}
-			u := c.LocalTrain(t, global)
-			if cfg.Transport != nil {
-				u.Params = cfg.Transport.Up(c.ID, t, u.Params)
-			}
-			return u
-		})
+		updates := s.trainSelected(t, selected)
 		if cfg.OnUpdates != nil {
 			cfg.OnUpdates(t, s.global, updates)
 		}
@@ -236,59 +405,16 @@ func (s *Server) Run() (*Result, error) {
 			return res, fmt.Errorf("core: %s diverged at round %d (non-finite global model)", cfg.Algo.Name(), t)
 		}
 
-		var lossSum float64
-		for _, u := range updates {
-			lossSum += u.TrainLoss
-		}
-		res.TrainLoss = append(res.TrainLoss, lossSum/float64(len(updates)))
-
-		// Communication accounting: down + up per selected client, plus
-		// method extras.
-		cumComm += int64(float64(len(selected)) * (2 + extraComm) * float64(commPerClient))
-		res.CommBytesByRound = append(res.CommBytesByRound, cumComm)
-
-		// FLOP accounting: sum of client counters (cumulative by design).
-		var fl int64
-		for _, c := range s.clients {
-			fl += c.Counter.Total()
-		}
-		res.GFLOPsByRound = append(res.GFLOPsByRound, float64(fl)/1e9)
-
-		acc := lastAcc
-		if t%cfg.EvalEvery == 0 || t == cfg.Rounds {
-			acc = s.EvaluateGlobal()
-			lastAcc = acc
-		}
-		res.Accuracy = append(res.Accuracy, acc)
-		if acc > res.BestAccuracy {
-			res.BestAccuracy = acc
-		}
-		if cfg.TargetAccuracy > 0 && res.RoundsToTarget < 0 && acc >= cfg.TargetAccuracy {
-			res.RoundsToTarget = t
-		}
+		acc := rec.record(t, cfg.Rounds, updates, s.clientFlopsTotal())
 		if cfg.Logf != nil {
 			cfg.Logf("round %3d/%d algo=%s acc=%.4f loss=%.4f gflops=%.2f", t, cfg.Rounds, cfg.Algo.Name(), acc, res.TrainLoss[t-1], res.GFLOPsByRound[t-1])
 		}
 		if cfg.OnRound != nil {
 			cfg.OnRound(t, s)
 		}
-		res.Rounds = t
 		if cfg.StopAtTarget && res.RoundsToTarget > 0 {
 			break
 		}
 	}
-	// Final accuracy: mean over the last up-to-10 recorded rounds.
-	k := len(res.Accuracy)
-	lo := k - 10
-	if lo < 0 {
-		lo = 0
-	}
-	var sum float64
-	for _, a := range res.Accuracy[lo:] {
-		sum += a
-	}
-	if k > lo {
-		res.FinalAccuracy = sum / float64(k-lo)
-	}
-	return res, nil
+	return rec.finish(), nil
 }

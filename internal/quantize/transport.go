@@ -81,3 +81,9 @@ func (t *Transport) DownBytes() int64 { return t.downBytes.Load() }
 
 // UpBytes returns total uplink traffic.
 func (t *Transport) UpBytes() int64 { return t.upBytes.Load() }
+
+// WireBytes implements core.MeteredTransport, so runs with a quantized
+// uplink report their real (compressed) traffic in CommBytesByRound.
+func (t *Transport) WireBytes() (down, up int64) {
+	return t.DownBytes(), t.UpBytes()
+}
