@@ -203,3 +203,85 @@ func BenchmarkAsyncRuntimeThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
 }
+
+// --- Population scale: 1k and 10k clients ---
+//
+// These four benchmarks are the CI perf trajectory (BENCH_2.json tracks
+// their ns/op and allocs/op per PR). Clients hold 6 samples each; the
+// quarter-width MLP keeps per-shard engines small so the numbers measure
+// the runtime — registry, heap event loop, dispatch, engine pool — rather
+// than raw matmul throughput. Evaluation is disabled (EvalEvery past the
+// horizon) for the same reason.
+
+// benchPopulationConfig builds the fleet. Setup (data synthesis and
+// partitioning) runs outside the timer.
+func benchPopulationConfig(b *testing.B, clients int) core.Config {
+	b.Helper()
+	const perClient = 6
+	train, test, err := data.Generate(data.Spec{
+		Kind: data.KindMNIST, Train: clients * perClient, Test: 100, Seed: 81,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts, err := partition.Partition(partition.IID(), train.Y,
+		train.Classes, clients, perClient, rand.New(rand.NewSource(82)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Config{
+		Model: nn.ModelSpec{
+			Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10, Scale: 0.25,
+		},
+		Train: train, Test: test, Parts: parts,
+		Rounds: 4, ClientsPerRound: 32,
+		BatchSize: perClient, LocalEpochs: 1,
+		LR: 0.01, Momentum: 0.9,
+		Algo: core.NewFedTrip(0.4), Seed: 83,
+		EvalEvery: 1 << 20,
+	}
+}
+
+func benchSyncPopulation(b *testing.B, clients int) {
+	cfg := benchPopulationConfig(b, clients)
+	b.ReportAllocs()
+	b.ResetTimer()
+	updates := 0
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Algo = core.NewFedTrip(0.4)
+		res, err := core.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates += res.Rounds * c.ClientsPerRound
+	}
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
+}
+
+func benchAsyncPopulation(b *testing.B, clients int) {
+	cfg := benchPopulationConfig(b, clients)
+	b.ReportAllocs()
+	b.ResetTimer()
+	updates := 0
+	for i := 0; i < b.N; i++ {
+		c := core.AsyncConfig{
+			Config:      cfg,
+			Concurrency: 128,
+			BufferSize:  32,
+			Latency:     core.StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 7},
+		}
+		c.Algo = core.NewFedTrip(0.4)
+		res, err := core.RunAsync(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates += res.Rounds * c.BufferSize
+	}
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
+}
+
+func BenchmarkSync1kClients(b *testing.B)   { benchSyncPopulation(b, 1_000) }
+func BenchmarkAsync1kClients(b *testing.B)  { benchAsyncPopulation(b, 1_000) }
+func BenchmarkSync10kClients(b *testing.B)  { benchSyncPopulation(b, 10_000) }
+func BenchmarkAsync10kClients(b *testing.B) { benchAsyncPopulation(b, 10_000) }

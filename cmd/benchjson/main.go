@@ -1,0 +1,93 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark with every reported metric
+// (ns/op, B/op, allocs/op, custom b.ReportMetric units). CI uses it to
+// publish the per-PR benchmark artifact (BENCH_2.json) so the performance
+// trajectory of the 1k/10k-client runtime benchmarks is tracked over time:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the GOMAXPROCS suffix
+	// ("BenchmarkAsync10kClients").
+	Name string `json:"name"`
+	// FullName preserves the suffix ("BenchmarkAsync10kClients-4").
+	FullName string `json:"full_name"`
+	// Iterations is the b.N the line reports.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the line
+	// (e.g. "ns/op", "B/op", "allocs/op", "updates/sec").
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// parseLine parses one benchmark result line, reporting ok=false for
+// non-benchmark output (headers, PASS, table renders...).
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Minimum: name, iterations, value, unit.
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		FullName:   fields[0],
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// Strip the -GOMAXPROCS suffix, but only when it is purely numeric —
+	// benchmark names may legitimately contain dashes.
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name = b.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func run(out *os.File) error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	benches := []Benchmark{}
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			benches = append(benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(benches)
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	line := "BenchmarkAsync10kClients-4   \t       1\t  99141931 ns/op\t      1291 updates/sec\t215744648 B/op\t   31186 allocs/op"
+	b, ok := parseLine(line)
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if b.Name != "BenchmarkAsync10kClients" || b.FullName != "BenchmarkAsync10kClients-4" {
+		t.Fatalf("names %q / %q", b.Name, b.FullName)
+	}
+	if b.Iterations != 1 {
+		t.Fatalf("iterations %d", b.Iterations)
+	}
+	want := map[string]float64{
+		"ns/op": 99141931, "updates/sec": 1291, "B/op": 215744648, "allocs/op": 31186,
+	}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Fatalf("metric %s = %v want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseLineNoProcsSuffix(t *testing.T) {
+	b, ok := parseLine("BenchmarkSync1kClients \t 2\t  500 ns/op")
+	if !ok || b.Name != "BenchmarkSync1kClients" || b.Iterations != 2 || b.Metrics["ns/op"] != 500 {
+		t.Fatalf("parsed %+v ok=%v", b, ok)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t1.467s",
+		"Benchmark", // header-only, no fields
+		"BenchmarkBroken notanumber 5 ns/op",
+		"| fedtrip | 12 |", // rendered table rows
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("accepted noise line %q", line)
+		}
+	}
+}
+
+// A benchmark that prints a trailing odd field (e.g. a stray token) keeps
+// the parsed pairs it could read.
+func TestParseLineOddFieldCount(t *testing.T) {
+	b, ok := parseLine("BenchmarkX-8 10 123 ns/op 77")
+	if !ok {
+		t.Fatal("rejected")
+	}
+	if b.Metrics["ns/op"] != 123 || len(b.Metrics) != 1 {
+		t.Fatalf("metrics %+v", b.Metrics)
+	}
+}

@@ -12,6 +12,13 @@
 // -buffer, -concurrency, -latency, and -stale-exp:
 //
 //	fedtrip -algo fedtrip -async -latency straggler:1,10,5 -buffer 2 -rounds 60
+//
+// Population scale is set with -clients and the real parallelism (and
+// memory: one model-sized training engine per shard) with -shards; the
+// two are independent, so a 10k-client fleet runs on a laptop:
+//
+//	fedtrip -async -clients 10000 -samples 6 -concurrency 256 -buffer 64 \
+//	        -latency straggler:1,10,7 -rounds 30
 package main
 
 import (
@@ -55,6 +62,7 @@ func main() {
 		savePath  = flag.String("save", "", "write the final global model checkpoint to this file")
 		tracePath = flag.String("trace", "", "write per-client round telemetry CSV to this file")
 		wire      = flag.Bool("wire", false, "ship models through the float32 wire transport and report true traffic")
+		shards    = flag.Int("shards", 0, "worker shards training runs on; each owns one model-sized engine (0 = one per CPU)")
 		async     = flag.Bool("async", false, "use the asynchronous staleness-aware runtime (buffered aggregation)")
 		buffer    = flag.Int("buffer", 0, "async: arrivals per aggregation (0 = K)")
 		conc      = flag.Int("concurrency", 0, "async: clients training simultaneously (0 = K)")
@@ -70,7 +78,7 @@ func main() {
 		lr: *lr, momentum: *momentum, mu: *mu, scale: *scale,
 		target: *target, seed: *seed, quiet: *quiet, clip: *clip,
 		savePath: *savePath, tracePath: *tracePath, wire: *wire,
-		async: *async, buffer: *buffer, conc: *conc,
+		shards: *shards, async: *async, buffer: *buffer, conc: *conc,
 		latSpec: *latSpec, staleExp: *staleExp,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "fedtrip:", err)
@@ -90,7 +98,7 @@ type runOpts struct {
 	clip                                float64
 	savePath, tracePath                 string
 	async                               bool
-	buffer, conc                        int
+	shards, buffer, conc                int
 	latSpec                             string
 	staleExp                            float64
 }
@@ -136,6 +144,7 @@ func run(o runOpts) error {
 		LR: o.lr, Momentum: o.momentum, ClipNorm: o.clip,
 		Algo: algo, Seed: o.seed,
 		TargetAccuracy: o.target,
+		Shards:         o.shards,
 	}
 	if !o.quiet {
 		cfg.Logf = func(format string, args ...any) {

@@ -261,7 +261,7 @@ func TestFedDynGradAndState(t *testing.T) {
 		}
 	}
 	// EndRound: h_k -= alpha*(w_k - global); with model params set to w.
-	c.Model.SetParams(w)
+	c.Model().SetParams(w)
 	f.EndRound(c, 1)
 	hk := c.StateVec("feddyn.h")
 	for i := range hk {

@@ -54,7 +54,7 @@ func (f *FedDyn) TransformGrad(c *core.Client, round int, w, g []float64) {
 func (f *FedDyn) EndRound(c *core.Client, round int) {
 	hk := c.StateVec("feddyn.h")
 	global := c.StateVec("feddyn.global")
-	w := c.Model.Params()
+	w := c.Model().Params()
 	for i := range hk {
 		hk[i] -= f.Alpha * (w[i] - global[i])
 	}

@@ -75,7 +75,7 @@ func (s *SCAFFOLD) EndRound(c *core.Client, round int) {
 	cSrv := c.StateVec("scaffold.c")
 	ck := c.StateVec("scaffold.ck")
 	dc := c.StateVec("scaffold.dc")
-	w := c.Model.Params()
+	w := c.Model().Params()
 	inv := 1 / (k * lr)
 	for i := range ck {
 		newCk := ck[i] - cSrv[i] + (global[i]-w[i])*inv

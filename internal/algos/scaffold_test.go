@@ -39,7 +39,7 @@ func TestSCAFFOLDControlVariateUpdate(t *testing.T) {
 	for i := range end {
 		end[i] = 0.5
 	}
-	c.Model.SetParams(end)
+	c.Model().SetParams(end)
 	s.EndRound(c, 1)
 
 	// c_k was 0, c was 0: c_k^+ = (global - w)/(K*lr) with K=2, lr=0.01.

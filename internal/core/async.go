@@ -11,9 +11,22 @@
 // Time is simulated: a LatencyModel assigns each dispatch a virtual
 // duration, and the event loop processes arrivals in virtual-time order
 // (ties broken by dispatch order, so runs are deterministic). Local
-// training itself really executes — concurrently, up to Concurrency
-// goroutines — which is what the throughput benchmarks measure; only the
-// clock is virtual.
+// training itself really executes — on the bounded shard pool, one
+// training engine per shard — which is what the throughput benchmarks
+// measure; only the clock is virtual.
+//
+// The loop is built to survive populations of 10k+ clients:
+//
+//   - In-flight jobs sit in an indexed min-heap keyed on (finish, seq), so
+//     finding the next arrival is O(log M) instead of a linear scan.
+//   - Idle clients live in the population registry's O(1) uniform-pick
+//     set, so dispatch never scans the fleet.
+//   - The number of *simulated* in-flight clients (Concurrency) is
+//     decoupled from the number of training engines (Config.Shards):
+//     thousands of virtual dispatches queue behind a handful of engines,
+//     keeping memory O(shards * |w|), not O(population * |w|).
+//   - Evaluation runs off the loop on the snapshot-based evaluator, so a
+//     merge never stalls behind the test set.
 //
 // Staleness is exactly FedTrip's xi regime: a client dispatched for round
 // d whose previous participation was round r trains with a genuine
@@ -50,9 +63,10 @@ func PolyDiscount(a float64) func(staleness int) float64 {
 // for Concurrency and BufferSize.
 type AsyncConfig struct {
 	Config
-	// Concurrency is the number of clients training simultaneously
-	// (FedBuff's M). Defaults to ClientsPerRound. Must not exceed the
-	// population.
+	// Concurrency is the number of clients training simultaneously in
+	// simulated time (FedBuff's M). Defaults to ClientsPerRound. Must not
+	// exceed the population. Real parallelism is bounded separately by
+	// Config.Shards.
 	Concurrency int
 	// BufferSize is the number of arrivals per aggregation (FedBuff's K).
 	// Defaults to ClientsPerRound.
@@ -121,6 +135,7 @@ type AsyncServer struct {
 	latRng   *rand.Rand
 	now      float64
 	discount func(int) float64
+	pop      *population
 }
 
 // NewAsyncServer validates the configuration and builds the population.
@@ -140,6 +155,7 @@ func NewAsyncServer(cfg AsyncConfig) (*AsyncServer, error) {
 		// barrier equivalence mode depends on.
 		latRng:   rand.New(rand.NewSource(cfg.Seed + 99991)),
 		discount: cfg.Discount,
+		pop:      newPopulation(len(s.clients), cfg.Latency),
 	}
 	if sw, ok := cfg.Algo.(StalenessWeighter); ok {
 		a.discount = sw.StalenessWeight
@@ -157,6 +173,13 @@ func (a *AsyncServer) Server() *Server { return a.s }
 // Now returns the current virtual time in seconds.
 func (a *AsyncServer) Now() float64 { return a.now }
 
+// Participation reports how many distinct clients have been dispatched at
+// least once and the total number of dispatches — the fleet-coverage
+// statistics of the population registry.
+func (a *AsyncServer) Participation() (distinct int, dispatches int64) {
+	return a.pop.participants()
+}
+
 // RunAsync builds an AsyncServer and executes the run.
 func RunAsync(cfg AsyncConfig) (*Result, error) {
 	a, err := NewAsyncServer(cfg)
@@ -164,29 +187,6 @@ func RunAsync(cfg AsyncConfig) (*Result, error) {
 		return nil, err
 	}
 	return a.Run()
-}
-
-// asyncJob is one dispatched client: training runs in its own goroutine
-// while the event loop keeps processing; update and flops are valid after
-// done is closed.
-type asyncJob struct {
-	c      *Client
-	round  int     // server round the update was dispatched for
-	finish float64 // virtual arrival time
-	seq    int     // dispatch order, tie-break for equal arrival times
-	update Update
-	flops  int64
-	done   chan struct{}
-}
-
-// spawn starts the job's local training on a snapshot of the global model.
-func (a *AsyncServer) spawn(j *asyncJob, global []float64) {
-	go func() {
-		before := j.c.Counter.Total()
-		j.update = a.s.trainClient(j.c, j.round, global)
-		j.flops = j.c.Counter.Total() - before
-		close(j.done)
-	}()
 }
 
 // Run executes the configured number of aggregations.
@@ -202,7 +202,15 @@ func (a *AsyncServer) Run() (*Result, error) {
 func (a *AsyncServer) runBarrier() (*Result, error) {
 	s := a.s
 	cfg := &s.cfg
-	rec := newRecorder(s)
+	rec, err := newRecorder(s)
+	if err != nil {
+		return nil, err
+	}
+	// finalize is idempotent; deferring it keeps the evaluator goroutine
+	// from leaking even when a user callback or algorithm panics.
+	defer rec.finalize()
+	sp := newShardPool(s, cfg.Shards, cfg.ClientsPerRound)
+	defer sp.close()
 	res := rec.res
 	var flopsTotal int64
 	for t := 1; t <= cfg.Rounds; t++ {
@@ -210,19 +218,21 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 		if pr, ok := cfg.Algo.(PreRounder); ok {
 			pr.PreRound(t, selected, s.global)
 		}
-		jobs := make([]*asyncJob, len(selected))
+		jobs := make([]*trainJob, len(selected))
 		for i, c := range selected {
-			jobs[i] = &asyncJob{c: c, round: t, seq: i, done: make(chan struct{})}
-			jobs[i].finish = a.now + a.acfg.Latency.Sample(c.ID, a.latRng)
+			jobs[i] = &trainJob{c: c, round: t, seq: i, global: s.global, done: make(chan struct{})}
+			jobs[i].finish = a.now + a.pop.sampleLatency(a.acfg.Latency, c.ID, a.latRng)
+			a.pop.dispatched(c.ID)
 			// All jobs read the same pre-aggregation global; no writer
 			// until every one of them has joined below.
-			a.spawn(jobs[i], s.global)
+			sp.submit(jobs[i])
 		}
 		roundEnd := a.now
 		updates := make([]Update, len(jobs))
 		weights := make([]float64, len(jobs))
 		for i, j := range jobs {
 			<-j.done
+			a.pop.arrived(j.c.ID)
 			if j.finish > roundEnd {
 				roundEnd = j.finish
 			}
@@ -236,6 +246,7 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 		}
 		a.aggregate(t, weights, updates)
 		if !tensor.AllFinite(s.global) {
+			rec.finalize()
 			return res, fmt.Errorf("core: %s diverged at round %d (non-finite global model)", cfg.Algo.Name(), t)
 		}
 		acc := rec.record(t, cfg.Rounds, updates, flopsTotal)
@@ -260,52 +271,54 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 func (a *AsyncServer) runBuffered() (*Result, error) {
 	s := a.s
 	cfg := &s.cfg
-	rec := newRecorder(s)
+	rec, err := newRecorder(s)
+	if err != nil {
+		return nil, err
+	}
+	// finalize is idempotent; deferring it keeps the evaluator goroutine
+	// from leaking even when a user callback or algorithm panics.
+	defer rec.finalize()
+	// Closing the pool joins every submitted job, so training goroutines
+	// never outlive Run: they hold client state and the transport.
+	sp := newShardPool(s, cfg.Shards, a.acfg.Concurrency)
+	defer sp.close()
 	res := rec.res
 
-	busy := make([]bool, len(s.clients))
-	var inflight []*asyncJob
-	var buffer []*asyncJob
+	var inflight jobHeap
+	var buffer []*trainJob
 	var flopsTotal int64
 	seq := 0
 	aggs := 0
 
-	// Never leave training goroutines running past Run: they hold client
-	// state and the transport.
-	defer func() {
-		for _, j := range inflight {
-			<-j.done
-		}
-	}()
-
 	dispatch := func() {
-		for len(inflight) < a.acfg.Concurrency {
-			id, ok := a.pickAvailable(busy)
+		for inflight.len() < a.acfg.Concurrency {
+			id, ok := a.pickAvailable()
 			if !ok {
 				break
 			}
-			busy[id] = true
-			c := s.clients[id]
-			j := &asyncJob{c: c, round: aggs + 1, seq: seq, done: make(chan struct{})}
+			j := &trainJob{c: s.clients[id], round: aggs + 1, seq: seq, done: make(chan struct{})}
 			seq++
-			j.finish = a.now + a.acfg.Latency.Sample(id, a.latRng)
+			j.finish = a.now + a.pop.sampleLatency(a.acfg.Latency, id, a.latRng)
 			// Snapshot: the global model mutates under in-flight jobs.
-			a.spawn(j, append([]float64(nil), s.global...))
-			inflight = append(inflight, j)
+			j.global = append([]float64(nil), s.global...)
+			a.pop.dispatched(id)
+			sp.submit(j)
+			inflight.push(j)
 		}
 	}
 
 	for aggs < cfg.Rounds {
 		dispatch()
-		if len(inflight) == 0 {
+		j := inflight.pop()
+		if j == nil {
+			rec.finalize()
 			return res, fmt.Errorf("core: async runtime stalled with no clients in flight")
 		}
-		j := popEarliest(&inflight)
 		if j.finish > a.now {
 			a.now = j.finish
 		}
 		<-j.done
-		busy[j.c.ID] = false
+		a.pop.arrived(j.c.ID)
 		flopsTotal += j.flops
 		buffer = append(buffer, j)
 		if len(buffer) < a.acfg.BufferSize {
@@ -332,6 +345,7 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 		}
 		a.aggregate(t, weights, updates)
 		if !tensor.AllFinite(s.global) {
+			rec.finalize()
 			return res, fmt.Errorf("core: %s diverged at aggregation %d (non-finite global model)", cfg.Algo.Name(), t)
 		}
 		acc := rec.record(t, cfg.Rounds, updates, flopsTotal)
@@ -366,43 +380,9 @@ func (a *AsyncServer) aggregate(t int, weights []float64, updates []Update) {
 }
 
 // pickAvailable draws one idle client uniformly at random (the async
-// analogue of the paper's uniform selection), or reports none idle.
-func (a *AsyncServer) pickAvailable(busy []bool) (int, bool) {
-	n := 0
-	for _, b := range busy {
-		if !b {
-			n++
-		}
-	}
-	if n == 0 {
-		return 0, false
-	}
-	k := a.s.rng.Intn(n)
-	for id, b := range busy {
-		if !b {
-			if k == 0 {
-				return id, true
-			}
-			k--
-		}
-	}
-	return 0, false
-}
-
-// popEarliest removes and returns the in-flight job with the smallest
-// (finish, seq). In-flight counts stay at the concurrency bound (tens),
-// so a linear scan beats heap bookkeeping.
-func popEarliest(jobs *[]*asyncJob) *asyncJob {
-	js := *jobs
-	best := 0
-	for i := 1; i < len(js); i++ {
-		if js[i].finish < js[best].finish ||
-			(js[i].finish == js[best].finish && js[i].seq < js[best].seq) {
-			best = i
-		}
-	}
-	j := js[best]
-	js[best] = js[len(js)-1]
-	*jobs = js[:len(js)-1]
-	return j
+// analogue of the paper's uniform selection), or reports none idle. O(1)
+// via the population registry's dense idle set; it consumes exactly one
+// draw from the selection stream per successful pick.
+func (a *AsyncServer) pickAvailable() (int, bool) {
+	return a.pop.idle.pick(a.s.rng)
 }

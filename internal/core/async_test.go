@@ -387,6 +387,9 @@ func TestParseLatency(t *testing.T) {
 // than the lock-step barrier: the barrier pays the slow client's latency
 // every round it participates, buffered aggregation does not wait.
 func TestAsyncBeatsBarrierWallClockUnderStragglers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: virtual-time outcome, not concurrency, under test")
+	}
 	lat := StragglerLatency{Fast: 1, Slow: 20, SlowEvery: 2} // ids 0,2,4 slow
 	barrier := asyncTestConfig(t, NewFedTrip(0.4))
 	barrier.Rounds = 8

@@ -55,7 +55,7 @@ func BenchmarkFedTripTransform(b *testing.B) {
 	c.Hist = make([]float64, c.NumParams())
 	copy(c.Hist, global)
 	c.SetScalar("fedtrip.xi", 0.5)
-	w := c.Model.Params()
+	w := c.Model().Params()
 	g := make([]float64, len(w))
 	b.SetBytes(int64(4 * len(w) * 8))
 	b.ResetTimer()

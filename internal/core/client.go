@@ -6,24 +6,26 @@ import (
 
 	"repro/internal/flops"
 	"repro/internal/nn"
-	"repro/internal/optim"
 	"repro/internal/tensor"
 )
 
-// Client is one federated participant: its private data indices, its model
-// instance, its optimizer, and per-method state. Clients are trained
-// concurrently by the server; a Client is confined to one goroutine at a
-// time and owns all of its buffers.
+// Client is one federated participant. It owns only what must survive
+// between its participations: its private data indices, its historical
+// model, its per-method state, its FLOP meter, and its deterministic
+// random stream. The heavy training machinery (model, optimizer, batch
+// buffers) is an engine the client borrows for the duration of one
+// LocalTrain — either from the server's worker shards or, for standalone
+// use in tests and analysis code, a lazily built private one. Keeping
+// clients this thin is what lets a population of 10k+ exist in memory at
+// once: idle clients cost a few hundred bytes, not a model.
+//
+// Clients are trained concurrently by the server; a Client is confined to
+// one goroutine at a time and owns all of its buffers while training.
 type Client struct {
 	// ID is the client's index in the population.
 	ID int
 	// Indices are the client's sample indices in the training set.
 	Indices []int
-	// Model is the client's working model (parameters overwritten by the
-	// global model at the start of each participating round).
-	Model *nn.Model
-	// Opt is the local optimizer U(.) of Algorithm 1 line 8.
-	Opt optim.Optimizer
 	// Counter meters this client's training FLOPs (model forward/backward
 	// plus the method's attaching operations).
 	Counter *flops.Counter
@@ -36,8 +38,14 @@ type Client struct {
 	// (0 if never). FedTrip's staleness factor xi derives from it.
 	LastRound int
 
-	cfg *Config
+	cfg  *Config
+	seed int64
+	// rng is built on first use: a 10k-client fleet where most clients
+	// never participate should not pay for 10k PRNG states up front.
 	rng *rand.Rand
+	// numParams caches |w| (filled by the server at construction, or from
+	// the engine on first demand).
+	numParams int
 	// state holds named per-method vectors (FedDyn's h_k, SCAFFOLD's c_k,
 	// FedDANE's gradients...), allocated on first use.
 	state map[string][]float64
@@ -45,54 +53,77 @@ type Client struct {
 	// current round).
 	scalars map[string]float64
 
-	// Scratch models for representation methods (MOON): same architecture,
-	// parameters loaded on demand. Lazily built.
-	scratchA, scratchB *nn.Model
-
-	// Reusable batch buffers.
-	batchX   *tensor.Tensor
-	batchY   []int
-	dLogits  *tensor.Tensor
-	featGrad *tensor.Tensor
+	// eng is the engine currently attached (nil when idle). loan is the
+	// owning server's shared loaner for engine-needing work outside the
+	// shard pool; ownEng is the private fallback for clients built outside
+	// any server (tests, analysis helpers).
+	eng    *engine
+	loan   *engineLoaner
+	ownEng *engine
 }
 
-func newClient(cfg *Config, id int, indices []int, seed int64) (*Client, error) {
-	m, err := cfg.Model.Build(seed)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{
+func newClient(cfg *Config, id int, indices []int, seed int64) *Client {
+	return &Client{
 		ID:      id,
 		Indices: indices,
-		Model:   m,
 		Counter: &flops.Counter{},
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(seed)),
-		state:   make(map[string][]float64),
-		scalars: make(map[string]float64),
+		seed:    seed,
 	}
-	if oc, ok := cfg.Algo.(OptimizerChooser); ok {
-		c.Opt = oc.NewOptimizer(cfg.LR, cfg.Momentum)
-	} else {
-		c.Opt = optim.NewSGDMomentum(cfg.LR, cfg.Momentum)
-	}
-	m.SetCounter(c.Counter)
-	return c, nil
 }
+
+// engine returns the attached engine; otherwise it borrows the server's
+// shared loaner, falling back to (and lazily building) a private engine
+// only for clients that belong to no server.
+func (c *Client) engine() *engine {
+	if c.eng != nil {
+		return c.eng
+	}
+	if c.loan != nil {
+		return c.loan.borrow(c)
+	}
+	if c.ownEng == nil {
+		e, err := newEngine(c.cfg, c.seed)
+		if err != nil {
+			panic(fmt.Sprintf("core: client %d engine: %v", c.ID, err))
+		}
+		c.ownEng = e
+	}
+	c.ownEng.attach(c)
+	return c.ownEng
+}
+
+// Model returns the client's working model. During a server run this is
+// the borrowed shard engine's model; outside one it borrows the server's
+// loaner (or a private instance for serverless clients). Parameters are
+// only meaningful between a SetParams/LocalTrain and the end of the round
+// that loaded them. Confinement: while a run is active, hooks may only
+// call this (or any engine-backed method) for clients that are not in
+// flight — an in-flight client's engine handoff is unsynchronized by
+// design, like every other piece of its training state.
+func (c *Client) Model() *nn.Model { return c.engine().model }
 
 // NumSamples returns |D_k|, the client's data size (the aggregation weight
 // numerator in Eq. 2).
 func (c *Client) NumSamples() int { return len(c.Indices) }
 
 // NumParams returns |w|.
-func (c *Client) NumParams() int { return c.Model.NumParams() }
+func (c *Client) NumParams() int {
+	if c.numParams == 0 {
+		c.numParams = c.engine().model.NumParams()
+	}
+	return c.numParams
+}
 
 // StateVec returns the named per-method state vector of length
-// Model.NumParams(), allocating it zeroed on first use.
+// NumParams(), allocating it zeroed on first use.
 func (c *Client) StateVec(name string) []float64 {
 	v, ok := c.state[name]
 	if !ok {
-		v = make([]float64, c.Model.NumParams())
+		if c.state == nil {
+			c.state = make(map[string][]float64)
+		}
+		v = make([]float64, c.NumParams())
 		c.state[name] = v
 	}
 	return v
@@ -105,7 +136,12 @@ func (c *Client) HasStateVec(name string) bool {
 }
 
 // SetScalar stores a named per-method scalar.
-func (c *Client) SetScalar(name string, v float64) { c.scalars[name] = v }
+func (c *Client) SetScalar(name string, v float64) {
+	if c.scalars == nil {
+		c.scalars = make(map[string]float64)
+	}
+	c.scalars[name] = v
+}
 
 // Scalar returns a named per-method scalar (0 if unset).
 func (c *Client) Scalar(name string) float64 { return c.scalars[name] }
@@ -113,39 +149,25 @@ func (c *Client) Scalar(name string) float64 { return c.scalars[name] }
 // Config returns the run configuration (read-only for algorithms).
 func (c *Client) Config() *Config { return c.cfg }
 
-// RNG exposes the client's deterministic random source (dropout, method-
-// specific sampling).
-func (c *Client) RNG() *rand.Rand { return c.rng }
-
-// ScratchModels returns two scratch model instances with the same
-// architecture as the client's model, building them on first use. MOON
-// loads the global and historical parameters into them for its extra
-// forward passes. Their FLOPs are metered on the client's counter.
-func (c *Client) ScratchModels() (*nn.Model, *nn.Model) {
-	if c.scratchA == nil {
-		a, err := c.cfg.Model.Build(c.rng.Int63())
-		if err != nil {
-			panic(fmt.Sprintf("core: scratch model: %v", err))
-		}
-		b, err := c.cfg.Model.Build(c.rng.Int63())
-		if err != nil {
-			panic(fmt.Sprintf("core: scratch model: %v", err))
-		}
-		a.SetCounter(c.Counter)
-		b.SetCounter(c.Counter)
-		c.scratchA, c.scratchB = a, b
+// RNG exposes the client's deterministic random source (mini-batch
+// shuffling, dropout, method-specific sampling). The stream is keyed to
+// the client, not to the worker that happens to train it, which is why
+// trajectories do not depend on the shard count.
+func (c *Client) RNG() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.seed))
 	}
-	return c.scratchA, c.scratchB
+	return c.rng
 }
 
-// ensureBatch sizes the reusable batch buffers for n samples.
-func (c *Client) ensureBatch(n int) {
-	if c.batchX == nil || c.batchX.Dim(0) != n {
-		shape := append([]int{n}, c.Model.InShape()...)
-		c.batchX = tensor.New(shape...)
-		c.batchY = make([]int, n)
-		c.dLogits = tensor.New(n, c.Model.OutDim())
-	}
+// ScratchModels returns two scratch model instances with the same
+// architecture as the client's model. MOON loads the global and historical
+// parameters into them for its extra forward passes; FedGKD loads its
+// teacher. They belong to the borrowed engine (their parameters carry no
+// client state between rounds) and their FLOPs are metered on the
+// client's counter.
+func (c *Client) ScratchModels() (*nn.Model, *nn.Model) {
+	return c.engine().scratch()
 }
 
 // LocalTrain runs one participating round: load the global model, run E
@@ -154,18 +176,20 @@ func (c *Client) ensureBatch(n int) {
 func (c *Client) LocalTrain(round int, global []float64) Update {
 	cfg := c.cfg
 	algo := cfg.Algo
-	c.Model.SetParams(global)
-	c.Opt.Reset()
+	e := c.engine()
+	e.model.SetParams(global)
+	e.opt.Reset()
 	algo.BeginRound(c, round, global)
 	fg, hasFG := algo.(FeatureGradder)
 	lg, hasLG := algo.(LogitGradder)
+	rng := c.RNG()
 
 	var lossSum float64
 	var batches int
 	n := len(c.Indices)
 	idx := make([]int, 0, cfg.BatchSize)
-	for e := 0; e < cfg.LocalEpochs; e++ {
-		perm := c.rng.Perm(n)
+	for ep := 0; ep < cfg.LocalEpochs; ep++ {
+		perm := rng.Perm(n)
 		for start := 0; start < n; start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > n {
@@ -175,33 +199,33 @@ func (c *Client) LocalTrain(round int, global []float64) Update {
 			for _, p := range perm[start:end] {
 				idx = append(idx, c.Indices[p])
 			}
-			c.ensureBatch(len(idx))
-			cfg.Train.FillBatch(c.batchX, c.batchY, idx)
+			e.ensureBatch(len(idx))
+			cfg.Train.FillBatch(e.batchX, e.batchY, idx)
 
-			logits := c.Model.Forward(c.batchX, true)
-			lossSum += nn.SoftmaxCrossEntropy(logits, c.batchY, c.dLogits)
+			logits := e.model.Forward(e.batchX, true)
+			lossSum += nn.SoftmaxCrossEntropy(logits, e.batchY, e.dLogits)
 			batches++
 
 			if hasLG {
-				lg.LogitGrad(c, c.batchX, c.batchY, logits, c.dLogits)
+				lg.LogitGrad(c, e.batchX, e.batchY, logits, e.dLogits)
 			}
 			var extra *tensor.Tensor
 			if hasFG {
-				feat := c.Model.Features()
-				if c.featGrad == nil || !tensor.SameShape(c.featGrad, feat) {
-					c.featGrad = tensor.New(feat.Shape()...)
+				feat := e.model.Features()
+				if e.featGrad == nil || !tensor.SameShape(e.featGrad, feat) {
+					e.featGrad = tensor.New(feat.Shape()...)
 				}
-				if fg.FeatureGrad(c, c.batchX, c.batchY, feat, c.featGrad) {
-					extra = c.featGrad
+				if fg.FeatureGrad(c, e.batchX, e.batchY, feat, e.featGrad) {
+					extra = e.featGrad
 				}
 			}
-			c.Model.ZeroGrad()
-			c.Model.Backward(c.dLogits, extra)
-			algo.TransformGrad(c, round, c.Model.Params(), c.Model.Grads())
+			e.model.ZeroGrad()
+			e.model.Backward(e.dLogits, extra)
+			algo.TransformGrad(c, round, e.model.Params(), e.model.Grads())
 			if cfg.ClipNorm > 0 {
-				clipToNorm(c.Model.Grads(), cfg.ClipNorm)
+				clipToNorm(e.model.Grads(), cfg.ClipNorm)
 			}
-			c.Opt.Step(c.Model.Params(), c.Model.Grads())
+			e.opt.Step(e.model.Params(), e.model.Grads())
 		}
 	}
 	algo.EndRound(c, round)
@@ -209,9 +233,9 @@ func (c *Client) LocalTrain(round int, global []float64) Update {
 	// Historical-model bookkeeping (Algorithm 1 line 4): remember what
 	// this client is about to upload, and when.
 	if c.Hist == nil {
-		c.Hist = make([]float64, c.Model.NumParams())
+		c.Hist = make([]float64, e.model.NumParams())
 	}
-	copy(c.Hist, c.Model.Params())
+	copy(c.Hist, e.model.Params())
 	c.LastRound = round
 
 	var meanLoss float64
@@ -220,7 +244,7 @@ func (c *Client) LocalTrain(round int, global []float64) Update {
 	}
 	return Update{
 		ClientID:   c.ID,
-		Params:     c.Model.ParamsCopy(),
+		Params:     e.model.ParamsCopy(),
 		NumSamples: len(c.Indices),
 		TrainLoss:  meanLoss,
 	}
@@ -240,9 +264,10 @@ func clipToNorm(g []float64, maxNorm float64) {
 // forward+backward over all local data — lands on the client's FLOP
 // counter, matching the n(FP+BP) term of Appendix A.
 func (c *Client) FullGrad(at []float64) []float64 {
-	saved := c.Model.ParamsCopy()
-	c.Model.SetParams(at)
-	grad := make([]float64, c.Model.NumParams())
+	e := c.engine()
+	saved := e.model.ParamsCopy()
+	e.model.SetParams(at)
+	grad := make([]float64, e.model.NumParams())
 	n := len(c.Indices)
 	bs := c.cfg.BatchSize
 	idx := make([]int, 0, bs)
@@ -252,16 +277,16 @@ func (c *Client) FullGrad(at []float64) []float64 {
 			end = n
 		}
 		idx = append(idx[:0], c.Indices[start:end]...)
-		c.ensureBatch(len(idx))
-		c.cfg.Train.FillBatch(c.batchX, c.batchY, idx)
-		logits := c.Model.Forward(c.batchX, false)
-		nn.SoftmaxCrossEntropy(logits, c.batchY, c.dLogits)
-		c.Model.ZeroGrad()
-		c.Model.Backward(c.dLogits, nil)
+		e.ensureBatch(len(idx))
+		c.cfg.Train.FillBatch(e.batchX, e.batchY, idx)
+		logits := e.model.Forward(e.batchX, false)
+		nn.SoftmaxCrossEntropy(logits, e.batchY, e.dLogits)
+		e.model.ZeroGrad()
+		e.model.Backward(e.dLogits, nil)
 		// SoftmaxCrossEntropy mean-reduces per batch; reweight so the sum
 		// over batches is the mean over all n samples.
-		tensor.Axpy(float64(len(idx))/float64(n), c.Model.Grads(), grad)
+		tensor.Axpy(float64(len(idx))/float64(n), e.model.Grads(), grad)
 	}
-	c.Model.SetParams(saved)
+	e.model.SetParams(saved)
 	return grad
 }

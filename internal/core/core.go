@@ -58,6 +58,13 @@ type Config struct {
 	Algo Algorithm
 	// Seed drives every stochastic choice (init, selection, shuffling).
 	Seed int64
+	// Shards is the number of worker shards client training runs on (both
+	// runtimes). Each shard owns one training engine — model, optimizer,
+	// batch buffers — reused across every client it serves, so memory
+	// scales with Shards, not with the population. 0 selects one shard per
+	// available CPU. Trajectories do not depend on the shard count: all
+	// per-client randomness comes from per-client streams.
+	Shards int
 	// TargetAccuracy, if positive, is recorded in Result.RoundsToTarget.
 	TargetAccuracy float64
 	// StopAtTarget ends the run early once TargetAccuracy is reached
@@ -141,6 +148,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Algo == nil {
 		return fmt.Errorf("core: nil algorithm")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: shards %d", c.Shards)
 	}
 	if c.EvalEvery <= 0 {
 		c.EvalEvery = 1

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/flops"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// engine bundles the expensive, stateless-between-rounds machinery of
+// local training: the working model, the local optimizer, the scratch
+// models used by representation methods, and the reusable batch buffers.
+//
+// Before this type existed every Client owned its own engine-sized block of
+// memory, which put a hard O(N * |w|) floor under the population size.
+// Engines made that O(S * |w|) for S worker shards: a client checks an
+// engine out for the duration of one LocalTrain and returns it afterwards.
+// The checkout is safe because nothing in the engine carries information
+// across rounds — LocalTrain overwrites the model parameters with the
+// received global model, resets the optimizer, and the scratch models are
+// fully re-loaded by the algorithms that use them (MOON, FedGKD) in
+// BeginRound. Everything that does persist across a client's participations
+// (Hist, LastRound, per-method state vectors, the data-shuffling RNG) lives
+// on the Client itself.
+type engine struct {
+	cfg   *Config
+	model *nn.Model
+	opt   optim.Optimizer
+	// seedRng drives lazily built scratch-model initialisation. Scratch
+	// parameters are always overwritten before use, so these draws never
+	// influence a trajectory; a per-engine stream merely keeps construction
+	// deterministic without touching any client's RNG.
+	seedRng            *rand.Rand
+	scratchA, scratchB *nn.Model
+	// counter is the attached client's FLOP counter (nil when detached);
+	// lazily built scratch models pick it up at construction time.
+	counter *flops.Counter
+
+	batchX   *tensor.Tensor
+	batchY   []int
+	dLogits  *tensor.Tensor
+	featGrad *tensor.Tensor
+}
+
+// newEngine builds one training engine. seed determines the (irrelevant,
+// always-overwritten) initial model parameters and the scratch-model seed
+// stream; it only needs to be deterministic, not coordinated.
+func newEngine(cfg *Config, seed int64) (*engine, error) {
+	m, err := cfg.Model.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:     cfg,
+		model:   m,
+		seedRng: rand.New(rand.NewSource(seed + 1)),
+	}
+	if oc, ok := cfg.Algo.(OptimizerChooser); ok {
+		e.opt = oc.NewOptimizer(cfg.LR, cfg.Momentum)
+	} else {
+		e.opt = optim.NewSGDMomentum(cfg.LR, cfg.Momentum)
+	}
+	return e, nil
+}
+
+// scratch returns the two scratch models, building them on first use.
+func (e *engine) scratch() (*nn.Model, *nn.Model) {
+	if e.scratchA == nil {
+		a, err := e.cfg.Model.Build(e.seedRng.Int63())
+		if err != nil {
+			panic(fmt.Sprintf("core: scratch model: %v", err))
+		}
+		b, err := e.cfg.Model.Build(e.seedRng.Int63())
+		if err != nil {
+			panic(fmt.Sprintf("core: scratch model: %v", err))
+		}
+		a.SetCounter(e.counter)
+		b.SetCounter(e.counter)
+		e.scratchA, e.scratchB = a, b
+	}
+	return e.scratchA, e.scratchB
+}
+
+// ensureBatch sizes the reusable batch buffers for n samples.
+func (e *engine) ensureBatch(n int) {
+	if e.batchX == nil || e.batchX.Dim(0) != n {
+		shape := append([]int{n}, e.model.InShape()...)
+		e.batchX = tensor.New(shape...)
+		e.batchY = make([]int, n)
+		e.dLogits = tensor.New(n, e.model.OutDim())
+	}
+}
+
+// attach points the engine's FLOP metering at the client about to train on
+// it and hands the engine to the client for the duration of the round.
+func (e *engine) attach(c *Client) {
+	e.counter = c.Counter
+	e.model.SetCounter(c.Counter)
+	if e.scratchA != nil {
+		e.scratchA.SetCounter(c.Counter)
+		e.scratchB.SetCounter(c.Counter)
+	}
+	c.eng = e
+}
+
+// detach releases the engine. The nil counter keeps any later misuse from
+// silently crediting FLOPs to the wrong client (flops.Counter methods are
+// nil-safe no-ops).
+func (e *engine) detach(c *Client) {
+	c.eng = nil
+	e.counter = nil
+	e.model.SetCounter(nil)
+	if e.scratchA != nil {
+		e.scratchA.SetCounter(nil)
+		e.scratchB.SetCounter(nil)
+	}
+}
+
+// engineLoaner is the server's single shared engine for sequential
+// server-side client work outside the shard pool: PreRound gradient
+// exchanges (FedDANE's and MimeLite's FullGrad over the selected
+// clients), analysis code walking the population, and tests driving
+// clients directly. Routing those through one loaner caps them at one
+// engine per server — per-client private engines would quietly rebuild
+// the O(N * |w|) footprint the shard pool exists to avoid. Borrowing is
+// server-goroutine-sequential by the same contract that makes PreRound
+// single-threaded, so the loaner needs no lock.
+type engineLoaner struct {
+	cfg *Config
+	eng *engine
+	cur *Client // most recent borrower
+}
+
+// borrow attaches the loaner engine to c (building it on first use) and
+// returns it. Only a borrower that still holds the loaner is detached on
+// handover: a client that has since been attached to a shard engine (or
+// already released) is left alone.
+func (l *engineLoaner) borrow(c *Client) *engine {
+	if l.eng == nil {
+		e, err := newEngine(l.cfg, l.cfg.Seed+engineSeedOffset-1)
+		if err != nil {
+			panic(fmt.Sprintf("core: loaner engine: %v", err))
+		}
+		l.eng = e
+	}
+	if l.cur != nil && l.cur != c && l.cur.eng == l.eng {
+		l.eng.detach(l.cur)
+	}
+	l.cur = c
+	l.eng.attach(c)
+	return l.eng
+}

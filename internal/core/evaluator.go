@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// evaluator computes test accuracy off the event loop. The loop hands it a
+// snapshot of the global parameters (round, copy-of-w) and keeps merging;
+// the evaluator goroutine works through snapshots in order and publishes
+// results. At EvalEvery=1 this overlaps each round's evaluation with the
+// next round's training and merging — previously the single most expensive
+// thing the event loop did inline.
+//
+// The request channel is deliberately small: if evaluation cannot keep up,
+// submit blocks, so at most a couple of |w| snapshots are ever alive.
+type evaluator struct {
+	model *nn.Model
+	test  evalDataset
+	reqs  chan evalSnap
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	accs   map[int]float64 // round -> accuracy, published as computed
+	closed sync.WaitGroup
+}
+
+type evalSnap struct {
+	round  int
+	params []float64
+}
+
+// evalDataset is the slice of the dataset API evaluation needs.
+type evalDataset interface {
+	Len() int
+	SampleSize() int
+	FillBatch(x *tensor.Tensor, labels []int, idx []int)
+}
+
+func newEvaluator(cfg *Config) (*evaluator, error) {
+	// A dedicated model instance: Server.EvaluateGlobal stays usable from
+	// OnRound hooks while the evaluator is mid-batch.
+	m, err := cfg.Model.Build(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	e := &evaluator{
+		model: m,
+		test:  cfg.Test,
+		reqs:  make(chan evalSnap, 2),
+		accs:  make(map[int]float64),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.closed.Add(1)
+	go e.loop()
+	return e, nil
+}
+
+func (e *evaluator) loop() {
+	defer e.closed.Done()
+	for req := range e.reqs {
+		acc := EvaluateAccuracy(e.model, req.params, e.test, 200)
+		e.mu.Lock()
+		e.accs[req.round] = acc
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// submit queues round's snapshot (the evaluator takes ownership of params).
+// Blocks only when the evaluator is more than one round behind.
+func (e *evaluator) submit(round int, params []float64) {
+	e.reqs <- evalSnap{round: round, params: params}
+}
+
+// wait blocks until round's submitted evaluation is done and returns it.
+func (e *evaluator) wait(round int) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if acc, ok := e.accs[round]; ok {
+			return acc
+		}
+		e.cond.Wait()
+	}
+}
+
+// drain waits for every submitted evaluation to finish and stops the
+// goroutine. The accumulated results remain readable via take.
+func (e *evaluator) drain() {
+	close(e.reqs)
+	e.closed.Wait()
+}
+
+// take returns the accuracy computed for round (after drain, every
+// submitted round is present).
+func (e *evaluator) take(round int) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	acc, ok := e.accs[round]
+	return acc, ok
+}

@@ -93,10 +93,7 @@ func TestFedTripAblationWeights(t *testing.T) {
 	f := NewFedTrip(0.5)
 	f.GlobalWeight = 0
 	cfg := testConfig(t, f)
-	c, err := newClient(&cfg, 0, []int{0}, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := newClient(&cfg, 0, []int{0}, 5)
 	n := c.NumParams()
 	global := make([]float64, n)
 	for i := range global {
@@ -126,10 +123,7 @@ func TestFedTripHistWeightZero(t *testing.T) {
 	f := NewFedTrip(0.5)
 	f.HistWeight = 0
 	cfg := testConfig(t, f)
-	c, err := newClient(&cfg, 0, []int{0}, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := newClient(&cfg, 0, []int{0}, 5)
 	n := c.NumParams()
 	global := make([]float64, n)
 	for i := range global {

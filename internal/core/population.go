@@ -1,0 +1,127 @@
+package core
+
+import "math/rand"
+
+// population is the scheduler-facing registry of the client fleet. The
+// asynchronous event loop only ever needs a few words per client — is it
+// busy, what is its systematic latency, when was it last dispatched — and
+// at 10k+ clients chasing those through per-client structs costs a cache
+// miss per touch. The registry therefore keeps them in struct-of-arrays
+// form: flat slices indexed by client ID, sized once at construction, so
+// the dispatch path allocates nothing and scans nothing.
+type population struct {
+	idle idleSet
+	// latBase caches each client's systematic latency component when the
+	// latency model exposes one (PerClientLatency); nil otherwise. With it,
+	// a dispatch costs one cached load plus the model's jitter draw instead
+	// of recomputing the client's tier every time.
+	latBase []float64
+	jitter  PerClientLatency
+	// dispatches[k] counts client k's dispatches; the per-client staleness
+	// state itself (round of last participation) lives on the Client,
+	// because an in-flight update's dispatch round must survive the
+	// client being re-dispatched before the update merges.
+	dispatches []int32
+}
+
+func newPopulation(n int, lat LatencyModel) *population {
+	p := &population{
+		idle:       newIdleSet(n),
+		dispatches: make([]int32, n),
+	}
+	if pcl, ok := lat.(PerClientLatency); ok {
+		p.jitter = pcl
+		p.latBase = make([]float64, n)
+		for id := 0; id < n; id++ {
+			p.latBase[id] = pcl.ClientBase(id)
+		}
+	}
+	return p
+}
+
+// sampleLatency draws client id's dispatch duration, through the cached
+// per-client base when the model supports it. Both paths consume the same
+// rng draws, so caching never changes a trajectory.
+func (p *population) sampleLatency(lat LatencyModel, id int, rng *rand.Rand) float64 {
+	if p.latBase != nil {
+		return p.jitter.JitterOn(p.latBase[id], rng)
+	}
+	return lat.Sample(id, rng)
+}
+
+// dispatched records that client id was sent out and removes it from the
+// idle set.
+func (p *population) dispatched(id int) {
+	p.idle.remove(id)
+	p.dispatches[id]++
+}
+
+// arrived returns client id to the idle set.
+func (p *population) arrived(id int) { p.idle.add(id) }
+
+// participants returns how many distinct clients have been dispatched at
+// least once, and the total number of dispatches.
+func (p *population) participants() (distinct int, total int64) {
+	for _, d := range p.dispatches {
+		if d > 0 {
+			distinct++
+			total += int64(d)
+		}
+	}
+	return distinct, total
+}
+
+// idleSet supports the three operations the dispatcher hammers — pick a
+// uniformly random idle client, mark it busy, mark it idle again — each in
+// O(1). It is the classic dense set with a position index: ids holds the
+// idle clients in arbitrary order, pos[id] is id's slot in ids (-1 when
+// busy).
+type idleSet struct {
+	ids []int32
+	pos []int32
+}
+
+func newIdleSet(n int) idleSet {
+	s := idleSet{ids: make([]int32, n), pos: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		s.ids[i] = int32(i)
+		s.pos[i] = int32(i)
+	}
+	return s
+}
+
+// size returns the number of idle clients.
+func (s *idleSet) size() int { return len(s.ids) }
+
+// pick returns a uniformly random idle client without removing it, or
+// (0, false) when everyone is busy. It consumes exactly one rng draw, so
+// the dispatch stream stays aligned across refactors of the set's
+// internals.
+func (s *idleSet) pick(rng *rand.Rand) (int, bool) {
+	if len(s.ids) == 0 {
+		return 0, false
+	}
+	return int(s.ids[rng.Intn(len(s.ids))]), true
+}
+
+// remove marks id busy. Removing an already-busy id is a no-op.
+func (s *idleSet) remove(id int) {
+	p := s.pos[id]
+	if p < 0 {
+		return
+	}
+	last := s.ids[len(s.ids)-1]
+	s.ids[p] = last
+	s.pos[last] = p
+	s.ids = s.ids[:len(s.ids)-1]
+	s.pos[id] = -1
+}
+
+// add marks id idle again. Adding an already-idle id is a no-op.
+func (s *idleSet) add(id int) {
+	if s.pos[id] >= 0 {
+		return
+	}
+	s.pos[id] = int32(len(s.ids))
+	s.ids = append(s.ids, int32(id)) // never reallocates: cap is the population size
+}

@@ -69,10 +69,7 @@ func TestAggregateIdempotent(t *testing.T) {
 // Property: FedTrip's gradient transform is linear in mu.
 func TestFedTripLinearInMu(t *testing.T) {
 	cfg := testConfig(t, NewFedTrip(0.4))
-	c, err := newClient(&cfg, 0, []int{0}, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := newClient(&cfg, 0, []int{0}, 5)
 	n := c.NumParams()
 	rng := rand.New(rand.NewSource(11))
 	global := make([]float64, n)

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/partition"
+)
+
+// scaleConfig builds a 1000-client fleet with tiny per-client datasets and
+// a quarter-width MLP — big enough to exercise the population machinery,
+// small enough for CI.
+func scaleConfig(t *testing.T, shards int) AsyncConfig {
+	t.Helper()
+	const clients, perClient = 1000, 4
+	train, test, err := data.Generate(data.Spec{
+		Kind: data.KindMNIST, Train: clients * perClient, Test: 100, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := partition.Partition(partition.IID(), train.Y, train.Classes,
+		clients, perClient, rand.New(rand.NewSource(72)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AsyncConfig{
+		Config: Config{
+			Model: nn.ModelSpec{
+				Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10, Scale: 0.25,
+			},
+			Train: train, Test: test, Parts: parts,
+			Rounds: 6, ClientsPerRound: 8,
+			BatchSize: 4, LocalEpochs: 1,
+			LR: 0.01, Momentum: 0.9,
+			Algo: NewFedTrip(0.4), Seed: 73,
+			EvalEvery: 100, // population mechanics, not accuracy, under test
+			Shards:    shards,
+		},
+		Concurrency: 64,
+		BufferSize:  16,
+		Latency:     StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 7},
+	}
+}
+
+// A 1000-client buffered run must complete, keep its virtual clock
+// monotone, and touch a meaningful slice of the fleet.
+func TestThousandClientBufferedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	acfg := scaleConfig(t, 0)
+	a, err := NewAsyncServer(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != acfg.Rounds {
+		t.Fatalf("rounds %d", res.Rounds)
+	}
+	prev := 0.0
+	for i, ts := range res.SimTimeByRound {
+		if ts < prev {
+			t.Fatalf("sim time decreased at aggregation %d", i+1)
+		}
+		prev = ts
+	}
+	distinct, dispatches := a.Participation()
+	// 6 aggregations x 16 arrivals + up to 64 still in flight.
+	if dispatches < int64(acfg.Rounds*acfg.BufferSize) {
+		t.Fatalf("only %d dispatches recorded", dispatches)
+	}
+	if distinct < acfg.Rounds*acfg.BufferSize/2 {
+		t.Fatalf("only %d distinct clients touched — dispatch not spreading over the fleet", distinct)
+	}
+	if distinct > 1000 {
+		t.Fatalf("distinct participants %d exceeds the population", distinct)
+	}
+}
+
+// Trajectories must not depend on the shard count: per-client RNG streams
+// make a 1-shard and a 3-shard run bit-for-bit identical.
+func TestShardCountDoesNotChangeTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(shards int) *Result {
+		res, err := RunAsync(scaleConfig(t, shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := run(1)
+	r3 := run(3)
+	if len(r1.TrainLoss) != len(r3.TrainLoss) {
+		t.Fatalf("lengths differ: %d vs %d", len(r1.TrainLoss), len(r3.TrainLoss))
+	}
+	for i := range r1.TrainLoss {
+		if r1.TrainLoss[i] != r3.TrainLoss[i] {
+			t.Fatalf("aggregation %d loss differs across shard counts: %v vs %v", i+1, r1.TrainLoss[i], r3.TrainLoss[i])
+		}
+		if r1.SimTimeByRound[i] != r3.SimTimeByRound[i] {
+			t.Fatalf("aggregation %d sim time differs across shard counts", i+1)
+		}
+		if r1.GFLOPsByRound[i] != r3.GFLOPsByRound[i] {
+			t.Fatalf("aggregation %d FLOPs differ across shard counts", i+1)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+// jobHeap is an indexed binary min-heap of in-flight jobs keyed on
+// (finish, seq): earliest virtual arrival first, ties broken by dispatch
+// sequence so replays are deterministic. The old event loop popped the
+// earliest job with a linear scan, which was fine at tens of in-flight
+// clients and quadratic pain at thousands; the heap makes every push/pop
+// O(log n). Each job carries its heap slot (heapIdx) so membership checks
+// and future in-place adjustments are O(1).
+type jobHeap struct {
+	js []*trainJob
+}
+
+// jobLess orders jobs by virtual arrival time, then by dispatch sequence,
+// then (defensively — seq is unique in the runtime) by client index.
+func jobLess(a, b *trainJob) bool {
+	if a.finish != b.finish {
+		return a.finish < b.finish
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.c.ID < b.c.ID
+}
+
+func (h *jobHeap) len() int { return len(h.js) }
+
+// push inserts a job.
+func (h *jobHeap) push(j *trainJob) {
+	j.heapIdx = len(h.js)
+	h.js = append(h.js, j)
+	h.up(j.heapIdx)
+}
+
+// pop removes and returns the earliest job; nil when empty.
+func (h *jobHeap) pop() *trainJob {
+	if len(h.js) == 0 {
+		return nil
+	}
+	j := h.js[0]
+	last := len(h.js) - 1
+	h.js[0] = h.js[last]
+	h.js[0].heapIdx = 0
+	h.js[last] = nil
+	h.js = h.js[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	j.heapIdx = -1
+	return j
+}
+
+func (h *jobHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !jobLess(h.js[i], h.js[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *jobHeap) down(i int) {
+	n := len(h.js)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && jobLess(h.js[l], h.js[smallest]) {
+			smallest = l
+		}
+		if r < n && jobLess(h.js[r], h.js[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *jobHeap) swap(i, k int) {
+	h.js[i], h.js[k] = h.js[k], h.js[i]
+	h.js[i].heapIdx = i
+	h.js[k].heapIdx = k
+}

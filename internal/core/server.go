@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
-	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -106,7 +105,10 @@ type Server struct {
 	rng       *rand.Rand
 }
 
-// NewServer builds the population and the initial global model.
+// NewServer builds the population and the initial global model. Clients
+// are thin registry entries (data handle, history, meters) — the training
+// machinery lives in per-shard engines — so populations of 10k+ construct
+// in milliseconds and idle clients cost almost nothing.
 func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -125,11 +127,12 @@ func NewServer(cfg Config) (*Server, error) {
 		evalModel: evalModel,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
+	numParams := global.NumParams()
+	loaner := &engineLoaner{cfg: &s.cfg}
 	for k, part := range cfg.Parts {
-		c, err := newClient(&s.cfg, k, part, cfg.Seed+1000+int64(k))
-		if err != nil {
-			return nil, err
-		}
+		c := newClient(&s.cfg, k, part, cfg.Seed+1000+int64(k))
+		c.numParams = numParams
+		c.loan = loaner
 		s.clients = append(s.clients, c)
 	}
 	return s, nil
@@ -161,8 +164,8 @@ func (s *Server) selectClients() []*Client {
 
 // trainClient runs one client's participating round: ship the global model
 // through the transport, train locally, ship the upload back. It is the
-// unit of work both runtimes dispatch (concurrently — distinct clients own
-// all their state).
+// unit of work both runtimes dispatch onto the shard pool (distinct
+// clients own all their state; the engine is attached by the shard).
 func (s *Server) trainClient(c *Client, round int, global []float64) Update {
 	cfg := &s.cfg
 	if cfg.Transport != nil {
@@ -175,22 +178,22 @@ func (s *Server) trainClient(c *Client, round int, global []float64) Update {
 	return u
 }
 
-// trainSelected trains the selected clients concurrently (the paper's
+// trainSelected trains the selected clients on the shard pool (the paper's
 // "clients in St perform local model training ... in parallel") and
-// returns their updates in selection order. parallel.Do rather than
-// parallel.Map: Map runs inline below its minimum work threshold, which
-// realistic K values (4-10 clients) never reach, so Map would serialise
-// the round.
-func (s *Server) trainSelected(round int, selected []*Client) []Update {
-	updates := make([]Update, len(selected))
-	tasks := make([]func(), len(selected))
-	for i := range selected {
-		i := i
-		tasks[i] = func() {
-			updates[i] = s.trainClient(selected[i], round, s.global)
-		}
+// returns their updates in selection order.
+func (s *Server) trainSelected(round int, selected []*Client, sp *shardPool) []Update {
+	jobs := make([]*trainJob, len(selected))
+	for i, c := range selected {
+		// All jobs read the same pre-aggregation global; no writer until
+		// every one of them has joined below.
+		jobs[i] = &trainJob{c: c, round: round, global: s.global, done: make(chan struct{})}
+		sp.submit(jobs[i])
 	}
-	parallel.Do(tasks...)
+	updates := make([]Update, len(selected))
+	for i, j := range jobs {
+		<-j.done
+		updates[i] = j.update
+	}
 	return updates
 }
 
@@ -239,11 +242,7 @@ func (s *Server) EvaluateGlobal() float64 {
 
 // EvaluateAccuracy loads params into model and computes accuracy over the
 // dataset in batches.
-func EvaluateAccuracy(model *nn.Model, params []float64, ds interface {
-	Len() int
-	SampleSize() int
-	FillBatch(x *tensor.Tensor, labels []int, idx []int)
-}, batch int) float64 {
+func EvaluateAccuracy(model *nn.Model, params []float64, ds evalDataset, batch int) float64 {
 	model.SetParams(params)
 	n := ds.Len()
 	if n == 0 {
@@ -274,6 +273,14 @@ func EvaluateAccuracy(model *nn.Model, params []float64, ds interface {
 // the round machinery shared verbatim by the synchronous and asynchronous
 // runtimes, so the two produce directly comparable (and, in the async
 // runtime's barrier mode, bit-for-bit identical) metric streams.
+//
+// Evaluation runs on the off-loop evaluator: record submits a snapshot of
+// the global model and keeps going, and finalize joins every pending
+// evaluation before the accuracy series and its summary metrics are
+// assembled. The exception is an early-stopping run (StopAtTarget with a
+// positive target): there the loop's control flow depends on the current
+// round's accuracy, so record blocks for it — exactly the old inline
+// semantics.
 type recorder struct {
 	s             *Server
 	res           *Result
@@ -281,11 +288,18 @@ type recorder struct {
 	extraComm     float64
 	cumComm       int64
 	lastMeasured  int64
-	lastAcc       float64
-	evalAccs      []float64
+	ev            *evaluator
+	blocking      bool
+	prevEval      int     // newest round submitted for evaluation before this one
+	lastAcc       float64 // latest known accuracy (exact when blocking)
+	finalized     bool
 }
 
-func newRecorder(s *Server) *recorder {
+func newRecorder(s *Server) (*recorder, error) {
+	ev, err := newEvaluator(&s.cfg)
+	if err != nil {
+		return nil, err
+	}
 	r := &recorder{
 		s: s,
 		res: &Result{
@@ -294,11 +308,13 @@ func newRecorder(s *Server) *recorder {
 			RoundsToTarget: -1,
 		},
 		commPerClient: int64(4 * len(s.global)), // float32 transfer, one way
+		ev:            ev,
+		blocking:      s.cfg.StopAtTarget && s.cfg.TargetAccuracy > 0,
 	}
 	if cc, ok := s.cfg.Algo.(CommCoster); ok {
 		r.extraComm = cc.ExtraCommFactor()
 	}
-	return r
+	return r, nil
 }
 
 // commDelta returns the traffic added by one round that merged nUpdates
@@ -318,8 +334,10 @@ func (r *recorder) commDelta(nUpdates int) int64 {
 
 // record appends the metrics of one completed round t: mean training
 // loss over the merged updates, cumulative communication, cumulative
-// FLOPs, and (when due under EvalEvery, or on the final round) a fresh
-// evaluation. It returns the accuracy attributed to the round.
+// FLOPs, and (when due under EvalEvery, or on the final round) an
+// evaluation submitted to the off-loop evaluator. It returns the latest
+// known accuracy for progress logging; the per-round accuracy series is
+// assembled in finalize once every evaluation has completed.
 func (r *recorder) record(t, totalRounds int, updates []Update, flopsTotal int64) float64 {
 	res := r.res
 	var lossSum float64
@@ -331,38 +349,78 @@ func (r *recorder) record(t, totalRounds int, updates []Update, flopsTotal int64
 	r.cumComm += r.commDelta(len(updates))
 	res.CommBytesByRound = append(res.CommBytesByRound, r.cumComm)
 	res.GFLOPsByRound = append(res.GFLOPsByRound, float64(flopsTotal)/1e9)
-
-	acc := r.lastAcc
-	if t%r.s.cfg.EvalEvery == 0 || t == totalRounds {
-		acc = r.s.EvaluateGlobal()
-		r.lastAcc = acc
-		r.evalAccs = append(r.evalAccs, acc)
-	}
-	res.Accuracy = append(res.Accuracy, acc)
-	if acc > res.BestAccuracy {
-		res.BestAccuracy = acc
-	}
-	if r.s.cfg.TargetAccuracy > 0 && res.RoundsToTarget < 0 && acc >= r.s.cfg.TargetAccuracy {
-		res.RoundsToTarget = t
-	}
 	res.Rounds = t
-	return acc
+
+	due := t%r.s.cfg.EvalEvery == 0 || t == totalRounds
+	if due {
+		r.ev.submit(t, append([]float64(nil), r.s.global...))
+		if r.blocking {
+			acc := r.ev.wait(t)
+			r.lastAcc = acc
+			if r.s.cfg.TargetAccuracy > 0 && res.RoundsToTarget < 0 && acc >= r.s.cfg.TargetAccuracy {
+				res.RoundsToTarget = t
+			}
+			return acc
+		}
+	}
+	// Progress accuracy for the non-blocking path: the newest evaluation
+	// submitted before this round. It has had a full round of training to
+	// complete, so this seldom blocks — and, unlike "whatever the
+	// evaluator happens to have finished", it is deterministic: identical
+	// runs print identical progress lines.
+	if r.prevEval > 0 {
+		r.lastAcc = r.ev.wait(r.prevEval)
+	}
+	if due {
+		r.prevEval = t
+	}
+	return r.lastAcc
 }
 
-// finish computes the end-of-run aggregates: FinalAccuracy is the mean
-// over the last up-to-10 rounds that were actually evaluated.
-func (r *recorder) finish() *Result {
-	lo := len(r.evalAccs) - 10
+// finalize joins the evaluator and assembles the accuracy series: each
+// round carries the last evaluated value forward (0 before the first
+// evaluation), and the summary metrics are derived from the evaluated
+// rounds only. Idempotent; every exit path of a run must reach it so the
+// evaluator goroutine is released and partial results stay well-formed.
+func (r *recorder) finalize() {
+	if r.finalized {
+		return
+	}
+	r.finalized = true
+	r.ev.drain()
+	res := r.res
+	acc := 0.0
+	var evalAccs []float64
+	res.Accuracy = res.Accuracy[:0]
+	for t := 1; t <= res.Rounds; t++ {
+		if a, ok := r.ev.take(t); ok {
+			acc = a
+			evalAccs = append(evalAccs, a)
+			if r.s.cfg.TargetAccuracy > 0 && res.RoundsToTarget < 0 && a >= r.s.cfg.TargetAccuracy {
+				res.RoundsToTarget = t
+			}
+		}
+		res.Accuracy = append(res.Accuracy, acc)
+		if acc > res.BestAccuracy {
+			res.BestAccuracy = acc
+		}
+	}
+	lo := len(evalAccs) - 10
 	if lo < 0 {
 		lo = 0
 	}
-	if len(r.evalAccs) > lo {
+	if len(evalAccs) > lo {
 		var sum float64
-		for _, a := range r.evalAccs[lo:] {
+		for _, a := range evalAccs[lo:] {
 			sum += a
 		}
-		r.res.FinalAccuracy = sum / float64(len(r.evalAccs)-lo)
+		res.FinalAccuracy = sum / float64(len(evalAccs)-lo)
 	}
+}
+
+// finish completes the run's bookkeeping and returns the Result.
+func (r *recorder) finish() *Result {
+	r.finalize()
 	return r.res
 }
 
@@ -389,19 +447,28 @@ func Run(cfg Config) (*Result, error) {
 // Run executes the configured number of communication rounds.
 func (s *Server) Run() (*Result, error) {
 	cfg := &s.cfg
-	rec := newRecorder(s)
+	rec, err := newRecorder(s)
+	if err != nil {
+		return nil, err
+	}
+	// finalize is idempotent; deferring it keeps the evaluator goroutine
+	// from leaking even when a user callback or algorithm panics.
+	defer rec.finalize()
+	sp := newShardPool(s, cfg.Shards, cfg.ClientsPerRound)
+	defer sp.close()
 	res := rec.res
 	for t := 1; t <= cfg.Rounds; t++ {
 		selected := s.selectClients()
 		if pr, ok := cfg.Algo.(PreRounder); ok {
 			pr.PreRound(t, selected, s.global)
 		}
-		updates := s.trainSelected(t, selected)
+		updates := s.trainSelected(t, selected, sp)
 		if cfg.OnUpdates != nil {
 			cfg.OnUpdates(t, s.global, updates)
 		}
 		s.aggregate(t, updates)
 		if !tensor.AllFinite(s.global) {
+			rec.finalize()
 			return res, fmt.Errorf("core: %s diverged at round %d (non-finite global model)", cfg.Algo.Name(), t)
 		}
 

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// engineSeedOffset separates the per-shard engine seed stream from the
+// server's selection stream (cfg.Seed) and the clients' data streams
+// (cfg.Seed+1000+k). Engine seeds never influence a trajectory — engine
+// model parameters are overwritten at the start of every round — but a
+// dedicated stream keeps construction deterministic per (seed, shard).
+const engineSeedOffset = 500_000
+
+// trainJob is one dispatched client round: which client, which round, and
+// which global snapshot to start from. The shard worker fills update and
+// flops, then closes done. The scheduling fields (finish, seq, heapIdx)
+// are used by the asynchronous event loop only.
+type trainJob struct {
+	c      *Client
+	round  int
+	global []float64
+	update Update
+	flops  int64
+	done   chan struct{}
+
+	finish  float64 // virtual arrival time
+	seq     int     // dispatch order, tie-break for equal arrival times
+	heapIdx int     // slot in the event loop's jobHeap (-1 when not queued)
+}
+
+// shardPool runs client training on a bounded set of worker shards, one
+// training engine per shard. Both runtimes submit trainJobs to it; the
+// number of simultaneously *simulated* clients (async Concurrency) is
+// decoupled from the number of engines actually allocated, which is what
+// bounds memory at 10k+ clients: jobs queue up behind the shards and each
+// shard reuses its engine across every client it serves.
+type shardPool struct {
+	s    *Server
+	pool *parallel.Pool
+	// engines[w] belongs exclusively to worker w (built on first use, so a
+	// 4-client round on an 8-shard pool allocates 4 engines, not 8).
+	engines []*engine
+}
+
+// newShardPool starts the worker shards. shards <= 0 selects the default
+// (one per available CPU). The count is clamped to the population and to
+// maxJobs, the most jobs the caller will ever have in flight at once
+// (ClientsPerRound for the lock-step loops, Concurrency for the buffered
+// one): the FIFO queue spreads work over every worker over time, so any
+// shard beyond the concurrent-job bound would still lazily build a
+// model-sized engine it can never use productively.
+func newShardPool(s *Server, shards, maxJobs int) *shardPool {
+	if shards <= 0 {
+		shards = parallel.Workers()
+	}
+	if shards > len(s.clients) {
+		shards = len(s.clients)
+	}
+	if maxJobs > 0 && shards > maxJobs {
+		shards = maxJobs
+	}
+	return &shardPool{
+		s:       s,
+		pool:    parallel.NewPool(shards),
+		engines: make([]*engine, shards),
+	}
+}
+
+// submit queues one client round. The job's done channel is closed when
+// update and flops are valid. Submission order is preserved per worker but
+// not across workers; determinism comes from each client's own RNG stream,
+// not from scheduling order.
+func (sp *shardPool) submit(j *trainJob) {
+	sp.pool.Submit(func(w int) {
+		eng := sp.engines[w]
+		if eng == nil {
+			e, err := newEngine(&sp.s.cfg, sp.s.cfg.Seed+engineSeedOffset+int64(w))
+			if err != nil {
+				// The same spec already built the server's global and eval
+				// models, so this is unreachable short of config mutation
+				// mid-run.
+				panic(fmt.Sprintf("core: shard %d engine: %v", w, err))
+			}
+			sp.engines[w] = e
+			eng = e
+		}
+		eng.attach(j.c)
+		before := j.c.Counter.Total()
+		j.update = sp.s.trainClient(j.c, j.round, j.global)
+		j.flops = j.c.Counter.Total() - before
+		eng.detach(j.c)
+		close(j.done)
+	})
+}
+
+// close waits for every submitted job and releases the shards.
+func (sp *shardPool) close() { sp.pool.Close() }

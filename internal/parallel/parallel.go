@@ -100,3 +100,57 @@ func Map[T any](n int, fn func(i int) T) []T {
 	})
 	return out
 }
+
+// Pool is a persistent bounded worker pool. Unlike Do, which spins up
+// goroutines per call, a Pool keeps its workers alive across many Submit
+// calls, and each submitted task learns which worker runs it. That worker
+// index is the hook for sharded state: a caller can keep one expensive
+// resource per worker (the FL core keeps one training engine — model,
+// optimizer, batch buffers — per shard) and access it without locking,
+// because a worker executes its tasks sequentially.
+type Pool struct {
+	tasks chan func(worker int)
+	wg    sync.WaitGroup
+	size  int
+}
+
+// NewPool starts a pool with the given number of workers (values < 1 are
+// clamped to 1). Close must be called to release the workers.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		// A small queue decouples submitters from workers; Submit blocks
+		// once it fills, which bounds in-flight memory.
+		tasks: make(chan func(worker int), 2*workers),
+		size:  workers,
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn(w)
+			}
+		}(w)
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+// Submit enqueues one task. It blocks while the queue is full (bounded
+// backpressure) and must not be called after Close. The worker index passed
+// to fn is in [0, Size()).
+func (p *Pool) Submit(fn func(worker int)) {
+	p.tasks <- fn
+}
+
+// Close waits for every submitted task to finish and releases the workers.
+// The pool cannot be reused afterwards.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -1,0 +1,84 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	p := NewPool(4)
+	var n atomic.Int64
+	for i := 0; i < 1000; i++ {
+		p.Submit(func(worker int) { n.Add(1) })
+	}
+	p.Close()
+	if n.Load() != 1000 {
+		t.Fatalf("ran %d tasks, want 1000", n.Load())
+	}
+}
+
+// Worker indices must stay in [0, Size()) and a worker must never run two
+// tasks at once — the invariant that makes per-worker state lock-free.
+func TestPoolWorkerExclusivity(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	if p.Size() != workers {
+		t.Fatalf("size %d", p.Size())
+	}
+	busy := make([]atomic.Bool, workers)
+	var bad atomic.Int64
+	for i := 0; i < 500; i++ {
+		p.Submit(func(w int) {
+			if w < 0 || w >= workers {
+				bad.Add(1)
+				return
+			}
+			if !busy[w].CompareAndSwap(false, true) {
+				bad.Add(1)
+				return
+			}
+			busy[w].Store(false)
+		})
+	}
+	p.Close()
+	if bad.Load() != 0 {
+		t.Fatalf("%d tasks saw a bad worker index or a shared worker", bad.Load())
+	}
+}
+
+func TestPoolClampsWorkerCount(t *testing.T) {
+	p := NewPool(0)
+	if p.Size() != 1 {
+		t.Fatalf("size %d, want clamp to 1", p.Size())
+	}
+	done := false
+	p.Submit(func(int) { done = true })
+	p.Close()
+	if !done {
+		t.Fatal("task not run")
+	}
+}
+
+// Close must act as a barrier: every side effect of every submitted task
+// is visible afterwards.
+func TestPoolCloseIsABarrier(t *testing.T) {
+	p := NewPool(8)
+	results := make([]int, 200)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(results); i++ {
+			i := i
+			p.Submit(func(int) { results[i] = i + 1 })
+		}
+		p.Close()
+	}()
+	wg.Wait()
+	for i, v := range results {
+		if v != i+1 {
+			t.Fatalf("results[%d] = %d after Close", i, v)
+		}
+	}
+}
