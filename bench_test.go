@@ -125,6 +125,10 @@ func BenchmarkAblationHistoryOnly(b *testing.B) { benchExperiment(b, "abl-hist")
 // Ablation: appendix methods (SCAFFOLD/FedDANE/MimeLite) resource costs.
 func BenchmarkAblationAppendixMethods(b *testing.B) { benchExperiment(b, "abl-extra") }
 
+// Time to accuracy under stragglers: barrier vs FedBuff vs FedAsync
+// aggregation policies through the unified RunSpec facade.
+func BenchmarkTimeToAccuracy(b *testing.B) { benchExperiment(b, "tta") }
+
 // --- Runtime throughput: synchronous vs asynchronous ---
 //
 // Both benchmarks meter client updates per second of real wall-clock time
@@ -206,8 +210,9 @@ func BenchmarkAsyncRuntimeThroughput(b *testing.B) {
 
 // --- Population scale: 1k and 10k clients ---
 //
-// These four benchmarks are the CI perf trajectory (BENCH_2.json tracks
-// their ns/op and allocs/op per PR). Clients hold 6 samples each; the
+// These benchmarks are the CI perf trajectory (BENCH_3.json tracks
+// their ns/op and allocs/op per PR, and cmd/benchdiff reports the delta
+// against the previous artifact). Clients hold 6 samples each; the
 // quarter-width MLP keeps per-shard engines small so the numbers measure
 // the runtime — registry, heap event loop, dispatch, engine pool — rather
 // than raw matmul throughput. Evaluation is disabled (EvalEvery past the
@@ -285,3 +290,33 @@ func BenchmarkSync1kClients(b *testing.B)   { benchSyncPopulation(b, 1_000) }
 func BenchmarkAsync1kClients(b *testing.B)  { benchAsyncPopulation(b, 1_000) }
 func BenchmarkSync10kClients(b *testing.B)  { benchSyncPopulation(b, 10_000) }
 func BenchmarkAsync10kClients(b *testing.B) { benchAsyncPopulation(b, 10_000) }
+
+// BenchmarkAsyncFedAsync1k measures the FedAsync single-arrival path
+// (aggregation policy BufferSize=1 with mixing-rate merges) at 1k-client
+// scale through the unified RunSpec facade. The round budget is scaled so
+// the run processes the same 128 client updates as the buffered
+// benchmark's 4 aggregations of 32 — the numbers meter the per-merge
+// overhead of merging on every arrival.
+func BenchmarkAsyncFedAsync1k(b *testing.B) {
+	cfg := benchPopulationConfig(b, 1_000)
+	cfg.Rounds = 128
+	b.ReportAllocs()
+	b.ResetTimer()
+	updates := 0
+	for i := 0; i < b.N; i++ {
+		spec := core.RunSpec{
+			Config:      cfg,
+			Runtime:     core.RuntimeAsync,
+			Concurrency: 128,
+			Latency:     core.StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 7},
+			Policy:      &core.FedAsyncPolicy{Alpha: 0.6},
+		}
+		spec.Algo = core.NewFedTrip(0.4)
+		res, err := core.Start(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates += res.Rounds // one merged update per aggregation
+	}
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
+}

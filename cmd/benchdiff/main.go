@@ -1,0 +1,146 @@
+// Command benchdiff compares two benchjson artifacts (the CI BENCH_*.json
+// files) and prints per-benchmark metric deltas, so a PR's effect on the
+// population-scale runtime benchmarks is visible at a glance:
+//
+//	benchdiff BENCH_old.json BENCH_new.json
+//
+// It is report-only: the exit status is 0 regardless of how the metrics
+// moved (CI runners are too noisy to gate on), and non-zero only when an
+// artifact cannot be read or parsed. Benchmarks present in only one
+// artifact are listed as added/removed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Benchmark mirrors cmd/benchjson's output object.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	FullName   string             `json:"full_name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// diffMetrics is the ordered subset of metrics worth reporting.
+var diffMetrics = []string{"ns/op", "allocs/op", "B/op", "updates/sec"}
+
+// DiffRow is one rendered comparison line.
+type DiffRow struct {
+	Name   string
+	Metric string
+	Old    float64
+	New    float64
+	// Delta is the relative change in percent ((new-old)/old * 100);
+	// +Inf when old == 0 and new != 0.
+	Delta float64
+	// Status is "" for a compared metric, "added" / "removed" for
+	// benchmarks present in only one artifact.
+	Status string
+}
+
+// Diff matches benchmarks by name and computes metric deltas. Rows are
+// ordered by benchmark name, then by diffMetrics order; added/removed
+// benchmarks produce a single row each.
+func Diff(prev, cur []Benchmark) []DiffRow {
+	oldBy := map[string]Benchmark{}
+	for _, b := range prev {
+		oldBy[b.Name] = b
+	}
+	newBy := map[string]Benchmark{}
+	for _, b := range cur {
+		newBy[b.Name] = b
+	}
+	names := map[string]bool{}
+	for n := range oldBy {
+		names[n] = true
+	}
+	for n := range newBy {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var rows []DiffRow
+	for _, name := range sorted {
+		o, inOld := oldBy[name]
+		n, inNew := newBy[name]
+		switch {
+		case !inOld:
+			rows = append(rows, DiffRow{Name: name, Status: "added"})
+		case !inNew:
+			rows = append(rows, DiffRow{Name: name, Status: "removed"})
+		default:
+			for _, m := range diffMetrics {
+				ov, hasOld := o.Metrics[m]
+				nv, hasNew := n.Metrics[m]
+				if !hasOld || !hasNew {
+					continue
+				}
+				r := DiffRow{Name: name, Metric: m, Old: ov, New: nv}
+				if ov != 0 {
+					r.Delta = (nv - ov) / ov * 100
+				} else if nv != 0 {
+					r.Delta = inf()
+				}
+				rows = append(rows, r)
+			}
+		}
+	}
+	return rows
+}
+
+func inf() float64 { var zero float64; return 1 / zero }
+
+// Render writes the rows as an aligned report.
+func Render(w io.Writer, rows []DiffRow) {
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "benchdiff: no comparable benchmarks")
+		return
+	}
+	fmt.Fprintf(w, "%-40s %-12s %15s %15s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, r := range rows {
+		if r.Status != "" {
+			fmt.Fprintf(w, "%-40s %-12s %15s %15s %9s\n", r.Name, "-", "-", "-", r.Status)
+			continue
+		}
+		fmt.Fprintf(w, "%-40s %-12s %15.4g %15.4g %+8.1f%%\n", r.Name, r.Metric, r.Old, r.New, r.Delta)
+	}
+}
+
+func load(path string) ([]Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var benches []Benchmark
+	if err := json.Unmarshal(data, &benches); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return benches, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(1)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	Render(os.Stdout, Diff(old, cur))
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDiff(t *testing.T) {
+	old := []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 10}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	cur := []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 150, "allocs/op": 10, "updates/sec": 3}},
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 7}},
+	}
+	rows := Diff(old, cur)
+	// BenchmarkA: ns/op and allocs/op compared (updates/sec missing in
+	// old), then BenchmarkGone removed, BenchmarkNew added — sorted by
+	// name.
+	if len(rows) != 4 {
+		t.Fatalf("rows %d: %+v", len(rows), rows)
+	}
+	if rows[0].Name != "BenchmarkA" || rows[0].Metric != "ns/op" || math.Abs(rows[0].Delta-50) > 1e-9 {
+		t.Fatalf("ns/op row %+v", rows[0])
+	}
+	if rows[1].Metric != "allocs/op" || rows[1].Delta != 0 {
+		t.Fatalf("allocs/op row %+v", rows[1])
+	}
+	if rows[2].Name != "BenchmarkGone" || rows[2].Status != "removed" {
+		t.Fatalf("removed row %+v", rows[2])
+	}
+	if rows[3].Name != "BenchmarkNew" || rows[3].Status != "added" {
+		t.Fatalf("added row %+v", rows[3])
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	rows := Diff(
+		[]Benchmark{{Name: "B", Metrics: map[string]float64{"ns/op": 0}}},
+		[]Benchmark{{Name: "B", Metrics: map[string]float64{"ns/op": 9}}},
+	)
+	if len(rows) != 1 || !math.IsInf(rows[0].Delta, 1) {
+		t.Fatalf("zero-baseline rows %+v", rows)
+	}
+}
+
+func TestRender(t *testing.T) {
+	var buf bytes.Buffer
+	Render(&buf, Diff(
+		[]Benchmark{{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 200}}},
+		[]Benchmark{{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 100}}},
+	))
+	out := buf.String()
+	for _, frag := range []string{"BenchmarkX", "ns/op", "-50.0%"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+	buf.Reset()
+	Render(&buf, nil)
+	if !strings.Contains(buf.String(), "no comparable benchmarks") {
+		t.Fatalf("empty render %q", buf.String())
+	}
+}

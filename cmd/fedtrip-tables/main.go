@@ -5,6 +5,16 @@
 //	fedtrip-tables -profile paper        # paper-scale settings (slow)
 //	fedtrip-tables -list                 # list experiment ids
 //
+// Experiments are runtime-agnostic: -runtime, -latency, -policy,
+// -server-lr, -concurrency, and -buffer select the runtime and the
+// aggregation policy every case runs on (methods with server-side hooks
+// fall back from async to the barrier runtime). The tta experiment
+// compares the FedBuff and FedAsync policies side by side under a
+// straggler latency model:
+//
+//	fedtrip-tables -exp tta                                # barrier vs fedbuff vs fedasync
+//	fedtrip-tables -exp table4 -runtime async -policy fedasync -latency straggler:1,10,3
+//
 // Output is plain-text tables on stdout (or -o file); progress lines go to
 // stderr.
 package main
@@ -17,16 +27,23 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		profile = flag.String("profile", "fast", "profile: fast|paper|tiny")
-		outPath = flag.String("o", "", "write tables to this file instead of stdout")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		verbose = flag.Bool("v", true, "print progress to stderr")
+		expList  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		profile  = flag.String("profile", "fast", "profile: fast|paper|tiny")
+		outPath  = flag.String("o", "", "write tables to this file instead of stdout")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		verbose  = flag.Bool("v", true, "print progress to stderr")
+		runtime  = flag.String("runtime", "", "runtime every case runs on: sync|async|barrier (default sync)")
+		latency  = flag.String("latency", "", "latency model for async/barrier runtimes (zero|const:D|uniform:MIN,MAX|exp:MEAN|lognormal:MU,SIGMA|straggler:F,S,E)")
+		policy   = flag.String("policy", "", "aggregation policy: fedavg|fedbuff[:EXP]|fedasync[:ALPHA[,EXP]]|importance[:BETA[,EXP]] (default: runtime default)")
+		serverLR = flag.String("server-lr", "", "server learning-rate schedule on merge: const:ETA|invsqrt:ETA0|step:ETA0,G,E")
+		conc     = flag.Int("concurrency", 0, "async: clients training simultaneously (0 = K)")
+		buffer   = flag.Int("buffer", 0, "async: arrivals per aggregation (0 = K)")
 	)
 	flag.Parse()
 	if *list {
@@ -35,15 +52,59 @@ func main() {
 		}
 		return
 	}
-	if err := run(*expList, *profile, *outPath, *verbose); err != nil {
+	sel := runtimeSelection{
+		runtime: *runtime, latency: *latency, policy: *policy,
+		serverLR: *serverLR, concurrency: *conc, buffer: *buffer,
+	}
+	if err := run(*expList, *profile, *outPath, *verbose, sel); err != nil {
 		fmt.Fprintln(os.Stderr, "fedtrip-tables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(expList, profile, outPath string, verbose bool) error {
+// runtimeSelection carries the runtime/policy flags onto the profile.
+type runtimeSelection struct {
+	runtime, latency, policy, serverLR string
+	concurrency, buffer                int
+}
+
+func (s runtimeSelection) apply(p *experiments.Profile) error {
+	rt, err := core.ParseRuntime(s.runtime)
+	if err != nil {
+		return err
+	}
+	if s.runtime != "" {
+		p.Runtime = rt
+	}
+	if s.latency != "" {
+		if _, err := core.ParseLatency(s.latency); err != nil {
+			return err
+		}
+		p.Latency = s.latency
+	}
+	if s.policy != "" {
+		if _, err := core.ParsePolicy(s.policy); err != nil {
+			return err
+		}
+		p.Policy = s.policy
+	}
+	if s.serverLR != "" {
+		if _, err := core.ParseLRSchedule(s.serverLR); err != nil {
+			return err
+		}
+		p.ServerLR = s.serverLR
+	}
+	p.Concurrency = s.concurrency
+	p.Buffer = s.buffer
+	return nil
+}
+
+func run(expList, profile, outPath string, verbose bool, sel runtimeSelection) error {
 	p, err := experiments.ByName(profile)
 	if err != nil {
+		return err
+	}
+	if err := sel.apply(&p); err != nil {
 		return err
 	}
 	var out io.Writer = os.Stdout

@@ -7,11 +7,15 @@
 // All methods from the paper are available via -algo: fedtrip, fedavg,
 // fedprox, slowmo, moon, feddyn, scaffold, feddane, mimelite.
 //
-// The asynchronous, staleness-aware runtime is selected with -async; its
-// buffered aggregation and simulated client latency are configured with
-// -buffer, -concurrency, -latency, and -stale-exp:
+// The runtime is selected with -runtime sync|async|barrier (-async is a
+// shorthand for -runtime async); the async runtimes are configured with
+// -buffer, -concurrency, -latency, and -stale-exp, and the aggregation
+// policy — when arrivals merge and how they are weighted — with -policy
+// and -server-lr:
 //
-//	fedtrip -algo fedtrip -async -latency straggler:1,10,5 -buffer 2 -rounds 60
+//	fedtrip -algo fedtrip -runtime async -latency straggler:1,10,5 -buffer 2 -rounds 60
+//	fedtrip -algo fedtrip -runtime async -latency exp:2 -policy fedasync:0.6 -rounds 60
+//	fedtrip -algo fedavg -runtime barrier -latency straggler:1,10,5 -rounds 30
 //
 // Population scale is set with -clients and the real parallelism (and
 // memory: one model-sized training engine per shard) with -shards; the
@@ -63,11 +67,14 @@ func main() {
 		tracePath = flag.String("trace", "", "write per-client round telemetry CSV to this file")
 		wire      = flag.Bool("wire", false, "ship models through the float32 wire transport and report true traffic")
 		shards    = flag.Int("shards", 0, "worker shards training runs on; each owns one model-sized engine (0 = one per CPU)")
-		async     = flag.Bool("async", false, "use the asynchronous staleness-aware runtime (buffered aggregation)")
+		runtime   = flag.String("runtime", "", "runtime: sync|async|barrier (default sync; barrier = lock-step priced under -latency)")
+		async     = flag.Bool("async", false, "shorthand for -runtime async")
 		buffer    = flag.Int("buffer", 0, "async: arrivals per aggregation (0 = K)")
 		conc      = flag.Int("concurrency", 0, "async: clients training simultaneously (0 = K)")
 		latSpec   = flag.String("latency", "zero", "async: client latency model (zero|const:D|uniform:MIN,MAX|exp:MEAN|lognormal:MU,SIGMA|straggler:F,S,E)")
 		staleExp  = flag.Float64("stale-exp", 0.5, "async: polynomial staleness discount exponent (0 = no discount)")
+		policy    = flag.String("policy", "", "aggregation policy: fedavg|fedbuff[:EXP]|fedasync[:ALPHA[,EXP]]|importance[:BETA[,EXP]] (default: fedavg sync, fedbuff async)")
+		serverLR  = flag.String("server-lr", "", "server learning-rate schedule on merge: const:ETA|invsqrt:ETA0|step:ETA0,G,E (default: full replacement)")
 	)
 	flag.Parse()
 	if err := run(runOpts{
@@ -78,8 +85,10 @@ func main() {
 		lr: *lr, momentum: *momentum, mu: *mu, scale: *scale,
 		target: *target, seed: *seed, quiet: *quiet, clip: *clip,
 		savePath: *savePath, tracePath: *tracePath, wire: *wire,
-		shards: *shards, async: *async, buffer: *buffer, conc: *conc,
+		shards: *shards, runtime: *runtime, async: *async,
+		buffer: *buffer, conc: *conc,
 		latSpec: *latSpec, staleExp: *staleExp,
+		policy: *policy, serverLR: *serverLR,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "fedtrip:", err)
 		os.Exit(1)
@@ -98,9 +107,11 @@ type runOpts struct {
 	clip                                float64
 	savePath, tracePath                 string
 	async                               bool
+	runtime                             string
 	shards, buffer, conc                int
 	latSpec                             string
 	staleExp                            float64
+	policy, serverLR                    string
 }
 
 func run(o runOpts) error {
@@ -169,38 +180,58 @@ func run(o runOpts) error {
 			}
 		}
 	}
-	var res *core.Result
-	if o.async {
-		lat, err := core.ParseLatency(o.latSpec)
+	rt, err := core.ParseRuntime(o.runtime)
+	if err != nil {
+		return err
+	}
+	if o.async && rt == core.RuntimeSync {
+		rt = core.RuntimeAsync
+	}
+	// Latency and stale-exp are parsed on every runtime: RunSpec.Validate
+	// owns the "sync has no simulated clock" rejection, and a malformed
+	// spec must error rather than be silently dropped because -runtime
+	// was forgotten.
+	lat, err := core.ParseLatency(o.latSpec)
+	if err != nil {
+		return err
+	}
+	if o.staleExp < 0 {
+		return fmt.Errorf("-stale-exp %g must be >= 0 (a negative exponent would amplify stale updates)", o.staleExp)
+	}
+	rspec := core.RunSpec{Config: cfg, Runtime: rt, Latency: lat}
+	if rt != core.RuntimeSync {
+		rspec.Concurrency = o.conc
+		rspec.BufferSize = o.buffer
+		rspec.Discount = core.PolyDiscount(o.staleExp)
+	}
+	if o.policy != "" {
+		pol, err := core.ParsePolicy(o.policy)
 		if err != nil {
 			return err
 		}
-		if o.staleExp < 0 {
-			return fmt.Errorf("-stale-exp %g must be >= 0 (a negative exponent would amplify stale updates)", o.staleExp)
-		}
-		acfg := core.AsyncConfig{
-			Config:      cfg,
-			Concurrency: o.conc,
-			BufferSize:  o.buffer,
-			Latency:     lat,
-			Discount:    core.PolyDiscount(o.staleExp),
-		}
-		if err := acfg.Validate(); err != nil { // resolve defaults for the banner
-			return err
-		}
-		fmt.Printf("fedtrip: %s on %s/%s, %s, async buffer=%d conc=%d latency=%s, %d aggregations\n",
-			algo.Name(), o.model, o.dataset, scheme, acfg.BufferSize, acfg.Concurrency, lat, o.rounds)
-		res, err = core.RunAsync(acfg)
+		rspec.Policy = pol
+	}
+	if o.serverLR != "" {
+		sched, err := core.ParseLRSchedule(o.serverLR)
 		if err != nil {
 			return err
 		}
-	} else {
-		fmt.Printf("fedtrip: %s on %s/%s, %s, %d-of-%d clients, %d rounds\n",
-			algo.Name(), o.model, o.dataset, scheme, o.perRound, o.clients, o.rounds)
-		res, err = core.Run(cfg)
-		if err != nil {
-			return err
-		}
+		rspec.Policy = core.WithServerLR(rspec.Policy, sched)
+	}
+	if err := rspec.Validate(); err != nil { // resolve defaults for the banner
+		return err
+	}
+	switch rt {
+	case core.RuntimeSync:
+		fmt.Printf("fedtrip: %s on %s/%s, %s, %d-of-%d clients, %d rounds, policy %s\n",
+			algo.Name(), o.model, o.dataset, scheme, o.perRound, o.clients, o.rounds, rspec.Policy.Name())
+	default:
+		fmt.Printf("fedtrip: %s on %s/%s, %s, %s policy=%s buffer=%d conc=%d latency=%s, %d aggregations\n",
+			algo.Name(), o.model, o.dataset, scheme, rt, rspec.Policy.Name(), rspec.BufferSize, rspec.Concurrency, rspec.Latency, o.rounds)
+	}
+	res, err := core.Start(rspec)
+	if err != nil {
+		return err
 	}
 	commLabel := "analytic"
 	if cfg.Transport != nil {

@@ -2,16 +2,19 @@
 //
 // A lock-step round costs the slowest selected client's latency, so a
 // fleet with stragglers pays the straggler tax every round. The buffered
-// asynchronous runtime (FedBuff-style) aggregates every K arrivals and
-// never waits for the tail — at the price of merging stale updates, which
-// the staleness discount and FedTrip's xi schedule absorb.
+// asynchronous runtime aggregates on arrival and never waits for the
+// tail — at the price of merging stale updates, which the staleness
+// discount and FedTrip's xi schedule absorb.
 //
-// This example runs FedTrip, FedAvg, and FedProx through both runtimes
-// under the same straggler latency model and compares the simulated
-// wall-clock time each needs to reach a target accuracy. It then scales
-// the fleet to 10,000 clients — the cross-device population regime the
-// paper targets — to show the event loop, the sharded engine pool, and
-// the off-loop evaluator holding up at population scale.
+// This example runs FedTrip, FedAvg, and FedProx through the unified
+// core.Start facade on three runtime/policy combinations under the same
+// straggler latency model — the lock-step barrier, FedBuff-style
+// buffered aggregation (merge every 2 arrivals), and FedAsync
+// single-arrival mixing — and compares the simulated wall-clock time
+// each needs to reach a target accuracy. It then scales the fleet to
+// 10,000 clients — the cross-device population regime the paper targets
+// — to show the event loop, the sharded engine pool, and the off-loop
+// evaluator holding up at population scale.
 //
 //	go run ./examples/async
 package main
@@ -50,12 +53,12 @@ func main() {
 	}
 	// Every third client is a 10x straggler.
 	latency := core.StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 3}
-	base := func(method string) core.AsyncConfig {
+	base := func(method string) core.RunSpec {
 		algo, err := algos.New(method, algos.Params{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return core.AsyncConfig{
+		return core.RunSpec{
 			Config: core.Config{
 				Model: nn.ModelSpec{
 					Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10,
@@ -70,25 +73,51 @@ func main() {
 			Latency: latency,
 		}
 	}
+	variants := []struct {
+		label string
+		spec  func(method string) core.RunSpec
+	}{
+		// Sync: the barrier runtime is the lock-step loop priced under
+		// the latency model (zero latency reproduces Server.Run
+		// bit-for-bit).
+		{"sync", func(m string) core.RunSpec {
+			sp := base(m)
+			sp.Runtime = core.RuntimeBarrier
+			return sp
+		}},
+		// FedBuff: buffered aggregation, merge every 2 arrivals, 4 in
+		// flight, staleness discount (1+s)^-0.5.
+		{"fedbuff", func(m string) core.RunSpec {
+			sp := base(m)
+			sp.Runtime = core.RuntimeAsync
+			sp.Concurrency = 4
+			sp.BufferSize = 2
+			return sp
+		}},
+		// FedAsync: single-arrival mixing at rate 0.6*(1+s)^-0.5 — every
+		// arrival merges immediately, nothing ever waits. Rounds counts
+		// aggregations, so doubling it processes the same number of
+		// client updates as the buffer-of-2 FedBuff run.
+		{"fedasync", func(m string) core.RunSpec {
+			sp := base(m)
+			sp.Runtime = core.RuntimeAsync
+			sp.Concurrency = 4
+			sp.Rounds = 2 * rounds
+			sp.Policy = &core.FedAsyncPolicy{Alpha: 0.6}
+			return sp
+		}},
+	}
 	fmt.Printf("straggler fleet (%s), target accuracy %.0f%%\n", latency, target*100)
-	fmt.Printf("%-8s  %12s  %12s  %8s\n", "method", "sync t (s)", "async t (s)", "speedup")
+	fmt.Printf("%-8s  %12s  %12s  %12s  %10s  %10s\n",
+		"method", "sync t (s)", "fedbuff (s)", "fedasync (s)", "buff spdup", "asyn spdup")
 	for _, method := range []string{"fedtrip", "fedavg", "fedprox"} {
-		// Sync: the async runtime's barrier mode is the lock-step loop
-		// priced under the latency model (zero latency reproduces
-		// Server.Run bit-for-bit).
-		syncCfg := base(method)
-		syncCfg.RoundBarrier = true
-		syncRes, err := core.RunAsync(syncCfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		// Async: buffered aggregation, merge every 2 arrivals, 4 in flight.
-		asyncCfg := base(method)
-		asyncCfg.Concurrency = 4
-		asyncCfg.BufferSize = 2
-		asyncRes, err := core.RunAsync(asyncCfg)
-		if err != nil {
-			log.Fatal(err)
+		times := make([]*core.Result, len(variants))
+		for i, v := range variants {
+			res, err := core.Start(v.spec(method))
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[i] = res
 		}
 		fmtTime := func(r *core.Result) string {
 			if r.RoundsToTarget < 0 {
@@ -96,14 +125,19 @@ func main() {
 			}
 			return fmt.Sprintf("%.1f", r.TimeToTarget())
 		}
-		speedup := "-"
-		if syncRes.RoundsToTarget > 0 && asyncRes.RoundsToTarget > 0 && asyncRes.TimeToTarget() > 0 {
-			speedup = fmt.Sprintf("%.1fx", syncRes.TimeToTarget()/asyncRes.TimeToTarget())
+		speedup := func(sync, async *core.Result) string {
+			if sync.RoundsToTarget > 0 && async.RoundsToTarget > 0 && async.TimeToTarget() > 0 {
+				return fmt.Sprintf("%.1fx", sync.TimeToTarget()/async.TimeToTarget())
+			}
+			return "-"
 		}
-		fmt.Printf("%-8s  %12s  %12s  %8s\n", method, fmtTime(syncRes), fmtTime(asyncRes), speedup)
+		fmt.Printf("%-8s  %12s  %12s  %12s  %10s  %10s\n", method,
+			fmtTime(times[0]), fmtTime(times[1]), fmtTime(times[2]),
+			speedup(times[0], times[1]), speedup(times[0], times[2]))
 	}
 	fmt.Println("\nsync = round barrier (each round waits for its slowest client);")
-	fmt.Println("async = FedBuff-style buffer of 2, staleness discount (1+s)^-0.5.")
+	fmt.Println("fedbuff = buffer of 2, staleness discount (1+s)^-0.5;")
+	fmt.Println("fedasync = single-arrival merge, mixing rate 0.6*(1+s)^-0.5.")
 
 	tenThousandClients()
 }

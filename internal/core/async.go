@@ -60,7 +60,10 @@ func PolyDiscount(a float64) func(staleness int) float64 {
 // AsyncConfig configures the asynchronous runtime on top of a base
 // Config. Config.Rounds counts buffered aggregations (the async analogue
 // of a communication round); Config.ClientsPerRound seeds the defaults
-// for Concurrency and BufferSize.
+// for Concurrency and BufferSize. It is the legacy async surface — a thin
+// mapping onto the unified RunSpec (Runtime async, or barrier when
+// RoundBarrier is set); new callers should build a RunSpec and call Start
+// directly, which also exposes the pluggable AggregationPolicy.
 type AsyncConfig struct {
 	Config
 	// Concurrency is the number of clients training simultaneously in
@@ -88,82 +91,74 @@ type AsyncConfig struct {
 	Discount func(staleness int) float64
 }
 
-// Validate checks the async knobs and fills defaults (the embedded Config
-// is validated by NewServer).
+// spec maps the legacy async configuration onto the unified RunSpec.
+func (c *AsyncConfig) spec() RunSpec {
+	rt := RuntimeAsync
+	if c.RoundBarrier {
+		rt = RuntimeBarrier
+	}
+	return RunSpec{
+		Config:      c.Config,
+		Runtime:     rt,
+		Concurrency: c.Concurrency,
+		BufferSize:  c.BufferSize,
+		Latency:     c.Latency,
+		Discount:    c.Discount,
+	}
+}
+
+// Validate checks the async knobs and fills defaults. It delegates to the
+// unified RunSpec.Validate — the one place run defaults live — and copies
+// the resolved values back.
 func (c *AsyncConfig) Validate() error {
-	if err := c.Config.Validate(); err != nil {
+	sp := c.spec()
+	if err := sp.Validate(); err != nil {
 		return err
 	}
-	if c.Concurrency == 0 {
-		c.Concurrency = c.ClientsPerRound
-	}
-	if c.Concurrency < 1 || c.Concurrency > len(c.Parts) {
-		return fmt.Errorf("core: async concurrency %d outside [1,%d]", c.Concurrency, len(c.Parts))
-	}
-	if c.BufferSize == 0 {
-		c.BufferSize = c.ClientsPerRound
-	}
-	if c.BufferSize < 1 {
-		return fmt.Errorf("core: async buffer size %d", c.BufferSize)
-	}
-	if c.Latency == nil {
-		c.Latency = ZeroLatency{}
-	}
-	if !c.RoundBarrier {
-		// The algos package contract makes PreRound and Aggregate
-		// single-threaded calls with no client phase in flight. Buffered
-		// mode aggregates while other clients are mid-training, so
-		// methods with server-side struct state (SCAFFOLD, SlowMo,
-		// FedDyn, FedNova, FedDANE, MimeLite) would race and see a bogus
-		// "selected" set. Barrier mode joins every client first and so
-		// remains safe for them.
-		if _, ok := c.Algo.(PreRounder); ok {
-			return fmt.Errorf("core: %s needs a pre-round phase; the buffered async runtime cannot run it (use RoundBarrier or a client-side method)", c.Algo.Name())
-		}
-		if _, ok := c.Algo.(Aggregator); ok {
-			return fmt.Errorf("core: %s overrides server aggregation; the buffered async runtime cannot run it (use RoundBarrier or a client-side method)", c.Algo.Name())
-		}
-	}
+	c.Config = sp.Config
+	c.Concurrency = sp.Concurrency
+	c.BufferSize = sp.BufferSize
+	c.Latency = sp.Latency
 	return nil
 }
 
 // AsyncServer drives the asynchronous runtime over a regular Server (same
 // population, global model, metering, and evaluation).
 type AsyncServer struct {
-	s        *Server
-	acfg     AsyncConfig
-	latRng   *rand.Rand
-	now      float64
-	discount func(int) float64
-	pop      *population
+	s      *Server
+	spec   RunSpec
+	latRng *rand.Rand
+	now    float64
+	pop    *population
 }
 
-// NewAsyncServer validates the configuration and builds the population.
+// NewAsyncServer validates the legacy configuration and builds the
+// population; it is RunSpec/Start's async path behind the old API.
 func NewAsyncServer(cfg AsyncConfig) (*AsyncServer, error) {
-	if err := cfg.Validate(); err != nil {
+	sp := cfg.spec()
+	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	s, err := NewServer(cfg.Config)
+	return newAsyncServer(sp)
+}
+
+// newAsyncServer builds the runtime from a validated spec (policy
+// resolved, defaults filled).
+func newAsyncServer(sp RunSpec) (*AsyncServer, error) {
+	s, err := NewServer(sp.Config)
 	if err != nil {
 		return nil, err
 	}
-	a := &AsyncServer{
+	s.policy = sp.Policy
+	return &AsyncServer{
 		s:    s,
-		acfg: cfg,
+		spec: sp,
 		// A dedicated latency source keeps the selection stream
 		// (s.rng) identical to the synchronous server's, which the
 		// barrier equivalence mode depends on.
-		latRng:   rand.New(rand.NewSource(cfg.Seed + 99991)),
-		discount: cfg.Discount,
-		pop:      newPopulation(len(s.clients), cfg.Latency),
-	}
-	if sw, ok := cfg.Algo.(StalenessWeighter); ok {
-		a.discount = sw.StalenessWeight
-	}
-	if a.discount == nil {
-		a.discount = PolyDiscount(0.5)
-	}
-	return a, nil
+		latRng: rand.New(rand.NewSource(sp.Seed + 99991)),
+		pop:    newPopulation(len(s.clients), sp.Latency),
+	}, nil
 }
 
 // Server exposes the underlying synchronous server (global model, clients,
@@ -180,7 +175,8 @@ func (a *AsyncServer) Participation() (distinct int, dispatches int64) {
 	return a.pop.participants()
 }
 
-// RunAsync builds an AsyncServer and executes the run.
+// RunAsync executes the legacy async configuration through the unified
+// facade (equivalent to Start on the corresponding RunSpec).
 func RunAsync(cfg AsyncConfig) (*Result, error) {
 	a, err := NewAsyncServer(cfg)
 	if err != nil {
@@ -191,7 +187,7 @@ func RunAsync(cfg AsyncConfig) (*Result, error) {
 
 // Run executes the configured number of aggregations.
 func (a *AsyncServer) Run() (*Result, error) {
-	if a.acfg.RoundBarrier {
+	if a.spec.Runtime == RuntimeBarrier {
 		return a.runBarrier()
 	}
 	return a.runBuffered()
@@ -221,7 +217,7 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 		jobs := make([]*trainJob, len(selected))
 		for i, c := range selected {
 			jobs[i] = &trainJob{c: c, round: t, seq: i, global: s.global, done: make(chan struct{})}
-			jobs[i].finish = a.now + a.pop.sampleLatency(a.acfg.Latency, c.ID, a.latRng)
+			jobs[i].finish = a.now + a.pop.sampleLatency(a.spec.Latency, c.ID, a.latRng)
 			a.pop.dispatched(c.ID)
 			// All jobs read the same pre-aggregation global; no writer
 			// until every one of them has joined below.
@@ -237,14 +233,14 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 				roundEnd = j.finish
 			}
 			updates[i] = j.update // staleness 0 by construction
-			weights[i] = float64(j.update.NumSamples) * a.discount(0)
+			weights[i] = a.s.policy.Weight(j.update)
 			flopsTotal += j.flops
 		}
 		a.now = roundEnd
 		if cfg.OnUpdates != nil {
 			cfg.OnUpdates(t, s.global, updates)
 		}
-		a.aggregate(t, weights, updates)
+		a.aggregate(t, weights, updates, a.s.policy.MergeRate(t, updates))
 		if !tensor.AllFinite(s.global) {
 			rec.finalize()
 			return res, fmt.Errorf("core: %s diverged at round %d (non-finite global model)", cfg.Algo.Name(), t)
@@ -265,9 +261,10 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 	return rec.finish(), nil
 }
 
-// runBuffered is the event-driven FedBuff loop: keep Concurrency clients
-// in flight, merge every BufferSize arrivals with staleness-discounted
-// weights.
+// runBuffered is the event-driven asynchronous loop: keep Concurrency
+// clients in flight and let the aggregation policy decide when arrivals
+// merge (FedBuff merges every K, FedAsync every single one) and how each
+// buffered update is weighted.
 func (a *AsyncServer) runBuffered() (*Result, error) {
 	s := a.s
 	cfg := &s.cfg
@@ -280,7 +277,7 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 	defer rec.finalize()
 	// Closing the pool joins every submitted job, so training goroutines
 	// never outlive Run: they hold client state and the transport.
-	sp := newShardPool(s, cfg.Shards, a.acfg.Concurrency)
+	sp := newShardPool(s, cfg.Shards, a.spec.Concurrency)
 	defer sp.close()
 	res := rec.res
 
@@ -291,14 +288,14 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 	aggs := 0
 
 	dispatch := func() {
-		for inflight.len() < a.acfg.Concurrency {
+		for inflight.len() < a.spec.Concurrency {
 			id, ok := a.pickAvailable()
 			if !ok {
 				break
 			}
 			j := &trainJob{c: s.clients[id], round: aggs + 1, seq: seq, done: make(chan struct{})}
 			seq++
-			j.finish = a.now + a.pop.sampleLatency(a.acfg.Latency, id, a.latRng)
+			j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, id, a.latRng)
 			// Snapshot: the global model mutates under in-flight jobs.
 			j.global = append([]float64(nil), s.global...)
 			a.pop.dispatched(id)
@@ -321,7 +318,7 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 		a.pop.arrived(j.c.ID)
 		flopsTotal += j.flops
 		buffer = append(buffer, j)
-		if len(buffer) < a.acfg.BufferSize {
+		if !a.s.policy.ReadyToMerge(len(buffer)) {
 			continue
 		}
 
@@ -336,14 +333,14 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 				u.Staleness = 0
 			}
 			updates[i] = u
-			weights[i] = float64(u.NumSamples) * a.discount(u.Staleness)
+			weights[i] = a.s.policy.Weight(u)
 			staleSum += float64(u.Staleness)
 		}
 		buffer = buffer[:0]
 		if cfg.OnUpdates != nil {
 			cfg.OnUpdates(t, s.global, updates)
 		}
-		a.aggregate(t, weights, updates)
+		a.aggregate(t, weights, updates, a.s.policy.MergeRate(t, updates))
 		if !tensor.AllFinite(s.global) {
 			rec.finalize()
 			return res, fmt.Errorf("core: %s diverged at aggregation %d (non-finite global model)", cfg.Algo.Name(), t)
@@ -366,17 +363,17 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 }
 
 // aggregate merges a buffer. An Algorithm's Aggregator override wins (it
-// sees Update.Staleness); otherwise the staleness-discounted data-size
-// weights go through the shared weighted average. Validate rejects
-// Aggregator methods in buffered mode, so the override branch is only
-// reachable from the barrier loop, where no client is in flight.
-func (a *AsyncServer) aggregate(t int, weights []float64, updates []Update) {
+// sees Update.Staleness); otherwise the policy's weights and merge rate
+// go through the shared weighted average. Validate rejects Aggregator
+// methods in buffered mode, so the override branch is only reachable from
+// the barrier loop, where no client is in flight.
+func (a *AsyncServer) aggregate(t int, weights []float64, updates []Update, eta float64) {
 	if agg, ok := a.s.cfg.Algo.(Aggregator); ok {
 		next := agg.Aggregate(t, a.s.global, updates)
 		copy(a.s.global, next)
 		return
 	}
-	a.s.aggregateWeighted(weights, updates)
+	a.s.aggregateWeightedRate(weights, updates, eta)
 }
 
 // pickAvailable draws one idle client uniformly at random (the async

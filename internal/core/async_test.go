@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/rand"
 	"sync"
 	"testing"
 )
@@ -346,40 +345,6 @@ func TestStalenessWeighterOverridesDiscount(t *testing.T) {
 	}
 	if len(algo.calls) == 0 {
 		t.Fatal("StalenessWeight never consulted")
-	}
-}
-
-func TestParseLatency(t *testing.T) {
-	good := []struct {
-		spec, str string
-	}{
-		{"zero", "zero"},
-		{"const:2", "const:2"},
-		{"uniform:0.5,2", "uniform:0.5,2"},
-		{"exp:1.5", "exp:1.5"},
-		{"lognormal:0,0.5", "lognormal:0,0.5"},
-		{"straggler:1,10,5", "straggler:1,10,5"},
-	}
-	rng := rand.New(rand.NewSource(1))
-	for _, g := range good {
-		m, err := ParseLatency(g.spec)
-		if err != nil {
-			t.Fatalf("%s: %v", g.spec, err)
-		}
-		if m.String() != g.str {
-			t.Fatalf("%s round-tripped to %s", g.spec, m.String())
-		}
-		for i := 0; i < 100; i++ {
-			if d := m.Sample(i, rng); d < 0 {
-				t.Fatalf("%s sampled negative latency %v", g.spec, d)
-			}
-		}
-	}
-	bad := []string{"warp", "const", "const:x", "uniform:2,1", "uniform:-1,1", "exp:0", "exp:-2", "lognormal:0,-1", "straggler:1,0.5,3", "straggler:1,2,0"}
-	for _, spec := range bad {
-		if _, err := ParseLatency(spec); err == nil {
-			t.Fatalf("%s accepted", spec)
-		}
 	}
 }
 

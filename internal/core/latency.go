@@ -112,6 +112,23 @@ func (l StragglerLatency) String() string {
 	return fmt.Sprintf("straggler:%g,%g,%d", l.Fast, l.Slow, l.SlowEvery)
 }
 
+// parseSpec splits a CLI "name" or "name:arg1,arg2,..." spec into its
+// name and numeric args — the grammar shared by the latency, policy,
+// and server-lr parsers. label names the spec family in errors.
+func parseSpec(spec, label string) (name string, args []float64, err error) {
+	name, rest, _ := strings.Cut(spec, ":")
+	if rest != "" {
+		for _, p := range strings.Split(rest, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("core: %s spec %q: %v", label, spec, err)
+			}
+			args = append(args, v)
+		}
+	}
+	return name, args, nil
+}
+
 // ParseLatency parses a CLI latency spec of the form "name" or
 // "name:arg1,arg2,...":
 //
@@ -122,16 +139,9 @@ func (l StragglerLatency) String() string {
 //	lognormal:MU,SIGMA   exp(MU + SIGMA*N(0,1))
 //	straggler:F,S,E      every E-th client takes S, others F (±10% jitter)
 func ParseLatency(spec string) (LatencyModel, error) {
-	name, rest, _ := strings.Cut(spec, ":")
-	var args []float64
-	if rest != "" {
-		for _, p := range strings.Split(rest, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-			if err != nil {
-				return nil, fmt.Errorf("core: latency spec %q: %v", spec, err)
-			}
-			args = append(args, v)
-		}
+	name, args, err := parseSpec(spec, "latency")
+	if err != nil {
+		return nil, err
 	}
 	want := func(n int) error {
 		if len(args) != n {

@@ -1,0 +1,222 @@
+package core
+
+import "fmt"
+
+// Runtime selects how a RunSpec executes.
+type Runtime string
+
+const (
+	// RuntimeSync is the paper's lock-step loop (Server.Run): select K
+	// clients, wait for all of them, aggregate. No simulated clock.
+	RuntimeSync Runtime = "sync"
+	// RuntimeAsync is the event-driven buffered runtime: Concurrency
+	// clients are always in flight under the latency model, and the
+	// aggregation policy decides when arrivals merge.
+	RuntimeAsync Runtime = "async"
+	// RuntimeBarrier is lock-step semantics priced under the latency
+	// model: each round waits for its slowest client. With ZeroLatency it
+	// reproduces RuntimeSync bit-for-bit on the same seed.
+	RuntimeBarrier Runtime = "barrier"
+)
+
+// ParseRuntime resolves a CLI runtime name ("" = sync).
+func ParseRuntime(name string) (Runtime, error) {
+	switch Runtime(name) {
+	case "", RuntimeSync:
+		return RuntimeSync, nil
+	case RuntimeAsync:
+		return RuntimeAsync, nil
+	case RuntimeBarrier:
+		return RuntimeBarrier, nil
+	}
+	return "", fmt.Errorf("core: unknown runtime %q (sync|async|barrier)", name)
+}
+
+// RunSpec is the single description of a federated run: the base Config
+// plus the runtime selector, the asynchronous knobs, and the aggregation
+// policy. Start is its entrypoint; Run and RunAsync are thin wrappers
+// over it for the legacy call sites.
+type RunSpec struct {
+	Config
+	// Runtime picks the execution mode ("" = RuntimeSync).
+	Runtime Runtime
+	// Concurrency is the number of clients training simultaneously in
+	// simulated time (RuntimeAsync; FedBuff's M). 0 = ClientsPerRound.
+	// Real parallelism is bounded separately by Config.Shards.
+	Concurrency int
+	// BufferSize seeds the default merge threshold of buffer-based
+	// policies (FedBuff's K). 0 = ClientsPerRound. A policy with an
+	// explicit K wins.
+	BufferSize int
+	// Latency models each dispatch's virtual duration (RuntimeAsync and
+	// RuntimeBarrier). nil = ZeroLatency. Must be nil for RuntimeSync,
+	// which has no simulated clock — use RuntimeBarrier to price the
+	// lock-step loop under a latency model.
+	Latency LatencyModel
+	// Discount is the staleness discount for discount-based policies that
+	// do not carry their own. Resolution order: the Algorithm's
+	// StalenessWeighter override, then this field, then PolyDiscount(0.5).
+	Discount func(staleness int) float64
+	// Policy decides when buffered arrivals merge and how updates are
+	// weighted. nil selects the runtime default: FedAvgPolicy for
+	// RuntimeSync, FedBuffPolicy otherwise. An Algorithm's Aggregator
+	// override still wins over any policy.
+	Policy AggregationPolicy
+}
+
+// Validate checks the spec and fills every default in one place: the base
+// Config's (via Config.Validate), the async knobs', and the policy's
+// (merge threshold from BufferSize, staleness discount from the
+// resolution chain). It is idempotent; Start calls it on its own copy, so
+// validate explicitly when the caller wants to observe resolved defaults.
+func (sp *RunSpec) Validate() error {
+	if sp.Runtime == "" {
+		sp.Runtime = RuntimeSync
+	}
+	switch sp.Runtime {
+	case RuntimeSync, RuntimeAsync, RuntimeBarrier:
+	default:
+		return fmt.Errorf("core: unknown runtime %q (sync|async|barrier)", sp.Runtime)
+	}
+	if err := sp.Config.Validate(); err != nil {
+		return err
+	}
+	if sp.Runtime == RuntimeSync {
+		if sp.Latency != nil {
+			if _, isZero := sp.Latency.(ZeroLatency); !isZero {
+				return fmt.Errorf("core: the sync runtime has no simulated clock; use the barrier runtime to price lock-step rounds under a latency model")
+			}
+		}
+		if sp.BufferSize == 0 {
+			sp.BufferSize = sp.ClientsPerRound
+		}
+	} else {
+		if sp.Concurrency == 0 {
+			sp.Concurrency = sp.ClientsPerRound
+		}
+		if sp.Concurrency < 1 || sp.Concurrency > len(sp.Parts) {
+			return fmt.Errorf("core: async concurrency %d outside [1,%d]", sp.Concurrency, len(sp.Parts))
+		}
+		if sp.BufferSize == 0 {
+			sp.BufferSize = sp.ClientsPerRound
+		}
+		if sp.BufferSize < 1 {
+			return fmt.Errorf("core: async buffer size %d", sp.BufferSize)
+		}
+		if sp.Latency == nil {
+			sp.Latency = ZeroLatency{}
+		}
+	}
+	if sp.Runtime == RuntimeAsync {
+		// The algos package contract makes PreRound and Aggregate
+		// single-threaded calls with no client phase in flight. Buffered
+		// mode aggregates while other clients are mid-training, so
+		// methods with server-side struct state (SCAFFOLD, SlowMo,
+		// FedDyn, FedNova, FedDANE, MimeLite) would race and see a bogus
+		// "selected" set. The barrier runtime joins every client first
+		// and so remains safe for them.
+		if _, ok := sp.Algo.(PreRounder); ok {
+			return fmt.Errorf("core: %s needs a pre-round phase; the buffered async runtime cannot run it (use the barrier runtime or a client-side method)", sp.Algo.Name())
+		}
+		if _, ok := sp.Algo.(Aggregator); ok {
+			return fmt.Errorf("core: %s overrides server aggregation; the buffered async runtime cannot run it (use the barrier runtime or a client-side method)", sp.Algo.Name())
+		}
+	}
+	return sp.resolvePolicy()
+}
+
+// clonedForRun returns a copy of a built-in policy so resolvePolicy's
+// default-filling never mutates the caller's instance — a RunSpec has
+// copy semantics, and the same policy value must be reusable across
+// Starts (a stale resolved K or discount from an earlier run would
+// otherwise leak into the next). Custom policies pass through untouched:
+// the defaulting interfaces are unexported, so the runtime never writes
+// to them.
+func clonedForRun(p AggregationPolicy) AggregationPolicy {
+	switch p := p.(type) {
+	case nil:
+		return nil
+	case *FedAvgPolicy:
+		cp := *p
+		return &cp
+	case *FedBuffPolicy:
+		cp := *p
+		return &cp
+	case *FedAsyncPolicy:
+		cp := *p
+		return &cp
+	case *ImportancePolicy:
+		cp := *p
+		return &cp
+	case *ScheduledLR:
+		cp := *p
+		cp.AggregationPolicy = clonedForRun(cp.AggregationPolicy)
+		return &cp
+	}
+	return p
+}
+
+// resolvePolicy fills the default policy for the runtime and pushes the
+// spec-level defaults (merge threshold, staleness discount) into built-in
+// policies that accept them. It operates on a private copy of built-in
+// policies (see clonedForRun); the resolved policy is observable as
+// sp.Policy after Validate.
+func (sp *RunSpec) resolvePolicy() error {
+	defaultPolicy := func() AggregationPolicy {
+		if sp.Runtime == RuntimeSync {
+			return &FedAvgPolicy{}
+		}
+		return &FedBuffPolicy{}
+	}
+	sp.Policy = clonedForRun(sp.Policy)
+	switch p := sp.Policy.(type) {
+	case nil:
+		sp.Policy = defaultPolicy()
+	case *ScheduledLR:
+		if p.AggregationPolicy == nil {
+			p.AggregationPolicy = defaultPolicy()
+		}
+		if p.Schedule == nil {
+			return fmt.Errorf("core: ScheduledLR policy with nil schedule")
+		}
+	}
+	if bs, ok := sp.Policy.(bufferSizer); ok {
+		bs.defaultBuffer(sp.BufferSize)
+	}
+	if dc, ok := sp.Policy.(discounter); ok {
+		d, force := sp.Discount, false
+		if sw, ok := sp.Algo.(StalenessWeighter); ok {
+			d, force = sw.StalenessWeight, true
+		}
+		if d == nil {
+			d = PolyDiscount(0.5)
+		}
+		dc.defaultDiscount(d, force)
+	}
+	return nil
+}
+
+// Start validates the spec and executes the run on the selected runtime.
+// It is the one entrypoint every runtime and policy combination goes
+// through; a zero-latency barrier spec reproduces the synchronous loop
+// bit-for-bit on the same seed.
+func Start(spec RunSpec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Runtime {
+	case RuntimeSync:
+		s, err := NewServer(spec.Config)
+		if err != nil {
+			return nil, err
+		}
+		s.policy = spec.Policy
+		return s.Run()
+	default:
+		a, err := newAsyncServer(spec)
+		if err != nil {
+			return nil, err
+		}
+		return a.Run()
+	}
+}

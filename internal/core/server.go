@@ -103,6 +103,16 @@ type Server struct {
 	global    []float64
 	evalModel *nn.Model
 	rng       *rand.Rand
+	// policy is the aggregation policy Start resolved for this run; nil
+	// (the legacy Run/NewServer path) behaves as FedAvgPolicy.
+	policy AggregationPolicy
+	// mergeScratch is the reusable weighted-average buffer for rated
+	// merges (eta != 1). Merges are single-threaded in every runtime
+	// (the sync loop and the async event loop both aggregate with no
+	// concurrent merge), so one buffer suffices; FedAsync-style
+	// single-arrival runs merge every aggregation and would otherwise
+	// allocate a model-sized slice per merge.
+	mergeScratch []float64
 }
 
 // NewServer builds the population and the initial global model. Clients
@@ -197,42 +207,62 @@ func (s *Server) trainSelected(round int, selected []*Client, sp *shardPool) []U
 	return updates
 }
 
-// aggregate applies Eq. 2 with a_k = |D_k| / |D_St| unless the algorithm
-// overrides aggregation.
+// aggregate merges one synchronous round. An Algorithm's Aggregator
+// override wins; otherwise the run's aggregation policy supplies the
+// weights and the merge rate. The nil policy of the legacy Run path is
+// FedAvgPolicy — Eq. 2's a_k = |D_k| / |D_St| with full replacement —
+// bit-for-bit the historical arithmetic.
 func (s *Server) aggregate(round int, updates []Update) {
 	if agg, ok := s.cfg.Algo.(Aggregator); ok {
 		next := agg.Aggregate(round, s.global, updates)
 		copy(s.global, next)
 		return
 	}
+	pol := s.policy
+	if pol == nil {
+		pol = &FedAvgPolicy{}
+	}
 	weights := make([]float64, len(updates))
 	for i, u := range updates {
-		weights[i] = float64(u.NumSamples)
+		weights[i] = pol.Weight(u)
 	}
-	s.aggregateWeighted(weights, updates)
+	s.aggregateWeightedRate(weights, updates, pol.MergeRate(round, updates))
 }
 
-// aggregateWeighted normalises the given weights and merges the updates
-// into the global model. Both runtimes funnel through it: the synchronous
-// server with data-size weights, the asynchronous one with data-size
-// weights scaled by the staleness discount (a discount of exactly 1
-// reproduces the synchronous arithmetic bit-for-bit). A fully-discounted
-// buffer (all weights 0 — e.g. a hard staleness cutoff) contributes
-// nothing rather than dividing the model into NaNs.
-func (s *Server) aggregateWeighted(weights []float64, updates []Update) {
+// aggregateWeightedRate normalises the given weights, forms the weighted
+// average of the updates, and moves the global model toward it by the
+// server learning rate eta: global' = global + eta*(avg - global). Every
+// runtime funnels through it: the synchronous server with data-size
+// weights, the asynchronous one with policy weights (a rate of exactly 1
+// takes the historical replace-with-average path bit-for-bit). A
+// fully-discounted buffer (all weights 0 — e.g. a hard staleness cutoff)
+// or a zero rate contributes nothing rather than dividing the model into
+// NaNs.
+func (s *Server) aggregateWeightedRate(weights []float64, updates []Update, eta float64) {
 	vecs := make([][]float64, len(updates))
 	var total float64
 	for i, u := range updates {
 		vecs[i] = u.Params
 		total += weights[i]
 	}
-	if total <= 0 {
+	if total <= 0 || eta == 0 {
 		return
 	}
 	for i := range weights {
 		weights[i] /= total
 	}
-	tensor.WeightedSumInto(s.global, weights, vecs)
+	if eta == 1 {
+		tensor.WeightedSumInto(s.global, weights, vecs)
+		return
+	}
+	if len(s.mergeScratch) != len(s.global) {
+		s.mergeScratch = make([]float64, len(s.global))
+	}
+	avg := s.mergeScratch
+	tensor.WeightedSumInto(avg, weights, vecs)
+	for i := range s.global {
+		s.global[i] += eta * (avg[i] - s.global[i])
+	}
 }
 
 // EvaluateGlobal computes test accuracy of the current global model.
@@ -435,7 +465,9 @@ func (s *Server) clientFlopsTotal() int64 {
 	return fl
 }
 
-// Run executes the full federated training loop and collects metrics.
+// Run executes the full synchronous federated training loop and collects
+// metrics — the thin legacy wrapper over the RunSpec facade, equivalent
+// to Start(RunSpec{Config: cfg}).
 func Run(cfg Config) (*Result, error) {
 	s, err := NewServer(cfg)
 	if err != nil {

@@ -138,10 +138,7 @@ func runAblationAppendix(p Profile, logf Logf) ([]*Table, error) {
 		mean, reached := meanRoundsToTarget(rs, target)
 		var gflops, comm []float64
 		for _, r := range rs {
-			rt := stats.RoundsToTarget(r.Accuracy, target)
-			if rt < 0 {
-				rt = len(r.Accuracy)
-			}
+			rt, _ := roundsToTargetClamped(r, target)
 			gflops = append(gflops, r.GFLOPsByRound[rt-1])
 			comm = append(comm, float64(r.CommBytesByRound[rt-1])/1e6)
 		}

@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"theory-xi", "theory-rho", "ext-quant", "abl-xi", "abl-hist", "abl-extra",
+		"theory-xi", "theory-rho", "ext-quant", "tta", "abl-xi", "abl-hist", "abl-extra",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -140,6 +140,38 @@ func TestFactoryKeyDisambiguatesCache(t *testing.T) {
 	p := Tiny()
 	if a.key(p) == b.key(p) {
 		t.Fatal("factory variants must have distinct cache keys")
+	}
+}
+
+// The run cache must not collide across runtimes or aggregation
+// policies: the same case on sync, async/fedbuff, and async/fedasync are
+// three different runs.
+func TestCaseKeyIncludesRuntimeAndPolicy(t *testing.T) {
+	p := Tiny()
+	base := Case{Kind: data.KindMNIST, Arch: nn.ArchMLP, Scheme: partition.Dirichlet(0.5), Algo: "fedavg"}
+	async := base
+	async.Runtime = core.RuntimeAsync
+	async.Latency = "straggler:1,10,3"
+	fedasync := async
+	fedasync.Policy = "fedasync"
+	keys := map[string]string{
+		"sync":     base.key(p),
+		"fedbuff":  async.key(p),
+		"fedasync": fedasync.key(p),
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("cases %s and %s share cache key %q", prev, name, k)
+		}
+		seen[k] = name
+	}
+	// Profile-level runtime selection must shift every key too.
+	pAsync := p
+	pAsync.Runtime = core.RuntimeAsync
+	pAsync.Latency = "exp:2"
+	if base.key(p) == base.key(pAsync) {
+		t.Fatal("profile runtime override did not change the cache key")
 	}
 }
 

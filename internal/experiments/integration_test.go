@@ -4,6 +4,11 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/partition"
 )
 
 // Tiny-profile integration runs for the cheaper round-based experiments.
@@ -104,6 +109,66 @@ func TestRhoFormula(t *testing.T) {
 	// Tiny mu violates the condition when LB is large.
 	if rho := rhoOf(0.01, 10, 3); rho >= 0 {
 		t.Fatalf("rho should be negative for small mu, got %v", rho)
+	}
+}
+
+// The time-to-accuracy table: every method runs on the barrier runtime
+// and on the buffered runtime under the FedBuff and FedAsync policies,
+// priced by the same straggler latency model, all through core.Start.
+func TestTTATiny(t *testing.T) {
+	tabs := runTiny(t, "tta")
+	tab := tabs[0]
+	if len(tab.Rows) != 9 {
+		t.Fatalf("tta should have 3 methods x 3 variants = 9 rows, got %d", len(tab.Rows))
+	}
+	variants := map[string]int{}
+	for _, row := range tab.Rows {
+		variants[row[1]]++
+		// The simulated-time column must be a positive duration: the
+		// straggler latency model prices every variant.
+		v, err := strconv.ParseFloat(strings.TrimPrefix(row[5], ">"), 64)
+		if err != nil {
+			t.Fatalf("bad sim time cell %q", row[5])
+		}
+		if v <= 0 {
+			t.Fatalf("variant %q reports no simulated time (row %v)", row[1], row)
+		}
+	}
+	for _, want := range []string{"sync barrier", "async fedbuff", "async fedasync"} {
+		if variants[want] != 3 {
+			t.Fatalf("variant %q has %d rows, want 3 (got %v)", want, variants[want], variants)
+		}
+	}
+}
+
+// A profile-level runtime override makes an ordinary experiment run
+// asynchronously: the cached results carry the async-only metrics.
+func TestProfileRuntimeOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ResetCaches()
+	p := Tiny()
+	p.Runtime = core.RuntimeAsync
+	p.Latency = "straggler:1,10,3"
+	c := Case{Kind: data.KindMNIST, Arch: nn.ArchMLP, Scheme: partition.Dirichlet(0.5), Algo: "fedtrip"}
+	res, err := p.Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SimTimeByRound) != res.Rounds {
+		t.Fatalf("async run has %d sim-time entries for %d rounds", len(res.SimTimeByRound), res.Rounds)
+	}
+	// A server-hook method (SlowMo overrides aggregation) must fall back
+	// to the barrier runtime instead of erroring.
+	c2 := c
+	c2.Algo = "slowmo"
+	res2, err := p.Run(c2, nil)
+	if err != nil {
+		t.Fatalf("server-hook method under async profile: %v", err)
+	}
+	if len(res2.SimTimeByRound) != res2.Rounds {
+		t.Fatal("barrier fallback did not price rounds in simulated time")
 	}
 }
 

@@ -1,10 +1,20 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
 
 // Profile scales the experiment suite. Fast preserves the method ordering
 // on a laptop budget; Paper reproduces §V.A's settings; Tiny exists for
 // unit tests.
+//
+// Every experiment is runtime-agnostic: the Runtime / Latency / Policy /
+// ServerLR fields select which runtime and aggregation policy the cases
+// run on (cmd/fedtrip-tables exposes them as flags), and individual
+// experiments may override them per Case (the time-to-accuracy table does,
+// to compare policies side by side).
 type Profile struct {
 	Name string
 	// SamplesPerClient overrides Table II's per-client data size
@@ -41,6 +51,23 @@ type Profile struct {
 	Fig5EveryRounds int
 	// Seed anchors all randomness.
 	Seed int64
+	// Runtime selects which runtime cases run on ("" = sync). Methods
+	// with server-side hooks (Aggregator/PreRounder) fall back from async
+	// to barrier, which joins every client before aggregating.
+	Runtime core.Runtime
+	// Latency is the latency spec (core.ParseLatency) for the async and
+	// barrier runtimes ("" = zero). A non-zero spec on the sync runtime
+	// is rejected at Validate (sync has no simulated clock — use
+	// barrier), never silently dropped.
+	Latency string
+	// Policy is the aggregation policy spec (core.ParsePolicy); "" keeps
+	// the runtime default (FedAvg sync, FedBuff async).
+	Policy string
+	// ServerLR is a server learning-rate schedule spec
+	// (core.ParseLRSchedule) composed onto the policy ("" = none).
+	ServerLR string
+	// Concurrency and Buffer are the async knobs (0 = K).
+	Concurrency, Buffer int
 }
 
 // Fast is the default profile: small synthetic datasets and scaled-down

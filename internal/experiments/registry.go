@@ -33,6 +33,7 @@ func All() []Experiment {
 		{ID: "theory-xi", Title: "Theorem 1 staleness coefficient: empirical vs closed form", Run: runTheoryXi},
 		{ID: "theory-rho", Title: "Theorem 1 decrease coefficient rho from measured L and B", Run: runTheoryRho},
 		{ID: "ext-quant", Title: "Extension: FedTrip with quantized uplink", Run: runExtQuant},
+		{ID: "tta", Title: "Time to accuracy under stragglers (barrier vs FedBuff vs FedAsync policies)", Run: runTTA},
 		{ID: "abl-xi", Title: "Ablation: xi schedule", Run: runAblationXi},
 		{ID: "abl-hist", Title: "Ablation: triplet terms", Run: runAblationHistory},
 		{ID: "abl-extra", Title: "Ablation: appendix methods resource comparison", Run: runAblationAppendix},

@@ -111,10 +111,7 @@ func runTable5(p Profile, logf Logf) ([]*Table, error) {
 		for _, method := range PaperMethods() {
 			var g []float64
 			for _, r := range results[method] {
-				rt := stats.RoundsToTarget(r.Accuracy, target)
-				if rt < 0 {
-					rt = len(r.GFLOPsByRound)
-				}
+				rt, _ := roundsToTargetClamped(r, target)
 				g = append(g, r.GFLOPsByRound[rt-1])
 			}
 			cells[method] = append(cells[method], fmt.Sprintf("%.2f", stats.Mean(g)))

@@ -39,11 +39,103 @@ type Case struct {
 	Clients, PerRound int
 	// LocalEpochs overrides the profile when non-zero (Table VII).
 	LocalEpochs int
+	// Rounds overrides the profile's round budget when non-zero. Async
+	// cases use it to equalize total client updates across aggregation
+	// policies (Rounds counts aggregations there, and a FedAsync
+	// aggregation merges one update where a barrier round merges K).
+	Rounds int
 	// ClipNorm enables gradient clipping for every method in the case
 	// (Table VII's long aggregation intervals need it for stability).
 	ClipNorm float64
 	// Trial indexes repeated runs; it offsets every seed.
 	Trial int
+	// Runtime / Latency / Policy / ServerLR / Concurrency / Buffer
+	// override the profile's runtime selection when non-zero, so a single
+	// experiment can compare runtimes and aggregation policies side by
+	// side (see the time-to-accuracy table).
+	Runtime             core.Runtime
+	Latency             string
+	Policy              string
+	ServerLR            string
+	Concurrency, Buffer int
+}
+
+// runtimeParams resolves the effective runtime selection for a case:
+// case overrides beat profile defaults.
+func (c Case) runtimeParams(p Profile) (rt core.Runtime, latency, policy, serverLR string, conc, buf int) {
+	rt, latency, policy, serverLR = p.Runtime, p.Latency, p.Policy, p.ServerLR
+	conc, buf = p.Concurrency, p.Buffer
+	if c.Runtime != "" {
+		rt = c.Runtime
+	}
+	if c.Latency != "" {
+		latency = c.Latency
+	}
+	if c.Policy != "" {
+		policy = c.Policy
+	}
+	if c.ServerLR != "" {
+		serverLR = c.ServerLR
+	}
+	if c.Concurrency > 0 {
+		conc = c.Concurrency
+	}
+	if c.Buffer > 0 {
+		buf = c.Buffer
+	}
+	if rt == "" {
+		rt = core.RuntimeSync
+	}
+	return rt, latency, policy, serverLR, conc, buf
+}
+
+// runSpec assembles the unified core.RunSpec for a case: the base Config
+// plus the resolved runtime, latency model, and aggregation policy.
+// Methods with server-side hooks (Aggregator, PreRounder) cannot run on
+// the buffered async runtime; they fall back to the barrier runtime,
+// which joins every client before aggregating, so a whole-table runtime
+// override stays runnable for every paper method.
+func (c Case) runSpec(p Profile, cfg core.Config) (core.RunSpec, error) {
+	rt, latency, policy, serverLR, conc, buf := c.runtimeParams(p)
+	spec := core.RunSpec{Config: cfg, Runtime: rt}
+	if rt == core.RuntimeAsync {
+		_, isAgg := cfg.Algo.(core.Aggregator)
+		_, isPre := cfg.Algo.(core.PreRounder)
+		if isAgg || isPre {
+			spec.Runtime = core.RuntimeBarrier
+		}
+	}
+	// The latency spec is parsed and attached on every runtime:
+	// RunSpec.Validate owns the "sync has no simulated clock" rejection,
+	// so a -latency given without -runtime errors loudly instead of
+	// rendering an unpriced table that looks latency-priced.
+	lat, err := core.ParseLatency(latency)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	spec.Latency = lat
+	if spec.Runtime != core.RuntimeSync {
+		spec.Concurrency = conc
+		spec.BufferSize = buf
+	}
+	if policy != "" {
+		pol, err := core.ParsePolicy(policy)
+		if err != nil {
+			return core.RunSpec{}, err
+		}
+		spec.Policy = pol
+	}
+	if serverLR != "" {
+		sched, err := core.ParseLRSchedule(serverLR)
+		if err != nil {
+			return core.RunSpec{}, err
+		}
+		spec.Policy = core.WithServerLR(spec.Policy, sched)
+	}
+	if err := spec.Validate(); err != nil {
+		return core.RunSpec{}, err
+	}
+	return spec, nil
 }
 
 func (c Case) key(p Profile) string {
@@ -51,10 +143,15 @@ func (c Case) key(p Profile) string {
 	if c.Factory != nil {
 		algoKey = "factory:" + c.FactoryKey
 	}
-	return fmt.Sprintf("%s|%s|%s|%s|%+v|%d|%d|%d|%v|%d|%s|%d|%d|%d|%v|%d",
+	rt, latency, policy, serverLR, conc, buf := c.runtimeParams(p)
+	rounds := p.Rounds
+	if c.Rounds > 0 {
+		rounds = c.Rounds
+	}
+	return fmt.Sprintf("%s|%s|%s|%s|%+v|%d|%d|%d|%v|%d|%s|%d|%d|%d|%v|%d|%s|%s|%s|%s|%d|%d",
 		p.Name, c.Kind, c.Arch, c.Scheme, c.Params, c.Clients, c.PerRound,
-		c.LocalEpochs, c.ClipNorm, c.Trial, algoKey, p.Rounds, p.SamplesPerClient,
-		p.Batch, p.ConvScale, p.Seed)
+		c.LocalEpochs, c.ClipNorm, c.Trial, algoKey, rounds, p.SamplesPerClient,
+		p.Batch, p.ConvScale, p.Seed, rt, latency, policy, serverLR, conc, buf)
 }
 
 var (
@@ -201,6 +298,10 @@ func (p Profile) Run(c Case, logf Logf) (*core.Result, error) {
 	if c.LocalEpochs > 0 {
 		epochs = c.LocalEpochs
 	}
+	rounds := p.Rounds
+	if c.Rounds > 0 {
+		rounds = c.Rounds
+	}
 	perClient, err := p.samplesPerClient(c.Kind)
 	if err != nil {
 		return nil, err
@@ -233,7 +334,7 @@ func (p Profile) Run(c Case, logf Logf) (*core.Result, error) {
 		Train:           train,
 		Test:            test,
 		Parts:           parts,
-		Rounds:          p.Rounds,
+		Rounds:          rounds,
 		ClientsPerRound: perRound,
 		BatchSize:       p.Batch,
 		LocalEpochs:     epochs,
@@ -243,9 +344,13 @@ func (p Profile) Run(c Case, logf Logf) (*core.Result, error) {
 		Algo:            algo,
 		Seed:            seed,
 	}
-	logf.printf("run %s %s %s %s (clients %d/%d, epochs %d, trial %d)",
-		algo.Name(), c.Arch, c.Kind, c.Scheme, perRound, clients, epochs, c.Trial)
-	res, err := core.Run(cfg)
+	runSpec, err := c.runSpec(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	logf.printf("run %s %s %s %s (%s/%s, clients %d/%d, epochs %d, trial %d)",
+		algo.Name(), c.Arch, c.Kind, c.Scheme, runSpec.Runtime, runSpec.Policy.Name(), perRound, clients, epochs, c.Trial)
+	res, err := core.Start(runSpec)
 	if err != nil {
 		return nil, fmt.Errorf("case %s/%s/%s/%s: %w", c.Algo, c.Arch, c.Kind, c.Scheme, err)
 	}
@@ -284,15 +389,26 @@ func adaptiveTarget(fedavg []*core.Result) float64 {
 	return 0.97 * stats.Mean(final)
 }
 
+// roundsToTargetClamped returns the 1-based round whose evaluation
+// reached the target, clamped to the trajectory length when it never
+// was — the censoring convention every resource-to-target cell shares
+// (the clamped index is also valid into the per-round metric series).
+func roundsToTargetClamped(r *core.Result, target float64) (rt int, reached bool) {
+	rt = stats.RoundsToTarget(r.Accuracy, target)
+	if rt < 0 {
+		return len(r.Accuracy), false
+	}
+	return rt, true
+}
+
 // meanRoundsToTarget averages rounds-to-target over trials; unreached
 // trials count as the full round budget (reported with a ">" marker).
 func meanRoundsToTarget(results []*core.Result, target float64) (mean float64, reached bool) {
 	reached = true
 	var vals []float64
 	for _, r := range results {
-		rt := stats.RoundsToTarget(r.Accuracy, target)
-		if rt < 0 {
-			rt = len(r.Accuracy)
+		rt, ok := roundsToTargetClamped(r, target)
+		if !ok {
 			reached = false
 		}
 		vals = append(vals, float64(rt))

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// runTTA derives the paper's resource-efficiency comparison (the
+// rounds/GFLOPs/communication framing of Tables IV-VI) in *time to
+// accuracy* under a straggler fleet, through the unified RunSpec facade:
+// the same methods run on the lock-step barrier runtime (every round pays
+// the slowest selected client) and on the buffered async runtime under
+// the FedBuff and FedAsync aggregation policies, all priced by the same
+// latency model. Columns report resources spent until the adaptive target
+// accuracy: aggregation rounds, training GFLOPs, communication MB, and
+// simulated wall-clock seconds, plus the wall-clock speedup over the
+// synchronous barrier.
+//
+// The latency model defaults to a straggler fleet (every 3rd client 10x
+// slower, the regime where lock-step rounds pay the straggler tax) and
+// follows the profile's -latency override when one is set.
+func runTTA(p Profile, logf Logf) ([]*Table, error) {
+	latency := p.Latency
+	if latency == "" || latency == "zero" {
+		latency = "straggler:1,10,3"
+	}
+	// Methods must be client-side only: the buffered async runtime cannot
+	// run server-hook methods, and falling back to barrier would make the
+	// policy columns vacuous.
+	methods := []string{"fedtrip", "fedavg", "fedprox"}
+	type variant struct {
+		label   string
+		runtime core.Runtime
+		policy  string
+	}
+	// Policies are pinned explicitly (the barrier baseline to fedavg) so
+	// a profile-level -policy override cannot silently contaminate the
+	// baseline the adaptive target and speedup column calibrate against.
+	variants := []variant{
+		{"sync barrier", core.RuntimeBarrier, "fedavg"},
+		{"async fedbuff", core.RuntimeAsync, "fedbuff"},
+		{"async fedasync", core.RuntimeAsync, "fedasync"},
+	}
+	perRound := p.PerRound
+	buffer := p.Buffer
+	if buffer == 0 {
+		// Merge at half-round granularity so the buffered runtime
+		// genuinely decouples from the lock-step cadence.
+		buffer = max(1, perRound/2)
+	}
+	baseCase := func(method string, v variant) Case {
+		c := Case{
+			Kind:    data.KindMNIST,
+			Arch:    nn.ArchMLP,
+			Scheme:  partition.Dirichlet(0.5),
+			Algo:    method,
+			Params:  DefaultParams(method, nn.ArchMLP, data.KindMNIST),
+			Runtime: v.runtime,
+			Latency: latency,
+			Policy:  v.policy,
+			Buffer:  buffer,
+		}
+		// Rounds counts aggregations on the buffered runtime, and one
+		// aggregation merges `buffer` updates where a barrier round
+		// merges K — scale the budget so every variant trains the same
+		// total number of client updates. Ceiling division: a buffer
+		// that does not divide the update budget rounds the aggregation
+		// count up (never down to a silent 0, which Profile.Run would
+		// read as "no override").
+		if v.runtime == core.RuntimeAsync {
+			updatesPerAgg := buffer
+			if v.policy == "fedasync" {
+				updatesPerAgg = 1
+			}
+			c.Rounds = (p.Rounds*perRound + updatesPerAgg - 1) / updatesPerAgg
+		}
+		return c
+	}
+	// The target self-calibrates from the FedAvg barrier baseline, like
+	// the round tables do.
+	fedavgRef, err := p.RunTrials(baseCase("fedavg", variants[0]), logf)
+	if err != nil {
+		return nil, err
+	}
+	target := adaptiveTarget(fedavgRef)
+
+	t := &Table{
+		ID:    "tta",
+		Title: "Time to accuracy under stragglers (MLP/MNIST, Dir-0.5): barrier vs FedBuff vs FedAsync",
+		Headers: []string{
+			"Method", "Runtime/Policy", "Aggs to target", "GFLOPs", "Comm MB", "Sim time (s)", "Speedup",
+		},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("latency %s, buffer %d; adaptive target %.4f (0.97x FedAvg barrier final)", latency, buffer, target),
+		"speedup = barrier sim-time / variant sim-time for the same method (shown only when both reached the target; >marks: target not reached, full-run resources shown)",
+	)
+	for _, method := range methods {
+		var barrierTime float64
+		barrierReached := false
+		for _, v := range variants {
+			results, err := p.RunTrials(baseCase(method, v), logf)
+			if err != nil {
+				return nil, err
+			}
+			var aggs, gflops, mb, simTime []float64
+			reached := true
+			for _, r := range results {
+				rt, ok := roundsToTargetClamped(r, target)
+				if !ok {
+					reached = false
+				}
+				aggs = append(aggs, float64(rt))
+				gflops = append(gflops, r.GFLOPsByRound[rt-1])
+				mb = append(mb, float64(r.CommBytesByRound[rt-1])/1e6)
+				simTime = append(simTime, r.SimTimeByRound[rt-1])
+			}
+			meanTime := stats.Mean(simTime)
+			if v.runtime == core.RuntimeBarrier {
+				barrierTime = meanTime
+				barrierReached = reached
+			}
+			mark := ""
+			if !reached {
+				mark = ">"
+			}
+			// The ratio only means "time-to-accuracy speedup" when both
+			// sides actually reached the target; a censored side would
+			// silently mix full-run time into an exact-looking number.
+			speedup := "-"
+			if v.runtime != core.RuntimeBarrier && meanTime > 0 && reached && barrierReached {
+				speedup = fmt.Sprintf("%.1fx", barrierTime/meanTime)
+			}
+			t.AddRow(method, v.label,
+				mark+fmt.Sprintf("%.0f", stats.Mean(aggs)),
+				mark+fmt.Sprintf("%.2f", stats.Mean(gflops)),
+				mark+fmt.Sprintf("%.2f", stats.Mean(mb)),
+				mark+fmt.Sprintf("%.1f", meanTime),
+				speedup)
+		}
+	}
+	return []*Table{t}, nil
+}
