@@ -46,6 +46,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tables, err := e.Run(p, nil)
 		if err != nil {
@@ -170,6 +171,7 @@ func benchRuntimeConfig(b *testing.B) core.Config {
 // concurrently within each round, full barrier between rounds.
 func BenchmarkSyncRuntimeThroughput(b *testing.B) {
 	cfg := benchRuntimeConfig(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	updates := 0
 	for i := 0; i < b.N; i++ {
@@ -189,6 +191,7 @@ func BenchmarkSyncRuntimeThroughput(b *testing.B) {
 // cores pick up the next dispatch immediately.
 func BenchmarkAsyncRuntimeThroughput(b *testing.B) {
 	cfg := benchRuntimeConfig(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	updates := 0
 	for i := 0; i < b.N; i++ {

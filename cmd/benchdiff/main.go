@@ -1,17 +1,29 @@
-// Command benchdiff compares two benchjson artifacts (the CI BENCH_*.json
+// Command benchdiff compares benchjson artifacts (the CI BENCH_*.json
 // files) and prints per-benchmark metric deltas, so a PR's effect on the
-// population-scale runtime benchmarks is visible at a glance:
+// kernel and population-scale runtime benchmarks is visible at a glance:
 //
 //	benchdiff BENCH_old.json BENCH_new.json
+//	benchdiff BENCH_pr4.json BENCH_pr5.json BENCH_new.json
+//	benchdiff -threshold 20 BENCH_old.json BENCH_new.json
 //
-// It is report-only: the exit status is 0 regardless of how the metrics
-// moved (CI runners are too noisy to gate on), and non-zero only when an
-// artifact cannot be read or parsed. Benchmarks present in only one
-// artifact are listed as added/removed.
+// The last argument is the current artifact; every earlier argument is a
+// historical one. With more than one artifact of history, each benchmark
+// metric is compared against its best historical value (minimum for
+// cost metrics, maximum for updates/sec), which filters one noisy run
+// out of the baseline.
+//
+// By default benchdiff is report-only: the exit status is 0 regardless of
+// how the metrics moved (shared CI runners are too noisy to gate on), and
+// non-zero only when an artifact cannot be read or parsed. The
+// -threshold flag turns it into a local gate: exit status 2 when ns/op or
+// allocs/op of any benchmark regresses by more than the given percentage
+// over the baseline. Benchmarks present in only one artifact are listed
+// as added/removed.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -28,6 +40,77 @@ type Benchmark struct {
 
 // diffMetrics is the ordered subset of metrics worth reporting.
 var diffMetrics = []string{"ns/op", "allocs/op", "B/op", "updates/sec"}
+
+// higherIsBetter marks metrics whose baseline across history is the
+// maximum rather than the minimum, and whose regressions are decreases.
+var higherIsBetter = map[string]bool{"updates/sec": true}
+
+// gatedMetrics are the metrics -threshold fails on. B/op and updates/sec
+// stay report-only: byte counts include one-time pool warm-up and
+// throughput double-counts ns/op.
+var gatedMetrics = map[string]bool{"ns/op": true, "allocs/op": true}
+
+// MergeBaseline folds a sequence of historical artifacts (oldest first)
+// into one baseline: per benchmark and metric, the best value seen. A
+// benchmark is part of the baseline if any historical artifact has it;
+// its iteration count is taken from the newest artifact that does.
+func MergeBaseline(history [][]Benchmark) []Benchmark {
+	byName := map[string]*Benchmark{}
+	order := []string{}
+	for _, artifact := range history {
+		for _, b := range artifact {
+			cur, ok := byName[b.Name]
+			if !ok {
+				cp := b
+				cp.Metrics = map[string]float64{}
+				for k, v := range b.Metrics {
+					cp.Metrics[k] = v
+				}
+				byName[b.Name] = &cp
+				order = append(order, b.Name)
+				continue
+			}
+			cur.FullName = b.FullName
+			cur.Iterations = b.Iterations
+			for k, v := range b.Metrics {
+				old, seen := cur.Metrics[k]
+				better := !seen || v < old
+				if higherIsBetter[k] {
+					better = !seen || v > old
+				}
+				if better {
+					cur.Metrics[k] = v
+				}
+			}
+		}
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out
+}
+
+// Regressions returns the rows whose gated metric moved past threshold
+// percent in the losing direction.
+func Regressions(rows []DiffRow, threshold float64) []DiffRow {
+	var bad []DiffRow
+	for _, r := range rows {
+		if r.Status != "" || !gatedMetrics[r.Metric] {
+			continue
+		}
+		delta := r.Delta
+		// Both gated metrics are lower-is-better today; the flip keeps
+		// the gate correct if a higher-is-better metric is ever gated.
+		if higherIsBetter[r.Metric] {
+			delta = -delta
+		}
+		if delta > threshold {
+			bad = append(bad, r)
+		}
+	}
+	return bad
+}
 
 // DiffRow is one rendered comparison line.
 type DiffRow struct {
@@ -128,19 +211,42 @@ func load(path string) ([]Benchmark, error) {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 0,
+		"fail (exit 2) when ns/op or allocs/op regress more than this percentage over the baseline; 0 = report only")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] OLD.json [OLD2.json ...] NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		flag.Usage()
 		os.Exit(1)
 	}
-	old, err := load(os.Args[1])
+	history := make([][]Benchmark, 0, len(args)-1)
+	for _, path := range args[:len(args)-1] {
+		artifact, err := load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		history = append(history, artifact)
+	}
+	cur, err := load(args[len(args)-1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
-	cur, err := load(os.Args[2])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
+	rows := Diff(MergeBaseline(history), cur)
+	Render(os.Stdout, rows)
+	if *threshold > 0 {
+		bad := Regressions(rows, *threshold)
+		if len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.1f%%:\n", len(bad), *threshold)
+			for _, r := range bad {
+				fmt.Fprintf(os.Stderr, "  %s %s %+.1f%%\n", r.Name, r.Metric, r.Delta)
+			}
+			os.Exit(2)
+		}
 	}
-	Render(os.Stdout, Diff(old, cur))
 }

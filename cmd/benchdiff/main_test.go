@@ -65,3 +65,44 @@ func TestRender(t *testing.T) {
 		t.Fatalf("empty render %q", buf.String())
 	}
 }
+
+func TestMergeBaselineBestOfHistory(t *testing.T) {
+	h1 := []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100, "updates/sec": 50}},
+		{Name: "BenchmarkOld", Metrics: map[string]float64{"ns/op": 1}},
+	}
+	h2 := []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 120, "updates/sec": 80, "allocs/op": 4}},
+	}
+	base := MergeBaseline([][]Benchmark{h1, h2})
+	if len(base) != 2 {
+		t.Fatalf("baseline %d entries: %+v", len(base), base)
+	}
+	a := base[0]
+	if a.Name != "BenchmarkA" {
+		t.Fatalf("order: %+v", base)
+	}
+	// ns/op: lower is better -> 100; updates/sec: higher is better -> 80;
+	// allocs/op present only once -> 4.
+	if a.Metrics["ns/op"] != 100 || a.Metrics["updates/sec"] != 80 || a.Metrics["allocs/op"] != 4 {
+		t.Fatalf("baseline metrics %+v", a.Metrics)
+	}
+}
+
+func TestRegressionsGateOnlyCostMetrics(t *testing.T) {
+	rows := []DiffRow{
+		{Name: "BenchmarkA", Metric: "ns/op", Delta: 25},        // regression
+		{Name: "BenchmarkA", Metric: "allocs/op", Delta: 5},     // within threshold
+		{Name: "BenchmarkA", Metric: "B/op", Delta: 400},        // not gated
+		{Name: "BenchmarkA", Metric: "updates/sec", Delta: -90}, // not gated
+		{Name: "BenchmarkB", Metric: "ns/op", Delta: -50},       // improvement
+		{Name: "BenchmarkC", Status: "added"},
+	}
+	bad := Regressions(rows, 20)
+	if len(bad) != 1 || bad[0].Name != "BenchmarkA" || bad[0].Metric != "ns/op" {
+		t.Fatalf("regressions %+v", bad)
+	}
+	if got := Regressions(rows, 30); len(got) != 0 {
+		t.Fatalf("threshold 30 should pass, got %+v", got)
+	}
+}

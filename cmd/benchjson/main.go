@@ -1,11 +1,11 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // array on stdout, one object per benchmark with every reported metric
 // (ns/op, B/op, allocs/op, custom b.ReportMetric units). CI uses it to
-// publish the per-PR benchmark artifact (BENCH_3.json) so the performance
+// publish the per-PR benchmark artifact (BENCH_4.json) so the performance
 // trajectory of the 1k/10k-client runtime benchmarks is tracked over
 // time; cmd/benchdiff compares two such artifacts:
 //
-//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH_3.json
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH_4.json
 package main
 
 import (

@@ -58,3 +58,21 @@ func TestParseLineOddFieldCount(t *testing.T) {
 		t.Fatalf("metrics %+v", b.Metrics)
 	}
 }
+
+// TestParseLineAllocMetrics pins the artifact schema the perf trajectory
+// relies on: a -benchmem/ReportAllocs line's B/op and allocs/op land in
+// the metrics map alongside ns/op and any custom units.
+func TestParseLineAllocMetrics(t *testing.T) {
+	b, ok := parseLine("BenchmarkLocalTrainRound-4 \t 162 \t 13255896 ns/op \t 22289 B/op \t 3 allocs/op \t 951.2 updates/sec")
+	if !ok {
+		t.Fatal("rejected benchmem line")
+	}
+	want := map[string]float64{
+		"ns/op": 13255896, "B/op": 22289, "allocs/op": 3, "updates/sec": 951.2,
+	}
+	for k, v := range want {
+		if b.Metrics[k] != v {
+			t.Fatalf("metric %s = %v, want %v (all: %+v)", k, b.Metrics[k], v, b.Metrics)
+		}
+	}
+}

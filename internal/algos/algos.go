@@ -126,12 +126,12 @@ func (*FedProx) Name() string { return "fedprox" }
 
 // BeginRound snapshots the received global model.
 func (f *FedProx) BeginRound(c *core.Client, round int, global []float64) {
-	copy(c.StateVec("fedprox.global"), global)
+	copy(c.RoundVec("fedprox.global"), global)
 }
 
 // TransformGrad applies the proximal gradient (attach cost 2|w|).
 func (f *FedProx) TransformGrad(c *core.Client, round int, w, g []float64) {
-	global := c.StateVec("fedprox.global")
+	global := c.RoundVec("fedprox.global")
 	for i := range g {
 		g[i] += f.Mu * (w[i] - global[i])
 	}

@@ -37,21 +37,23 @@ func (f *FedDANE) PreRound(round int, selected []*core.Client, global []float64)
 	tensor.ZeroVec(f.avgGrad)
 	inv := 1 / float64(len(selected))
 	for _, c := range selected {
-		gk := c.FullGrad(global)
-		copy(c.StateVec("feddane.localgrad"), gk)
+		// The gradient lands directly in the client's persistent state
+		// vector — no per-round allocation.
+		gk := c.StateVec("feddane.localgrad")
+		c.FullGradInto(gk, global)
 		tensor.Axpy(inv, gk, f.avgGrad)
 	}
 }
 
 // BeginRound snapshots the global model for the proximal term.
 func (f *FedDANE) BeginRound(c *core.Client, round int, global []float64) {
-	copy(c.StateVec("feddane.global"), global)
+	copy(c.RoundVec("feddane.global"), global)
 }
 
 // TransformGrad applies the DANE correction and proximal pull.
 func (f *FedDANE) TransformGrad(c *core.Client, round int, w, g []float64) {
 	local := c.StateVec("feddane.localgrad")
-	global := c.StateVec("feddane.global")
+	global := c.RoundVec("feddane.global")
 	for i := range g {
 		g[i] += (f.avgGrad[i] - local[i]) + f.Mu*(w[i]-global[i])
 	}

@@ -33,9 +33,10 @@ func (*FedNova) NewOptimizer(lr, momentum float64) optim.Optimizer {
 }
 
 // PreRound records the round's participants so Aggregate can compute
-// their step counts.
+// their step counts. The slice is copied: the runtime reuses its
+// selection scratch across rounds.
 func (f *FedNova) PreRound(round int, selected []*core.Client, global []float64) {
-	f.selected = selected
+	f.selected = append(f.selected[:0], selected...)
 }
 
 // localSteps returns tau_k for a client under the run configuration.

@@ -23,6 +23,7 @@ type MimeLite struct {
 
 	s       []float64 // server momentum state
 	pending []float64 // mean full-batch gradient gathered in PreRound
+	scratch []float64 // per-client gradient buffer reused across PreRounds
 }
 
 // Name implements core.Algorithm.
@@ -42,11 +43,13 @@ func (m *MimeLite) PreRound(round int, selected []*core.Client, global []float64
 	if m.s == nil {
 		m.s = make([]float64, len(global))
 		m.pending = make([]float64, len(global))
+		m.scratch = make([]float64, len(global))
 	}
 	tensor.ZeroVec(m.pending)
 	inv := 1 / float64(len(selected))
 	for _, c := range selected {
-		tensor.Axpy(inv, c.FullGrad(global), m.pending)
+		c.FullGradInto(m.scratch, global)
+		tensor.Axpy(inv, m.scratch, m.pending)
 	}
 }
 

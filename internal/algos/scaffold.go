@@ -37,18 +37,19 @@ func (*SCAFFOLD) NewOptimizer(lr, momentum float64) optim.Optimizer {
 func (*SCAFFOLD) ExtraCommFactor() float64 { return 2 }
 
 // PreRound stashes the selected clients so Aggregate can read their
-// control-variate deltas.
+// control-variate deltas. The slice is copied: the runtime reuses its
+// selection scratch across rounds.
 func (s *SCAFFOLD) PreRound(round int, selected []*core.Client, global []float64) {
 	if s.c == nil {
 		s.c = make([]float64, len(global))
 	}
-	s.selected = selected
+	s.selected = append(s.selected[:0], selected...)
 }
 
 // BeginRound gives the client this round's server control variate and the
 // global model.
 func (s *SCAFFOLD) BeginRound(c *core.Client, round int, global []float64) {
-	copy(c.StateVec("scaffold.global"), global)
+	copy(c.RoundVec("scaffold.global"), global)
 	copy(c.StateVec("scaffold.c"), s.c) // server c is stable during the client phase
 	c.SetScalar("scaffold.steps", 0)
 }
@@ -71,7 +72,7 @@ func (s *SCAFFOLD) EndRound(c *core.Client, round int) {
 		return
 	}
 	lr := c.Config().LR
-	global := c.StateVec("scaffold.global")
+	global := c.RoundVec("scaffold.global")
 	cSrv := c.StateVec("scaffold.c")
 	ck := c.StateVec("scaffold.ck")
 	dc := c.StateVec("scaffold.dc")

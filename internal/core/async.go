@@ -214,18 +214,19 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 		if pr, ok := cfg.Algo.(PreRounder); ok {
 			pr.PreRound(t, selected, s.global)
 		}
-		jobs := make([]*trainJob, len(selected))
+		jobs := s.growJobs(len(selected))
 		for i, c := range selected {
-			jobs[i] = &trainJob{c: c, round: t, seq: i, global: s.global, done: make(chan struct{})}
-			jobs[i].finish = a.now + a.pop.sampleLatency(a.spec.Latency, c.ID, a.latRng)
+			j := jobs[i]
+			j.c, j.round, j.seq, j.global = c, t, i, s.global
+			j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, c.ID, a.latRng)
 			a.pop.dispatched(c.ID)
 			// All jobs read the same pre-aggregation global; no writer
 			// until every one of them has joined below.
-			sp.submit(jobs[i])
+			sp.submit(j)
 		}
 		roundEnd := a.now
-		updates := make([]Update, len(jobs))
-		weights := make([]float64, len(jobs))
+		updates := s.growUpdates(len(jobs))
+		weights := s.growWeights(len(jobs))
 		for i, j := range jobs {
 			<-j.done
 			a.pop.arrived(j.c.ID)
@@ -233,7 +234,8 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 				roundEnd = j.finish
 			}
 			updates[i] = j.update // staleness 0 by construction
-			weights[i] = a.s.policy.Weight(j.update)
+			j.update = Update{}
+			weights[i] = a.s.policy.Weight(updates[i])
 			flopsTotal += j.flops
 		}
 		a.now = roundEnd
@@ -246,6 +248,7 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 			return res, fmt.Errorf("core: %s diverged at round %d (non-finite global model)", cfg.Algo.Name(), t)
 		}
 		acc := rec.record(t, cfg.Rounds, updates, flopsTotal)
+		recycleUpdates(updates)
 		res.SimTimeByRound = append(res.SimTimeByRound, a.now)
 		res.MeanStalenessByRound = append(res.MeanStalenessByRound, 0)
 		if cfg.Logf != nil {
@@ -293,11 +296,13 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 			if !ok {
 				break
 			}
-			j := &trainJob{c: s.clients[id], round: aggs + 1, seq: seq, done: make(chan struct{})}
+			j := &trainJob{c: s.clients[id], round: aggs + 1, seq: seq, done: make(chan struct{}, 1)}
 			seq++
 			j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, id, a.latRng)
-			// Snapshot: the global model mutates under in-flight jobs.
-			j.global = append([]float64(nil), s.global...)
+			// Snapshot: the global model mutates under in-flight jobs. The
+			// buffer comes from the pool and goes back on arrival, so
+			// steady-state dispatch is |w|-allocation-free.
+			j.global = paramsPool.getCopy(s.global)
 			a.pop.dispatched(id)
 			sp.submit(j)
 			inflight.push(j)
@@ -317,17 +322,22 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 		<-j.done
 		a.pop.arrived(j.c.ID)
 		flopsTotal += j.flops
+		// Training is over for this job; its global snapshot has been
+		// consumed and can serve the next dispatch.
+		paramsPool.put(j.global)
+		j.global = nil
 		buffer = append(buffer, j)
 		if !a.s.policy.ReadyToMerge(len(buffer)) {
 			continue
 		}
 
 		t := aggs + 1
-		updates := make([]Update, len(buffer))
-		weights := make([]float64, len(buffer))
+		updates := s.growUpdates(len(buffer))
+		weights := s.growWeights(len(buffer))
 		var staleSum float64
 		for i, bj := range buffer {
 			u := bj.update
+			bj.update = Update{}
 			u.Staleness = t - bj.round
 			if u.Staleness < 0 {
 				u.Staleness = 0
@@ -346,6 +356,7 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 			return res, fmt.Errorf("core: %s diverged at aggregation %d (non-finite global model)", cfg.Algo.Name(), t)
 		}
 		acc := rec.record(t, cfg.Rounds, updates, flopsTotal)
+		recycleUpdates(updates)
 		res.SimTimeByRound = append(res.SimTimeByRound, a.now)
 		res.MeanStalenessByRound = append(res.MeanStalenessByRound, staleSum/float64(len(updates)))
 		if cfg.Logf != nil {

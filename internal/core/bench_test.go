@@ -33,6 +33,7 @@ func BenchmarkAggregate(b *testing.B) {
 		weights[i] /= total
 	}
 	b.SetBytes(int64(n * len(updates) * 8))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.WeightedSumInto(dst, weights, vecs)
@@ -58,6 +59,7 @@ func BenchmarkFedTripTransform(b *testing.B) {
 	w := c.Model().Params()
 	g := make([]float64, len(w))
 	b.SetBytes(int64(4 * len(w) * 8))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.TransformGrad(c, 2, w, g)
@@ -65,7 +67,8 @@ func BenchmarkFedTripTransform(b *testing.B) {
 }
 
 // BenchmarkLocalTrainRound measures one client's full local round (MLP,
-// 80 samples, batch 10) under FedTrip.
+// 80 samples, batch 10) under FedTrip, including the steady-state
+// upload-buffer recycling the server performs after each merge.
 func BenchmarkLocalTrainRound(b *testing.B) {
 	cfg := benchConfig(b)
 	cfg.Algo = NewFedTrip(0.4)
@@ -75,9 +78,12 @@ func BenchmarkLocalTrainRound(b *testing.B) {
 	}
 	c := s.Clients()[0]
 	global := s.Global()
+	scratch := make([]Update, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.LocalTrain(i+1, global)
+		scratch[0] = c.LocalTrain(i+1, global)
+		recycleUpdates(scratch)
 	}
 }
 

@@ -135,6 +135,28 @@ func (c *Client) HasStateVec(name string) bool {
 	return ok
 }
 
+// RoundVec returns a named scratch vector of length NumParams() that is
+// valid only between an algorithm's BeginRound and EndRound for the
+// client currently holding the engine. Unlike StateVec it is backed by
+// the borrowed engine, not the client: a population of 10k clients
+// sharing a handful of engines holds a handful of these, not 10k.
+// Algorithms use it for their per-round global-model snapshots; anything
+// that must survive a client's round (control variates, historical
+// models) stays in StateVec. Contents are whatever the previous borrower
+// left — callers must fully overwrite before reading.
+func (c *Client) RoundVec(name string) []float64 {
+	e := c.engine()
+	if e.roundVecs == nil {
+		e.roundVecs = make(map[string][]float64)
+	}
+	v, ok := e.roundVecs[name]
+	if !ok {
+		v = make([]float64, c.NumParams())
+		e.roundVecs[name] = v
+	}
+	return v
+}
+
 // SetScalar stores a named per-method scalar.
 func (c *Client) SetScalar(name string, v float64) {
 	if c.scalars == nil {
@@ -187,9 +209,13 @@ func (c *Client) LocalTrain(round int, global []float64) Update {
 	var lossSum float64
 	var batches int
 	n := len(c.Indices)
-	idx := make([]int, 0, cfg.BatchSize)
+	if cap(e.idx) < cfg.BatchSize {
+		e.idx = make([]int, 0, cfg.BatchSize)
+	}
+	idx := e.idx[:0]
 	for ep := 0; ep < cfg.LocalEpochs; ep++ {
-		perm := rng.Perm(n)
+		perm := randPermInto(rng, e.perm, n)
+		e.perm = perm
 		for start := 0; start < n; start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > n {
@@ -242,11 +268,17 @@ func (c *Client) LocalTrain(round int, global []float64) Update {
 	if batches > 0 {
 		meanLoss = lossSum / float64(batches)
 	}
+	// The upload buffer is checked out of the shared pool; the server's
+	// merge path returns it once the aggregation has consumed it
+	// (recycleUpdates), making the steady-state upload cycle
+	// allocation-free. Callers outside a server run that drop the Update
+	// on the floor merely forgo recycling.
 	return Update{
 		ClientID:   c.ID,
-		Params:     e.model.ParamsCopy(),
+		Params:     paramsPool.getCopy(e.model.Params()),
 		NumSamples: len(c.Indices),
 		TrainLoss:  meanLoss,
+		pooled:     true,
 	}
 }
 
@@ -263,14 +295,34 @@ func clipToNorm(g []float64, maxNorm float64) {
 // methods). The model's parameters are restored afterwards. The cost — one
 // forward+backward over all local data — lands on the client's FLOP
 // counter, matching the n(FP+BP) term of Appendix A.
+//
+// The returned slice is freshly allocated and safe to retain. Hot paths
+// that call this every pre-round should keep a reusable buffer and call
+// FullGradInto instead.
 func (c *Client) FullGrad(at []float64) []float64 {
+	grad := make([]float64, c.NumParams())
+	c.FullGradInto(grad, at)
+	return grad
+}
+
+// FullGradInto is FullGrad writing into dst (length NumParams()), using
+// engine-owned scratch for everything else, so repeated gradient
+// exchanges allocate nothing.
+func (c *Client) FullGradInto(dst, at []float64) {
 	e := c.engine()
-	saved := e.model.ParamsCopy()
+	if cap(e.fgSaved) < e.model.NumParams() {
+		e.fgSaved = make([]float64, e.model.NumParams())
+	}
+	saved := e.fgSaved[:e.model.NumParams()]
+	copy(saved, e.model.Params())
 	e.model.SetParams(at)
-	grad := make([]float64, e.model.NumParams())
+	tensor.ZeroVec(dst)
 	n := len(c.Indices)
 	bs := c.cfg.BatchSize
-	idx := make([]int, 0, bs)
+	if cap(e.idx) < bs {
+		e.idx = make([]int, 0, bs)
+	}
+	idx := e.idx[:0]
 	for start := 0; start < n; start += bs {
 		end := start + bs
 		if end > n {
@@ -285,8 +337,7 @@ func (c *Client) FullGrad(at []float64) []float64 {
 		e.model.Backward(e.dLogits, nil)
 		// SoftmaxCrossEntropy mean-reduces per batch; reweight so the sum
 		// over batches is the mean over all n samples.
-		tensor.Axpy(float64(len(idx))/float64(n), e.model.Grads(), grad)
+		tensor.Axpy(float64(len(idx))/float64(n), e.model.Grads(), dst)
 	}
 	e.model.SetParams(saved)
-	return grad
 }

@@ -95,6 +95,14 @@ type Config struct {
 // client actually receives. Up is called with the client's upload; the
 // returned vector is what the server actually receives. Implementations
 // must be safe for concurrent calls (clients run in parallel).
+//
+// Slice lifetimes: the vectors passed to Down and Up are runtime-owned
+// buffers that are recycled once the round's merge has consumed them —
+// a Transport that wants to keep one must copy it. The runtime consumes
+// Down's result within the client's round and copies Up's result into
+// its own storage when the length is unchanged; an Up result with a
+// different length is adopted as-is and must not be reused or mutated
+// by the transport afterwards.
 type Transport interface {
 	Down(clientID, round int, global []float64) []float64
 	Up(clientID, round int, params []float64) []float64
@@ -169,6 +177,11 @@ type Update struct {
 	// runtime; the asynchronous runtime fills it before aggregation so
 	// Aggregator overrides and OnUpdates observers can react to it.
 	Staleness int
+	// pooled marks Params as checked out of the server's buffer pool;
+	// recycleUpdates returns it after the merge consumed the update.
+	// Updates built by hand (tests, custom transports) leave it false and
+	// are never recycled.
+	pooled bool
 }
 
 // Algorithm customises client-side local training. The zero-cost base
@@ -216,7 +229,9 @@ type Aggregator interface {
 
 // PreRounder runs a pre-round communication phase over the selected
 // clients before local training (FedDANE's gradient exchange, MimeLite's
-// server-state update).
+// server-state update). The selected slice is runtime scratch, valid
+// only until the next round's selection — implementations that need the
+// participants later (e.g. in an Aggregator) must copy it.
 type PreRounder interface {
 	PreRound(round int, selected []*Client, global []float64)
 }

@@ -122,7 +122,7 @@ func TestFedTripGradientMatchesLoss(t *testing.T) {
 	}
 	w = w[:n]
 	const xi = 0.35
-	gvec := c.StateVec("fedtrip.global")
+	gvec := c.RoundVec("fedtrip.global")
 	copy(gvec[:n], global)
 	c.Hist = make([]float64, nv)
 	copy(c.Hist[:n], hist)

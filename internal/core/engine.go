@@ -43,6 +43,19 @@ type engine struct {
 	batchY   []int
 	dLogits  *tensor.Tensor
 	featGrad *tensor.Tensor
+
+	// perm and idx are the mini-batch shuffling buffers LocalTrain and
+	// FullGrad reuse across rounds, and fgSaved parks the model parameters
+	// around a FullGrad evaluation. All engine-lifetime scratch: nothing in
+	// them survives a round, they only exist to keep the steady-state
+	// training loop allocation-free.
+	perm    []int
+	idx     []int
+	fgSaved []float64
+	// roundVecs backs Client.RoundVec: named |w|-sized round-scoped
+	// snapshots (e.g. an algorithm's copy of the received global model)
+	// that live with the engine instead of with each of 10k clients.
+	roundVecs map[string][]float64
 }
 
 // newEngine builds one training engine. seed determines the (irrelevant,
@@ -84,13 +97,25 @@ func (e *engine) scratch() (*nn.Model, *nn.Model) {
 	return e.scratchA, e.scratchB
 }
 
-// ensureBatch sizes the reusable batch buffers for n samples.
+// ensureBatch sizes the reusable batch buffers for n samples, reusing
+// backing capacity across sizes so alternating full and tail batches do
+// not reallocate every epoch.
 func (e *engine) ensureBatch(n int) {
-	if e.batchX == nil || e.batchX.Dim(0) != n {
+	if e.batchX == nil {
 		shape := append([]int{n}, e.model.InShape()...)
 		e.batchX = tensor.New(shape...)
 		e.batchY = make([]int, n)
 		e.dLogits = tensor.New(n, e.model.OutDim())
+		return
+	}
+	if e.batchX.Dim(0) != n {
+		e.batchX.SetDim0(n)
+		e.dLogits.SetDim0(n)
+		if cap(e.batchY) >= n {
+			e.batchY = e.batchY[:n]
+		} else {
+			e.batchY = make([]int, n)
+		}
 	}
 }
 

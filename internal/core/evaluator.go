@@ -62,6 +62,7 @@ func (e *evaluator) loop() {
 	defer e.closed.Done()
 	for req := range e.reqs {
 		acc := EvaluateAccuracy(e.model, req.params, e.test, 200)
+		paramsPool.put(req.params) // snapshot consumed; recycle it
 		e.mu.Lock()
 		e.accs[req.round] = acc
 		e.cond.Broadcast()

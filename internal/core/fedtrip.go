@@ -99,7 +99,7 @@ func (f *FedTrip) Xi(round, lastRound int) float64 {
 // BeginRound snapshots the received global model and fixes xi for the
 // round.
 func (f *FedTrip) BeginRound(c *Client, round int, global []float64) {
-	g := c.StateVec("fedtrip.global")
+	g := c.RoundVec("fedtrip.global")
 	copy(g, global)
 	c.SetScalar("fedtrip.xi", f.Xi(round, c.LastRound))
 }
@@ -107,7 +107,7 @@ func (f *FedTrip) BeginRound(c *Client, round int, global []float64) {
 // TransformGrad applies Algorithm 1 line 7. Cost: 4|w| FLOPs (two
 // subtractions, two scaled accumulations), metered on the client.
 func (f *FedTrip) TransformGrad(c *Client, round int, w, g []float64) {
-	global := c.StateVec("fedtrip.global")
+	global := c.RoundVec("fedtrip.global")
 	xi := c.Scalar("fedtrip.xi") * f.HistWeight
 	mu := f.Mu
 	gw := f.GlobalWeight

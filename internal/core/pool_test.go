@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVecPoolGetPut(t *testing.T) {
+	p := &vecPool{free: map[int][][]float64{}}
+	a := p.get(8)
+	if len(a) != 8 {
+		t.Fatalf("get(8) returned len %d", len(a))
+	}
+	p.put(a)
+	b := p.get(8)
+	if &b[0] != &a[0] {
+		t.Fatal("pool did not reuse the returned buffer")
+	}
+	if c := p.get(8); &c[0] == &b[0] {
+		t.Fatal("pool handed the same buffer out twice")
+	}
+	if d := p.get(16); len(d) != 16 {
+		t.Fatalf("size-keyed get broken: len %d", len(d))
+	}
+	p.put(nil) // must be a no-op
+}
+
+func TestVecPoolGetCopy(t *testing.T) {
+	p := &vecPool{free: map[int][][]float64{}}
+	src := []float64{1, 2, 3}
+	c := p.getCopy(src)
+	if &c[0] == &src[0] {
+		t.Fatal("getCopy aliased the source")
+	}
+	src[0] = 99
+	if c[0] != 1 {
+		t.Fatal("getCopy did not copy")
+	}
+}
+
+// TestRandPermIntoMatchesRandPerm pins the drop-in property: the same
+// generator state yields the same permutation AND leaves the stream in
+// the same state as rand.Perm, so swapping it in never shifts a
+// trajectory.
+func TestRandPermIntoMatchesRandPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		r1 := rand.New(rand.NewSource(42))
+		r2 := rand.New(rand.NewSource(42))
+		want := r1.Perm(n)
+		got := randPermInto(r2, nil, n)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length %d != %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: element %d: %d != %d", n, i, got[i], want[i])
+			}
+		}
+		if r1.Int63() != r2.Int63() {
+			t.Fatalf("n=%d: stream state diverged after permutation", n)
+		}
+	}
+	// Reuse: a large-enough buffer must be reused in place.
+	buf := make([]int, 10)
+	out := randPermInto(rand.New(rand.NewSource(1)), buf, 5)
+	if &out[0] != &buf[0] {
+		t.Fatal("randPermInto did not reuse the provided buffer")
+	}
+}
+
+// TestUpdateBuffersNotAliasedSyncRun proves the checkout/return cycle of
+// Update.Params end to end on the synchronous runtime: within a round no
+// two uploads share a buffer, every upload's contents are exactly the
+// uploading client's historical model (corruption from a mis-recycled
+// buffer would break this), and buffers really are recycled across
+// rounds.
+func TestUpdateBuffersNotAliasedSyncRun(t *testing.T) {
+	cfg := testConfig(t, NewFedTrip(0.4))
+	cfg.Rounds = 4
+	cfg.EvalEvery = 100
+	var s *Server
+	seen := map[*float64]int{} // first element pointer -> times seen
+	cfg.OnUpdates = func(round int, globalBefore []float64, updates []Update) {
+		ptrs := map[*float64]bool{}
+		for _, u := range updates {
+			p := &u.Params[0]
+			if ptrs[p] {
+				t.Errorf("round %d: two in-flight updates share one buffer", round)
+			}
+			ptrs[p] = true
+			seen[p]++
+			hist := s.Clients()[u.ClientID].Hist
+			for i := range u.Params {
+				if u.Params[i] != hist[i] {
+					t.Fatalf("round %d: client %d upload corrupted at %d (%v != %v)",
+						round, u.ClientID, i, u.Params[i], hist[i])
+				}
+			}
+		}
+	}
+	var err error
+	s, err = NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reused := false
+	for _, times := range seen {
+		if times > 1 {
+			reused = true
+		}
+	}
+	if !reused {
+		t.Error("no upload buffer was ever recycled across rounds — pool inactive")
+	}
+}
+
+// TestUpdateBuffersNotAliasedAsyncRun is the concurrent variant (run
+// under -race in CI): many clients in flight at once on the buffered
+// async runtime, with every merge checked for buffer sharing.
+func TestUpdateBuffersNotAliasedAsyncRun(t *testing.T) {
+	cfg := testConfig(t, NewFedTrip(0.4))
+	cfg.Rounds = 6
+	cfg.EvalEvery = 100
+	cfg.OnUpdates = func(round int, globalBefore []float64, updates []Update) {
+		ptrs := map[*float64]bool{}
+		for _, u := range updates {
+			p := &u.Params[0]
+			if ptrs[p] {
+				t.Errorf("agg %d: two buffered updates share one buffer", round)
+			}
+			ptrs[p] = true
+		}
+	}
+	res, err := RunAsync(AsyncConfig{
+		Config:      cfg,
+		Concurrency: 4,
+		BufferSize:  2,
+		Latency:     UniformLatency{Min: 1, Max: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 6 {
+		t.Fatalf("expected 6 aggregations, got %d", res.Rounds)
+	}
+}
+
+// TestLocalTrainSteadyStateAllocFree pins the allocation criterion at the
+// client level: once a client has participated (engine batch buffers,
+// Hist, round vectors built) and the server recycles its uploads, a full
+// local round performs zero heap allocations.
+func TestLocalTrainSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pin runs in the non-race job")
+	}
+	cfg := testConfig(t, NewFedTrip(0.4))
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clients()[0]
+	global := s.Global()
+	scratch := make([]Update, 1)
+	// Warm up: engine buffers, Hist, state vectors, params pool.
+	for i := 1; i <= 2; i++ {
+		scratch[0] = c.LocalTrain(i, global)
+		recycleUpdates(scratch)
+	}
+	round := 3
+	allocs := testing.AllocsPerRun(5, func() {
+		scratch[0] = c.LocalTrain(round, global)
+		recycleUpdates(scratch)
+		round++
+	})
+	if allocs > 0 {
+		t.Fatalf("LocalTrain allocates %v objects per round in steady state", allocs)
+	}
+}

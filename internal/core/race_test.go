@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is active: allocation-count
+// pins are skipped under it, because instrumentation (and sync.Pool's
+// deliberate pool-bypass under race) adds allocations the production
+// build does not have.
+const raceEnabled = true

@@ -113,6 +113,16 @@ type Server struct {
 	// single-arrival runs merge every aggregation and would otherwise
 	// allocate a model-sized slice per merge.
 	mergeScratch []float64
+	// Per-round scratch reused across the run (all touched only from the
+	// single-threaded round/event loop): selection permutation and picks,
+	// dispatch jobs, gathered updates, and aggregation weights/vector
+	// headers.
+	selPerm    []int
+	selPicks   []*Client
+	jobScratch []*trainJob
+	updScratch []Update
+	aggWeights []float64
+	aggVecs    [][]float64
 }
 
 // NewServer builds the population and the initial global model. Clients
@@ -158,16 +168,20 @@ func (s *Server) Clients() []*Client { return s.clients }
 // selectClients draws K distinct clients uniformly at random, matching the
 // paper's random selection. Config.Validate rejects K > N at construction;
 // the clamp here is defence in depth so a mutated config degrades to full
-// participation instead of an index-out-of-range panic.
+// participation instead of an index-out-of-range panic. The returned
+// slice is server scratch, valid until the next call.
 func (s *Server) selectClients() []*Client {
 	k := s.cfg.ClientsPerRound
 	if k > len(s.clients) {
 		k = len(s.clients)
 	}
-	perm := s.rng.Perm(len(s.clients))
-	sel := make([]*Client, k)
+	s.selPerm = randPermInto(s.rng, s.selPerm, len(s.clients))
+	if cap(s.selPicks) < k {
+		s.selPicks = make([]*Client, k)
+	}
+	sel := s.selPicks[:k]
 	for i := range sel {
-		sel[i] = s.clients[perm[i]]
+		sel[i] = s.clients[s.selPerm[i]]
 	}
 	return sel
 }
@@ -183,28 +197,64 @@ func (s *Server) trainClient(c *Client, round int, global []float64) Update {
 	}
 	u := c.LocalTrain(round, global)
 	if cfg.Transport != nil {
-		u.Params = cfg.Transport.Up(c.ID, round, u.Params)
+		enc := cfg.Transport.Up(c.ID, round, u.Params)
+		if len(enc) == len(u.Params) {
+			if &enc[0] != &u.Params[0] {
+				// Copy the transport's result into the pooled buffer
+				// instead of adopting its slice: the transport may retain
+				// (and later mutate) what it returned, and a foreign slice
+				// must never enter the pool.
+				copy(u.Params, enc)
+			}
+		} else {
+			if u.pooled {
+				paramsPool.put(u.Params)
+			}
+			u.Params = enc
+			u.pooled = false
+		}
 	}
 	return u
 }
 
 // trainSelected trains the selected clients on the shard pool (the paper's
 // "clients in St perform local model training ... in parallel") and
-// returns their updates in selection order.
+// returns their updates in selection order. The returned slice is server
+// scratch, valid until the next round gathers into it.
 func (s *Server) trainSelected(round int, selected []*Client, sp *shardPool) []Update {
-	jobs := make([]*trainJob, len(selected))
+	jobs := s.growJobs(len(selected))
 	for i, c := range selected {
 		// All jobs read the same pre-aggregation global; no writer until
 		// every one of them has joined below.
-		jobs[i] = &trainJob{c: c, round: round, global: s.global, done: make(chan struct{})}
-		sp.submit(jobs[i])
+		j := jobs[i]
+		j.c, j.round, j.global = c, round, s.global
+		sp.submit(j)
 	}
-	updates := make([]Update, len(selected))
+	updates := s.growUpdates(len(selected))
 	for i, j := range jobs {
 		<-j.done
 		updates[i] = j.update
+		j.update = Update{}
 	}
 	return updates
+}
+
+// growJobs returns n reusable trainJobs (built once, re-armed per round:
+// the done channel is buffered and drained by the waiter, so a job object
+// can carry any number of dispatches).
+func (s *Server) growJobs(n int) []*trainJob {
+	for len(s.jobScratch) < n {
+		s.jobScratch = append(s.jobScratch, &trainJob{done: make(chan struct{}, 1)})
+	}
+	return s.jobScratch[:n]
+}
+
+// growUpdates returns a length-n update gather buffer.
+func (s *Server) growUpdates(n int) []Update {
+	if cap(s.updScratch) < n {
+		s.updScratch = make([]Update, n)
+	}
+	return s.updScratch[:n]
 }
 
 // aggregate merges one synchronous round. An Algorithm's Aggregator
@@ -222,11 +272,20 @@ func (s *Server) aggregate(round int, updates []Update) {
 	if pol == nil {
 		pol = &FedAvgPolicy{}
 	}
-	weights := make([]float64, len(updates))
+	weights := s.growWeights(len(updates))
 	for i, u := range updates {
 		weights[i] = pol.Weight(u)
 	}
 	s.aggregateWeightedRate(weights, updates, pol.MergeRate(round, updates))
+}
+
+// growWeights returns a length-n aggregation-weight buffer (server
+// scratch, single-threaded merge path).
+func (s *Server) growWeights(n int) []float64 {
+	if cap(s.aggWeights) < n {
+		s.aggWeights = make([]float64, n)
+	}
+	return s.aggWeights[:n]
 }
 
 // aggregateWeightedRate normalises the given weights, forms the weighted
@@ -239,7 +298,10 @@ func (s *Server) aggregate(round int, updates []Update) {
 // or a zero rate contributes nothing rather than dividing the model into
 // NaNs.
 func (s *Server) aggregateWeightedRate(weights []float64, updates []Update, eta float64) {
-	vecs := make([][]float64, len(updates))
+	if cap(s.aggVecs) < len(updates) {
+		s.aggVecs = make([][]float64, len(updates))
+	}
+	vecs := s.aggVecs[:len(updates)]
 	var total float64
 	for i, u := range updates {
 		vecs[i] = u.Params
@@ -278,8 +340,13 @@ func EvaluateAccuracy(model *nn.Model, params []float64, ds evalDataset, batch i
 	if n == 0 {
 		return 0
 	}
+	if batch > n {
+		batch = n
+	}
 	correct := 0.0
 	idx := make([]int, 0, batch)
+	x := tensor.New(append([]int{batch}, model.InShape()...)...)
+	labels := make([]int, batch)
 	for start := 0; start < n; start += batch {
 		end := start + batch
 		if end > n {
@@ -289,12 +356,12 @@ func EvaluateAccuracy(model *nn.Model, params []float64, ds evalDataset, batch i
 		for i := start; i < end; i++ {
 			idx = append(idx, i)
 		}
-		shape := append([]int{len(idx)}, model.InShape()...)
-		x := tensor.New(shape...)
-		labels := make([]int, len(idx))
-		ds.FillBatch(x, labels, idx)
+		if x.Dim(0) != len(idx) {
+			x.SetDim0(len(idx))
+		}
+		ds.FillBatch(x, labels[:len(idx)], idx)
 		logits := model.Forward(x, false)
-		correct += nn.Accuracy(logits, labels) * float64(len(idx))
+		correct += nn.Accuracy(logits, labels[:len(idx)]) * float64(len(idx))
 	}
 	return correct / float64(n)
 }
@@ -383,7 +450,9 @@ func (r *recorder) record(t, totalRounds int, updates []Update, flopsTotal int64
 
 	due := t%r.s.cfg.EvalEvery == 0 || t == totalRounds
 	if due {
-		r.ev.submit(t, append([]float64(nil), r.s.global...))
+		// Snapshot from the shared pool; the evaluator recycles it once
+		// the accuracy is computed.
+		r.ev.submit(t, paramsPool.getCopy(r.s.global))
 		if r.blocking {
 			acc := r.ev.wait(t)
 			r.lastAcc = acc
@@ -505,6 +574,9 @@ func (s *Server) Run() (*Result, error) {
 		}
 
 		acc := rec.record(t, cfg.Rounds, updates, s.clientFlopsTotal())
+		// The merge and metrics have consumed this round's uploads; their
+		// buffers go back to the pool for the next round's checkouts.
+		recycleUpdates(updates)
 		if cfg.Logf != nil {
 			cfg.Logf("round %3d/%d algo=%s acc=%.4f loss=%.4f gflops=%.2f", t, cfg.Rounds, cfg.Algo.Name(), acc, res.TrainLoss[t-1], res.GFLOPsByRound[t-1])
 		}

@@ -15,7 +15,9 @@ const engineSeedOffset = 500_000
 
 // trainJob is one dispatched client round: which client, which round, and
 // which global snapshot to start from. The shard worker fills update and
-// flops, then closes done. The scheduling fields (finish, seq, heapIdx)
+// flops, then signals done (buffered, one token per dispatch — signalled
+// rather than closed so the synchronous runtime can re-arm one set of
+// jobs round after round). The scheduling fields (finish, seq, heapIdx)
 // are used by the asynchronous event loop only.
 type trainJob struct {
 	c      *Client
@@ -91,7 +93,7 @@ func (sp *shardPool) submit(j *trainJob) {
 		j.update = sp.s.trainClient(j.c, j.round, j.global)
 		j.flops = j.c.Counter.Total() - before
 		eng.detach(j.c)
-		close(j.done)
+		j.done <- struct{}{}
 	})
 }
 

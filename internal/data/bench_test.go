@@ -5,6 +5,7 @@ import "testing"
 // BenchmarkGenerateMNIST measures synthesis throughput of the MNIST-like
 // generator (1000 28x28 samples per iteration).
 func BenchmarkGenerateMNIST(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Generate(Spec{Kind: KindMNIST, Train: 1000, Test: 10, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
@@ -15,6 +16,7 @@ func BenchmarkGenerateMNIST(b *testing.B) {
 
 // BenchmarkGenerateCIFAR measures the 3-channel 32x32 generator.
 func BenchmarkGenerateCIFAR(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Generate(Spec{Kind: KindCIFAR, Train: 500, Test: 10, Seed: int64(i)}); err != nil {
 			b.Fatal(err)

@@ -33,11 +33,15 @@ func (l *reluLayer) Bind(params, grads []float64, rng *rand.Rand) {}
 
 func (l *reluLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Numel()
-	if l.y == nil || l.y.Numel() != n {
+	if l.y == nil {
 		l.y = tensor.New(x.Shape()...)
-		l.mask = make([]bool, n)
+	} else if l.y.Dim(0) != x.Dim(0) {
+		l.y.SetDim0(x.Dim(0))
+	}
+	if cap(l.mask) >= n {
+		l.mask = l.mask[:n]
 	} else {
-		l.y = l.y.Reshape(x.Shape()...)
+		l.mask = make([]bool, n)
 	}
 	for i, v := range x.Data {
 		if v > 0 {
@@ -52,10 +56,10 @@ func (l *reluLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 func (l *reluLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	if l.dx == nil || l.dx.Numel() != dy.Numel() {
+	if l.dx == nil {
 		l.dx = tensor.New(dy.Shape()...)
-	} else {
-		l.dx = l.dx.Reshape(dy.Shape()...)
+	} else if l.dx.Dim(0) != dy.Dim(0) {
+		l.dx.SetDim0(dy.Dim(0))
 	}
 	for i, v := range dy.Data {
 		if l.mask[i] {
@@ -71,7 +75,9 @@ func (l *reluLayer) FwdFLOPs() float64 { return float64(numel(l.shape)) }
 
 // flattenLayer reshapes [N, C, H, W] (or any rank) to [N, D].
 type flattenLayer struct {
-	in []int
+	in       []int
+	fwd, bwd *tensor.Tensor // cached reshape views, re-used while the
+	// neighbouring layers keep handing over the same backing buffer
 }
 
 // Flatten appends a reshape to a flat per-sample vector.
@@ -91,11 +97,17 @@ func (l *flattenLayer) ParamCount() int                              { return 0 
 func (l *flattenLayer) Bind(params, grads []float64, rng *rand.Rand) {}
 
 func (l *flattenLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	return x.Reshape(x.Dim(0), numel(l.in))
+	if l.fwd == nil || len(l.fwd.Data) != len(x.Data) || &l.fwd.Data[0] != &x.Data[0] {
+		l.fwd = x.Reshape(x.Dim(0), numel(l.in))
+	}
+	return l.fwd
 }
 
 func (l *flattenLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	return dy.Reshape(prependBatch(dy.Dim(0), l.in)...)
+	if l.bwd == nil || len(l.bwd.Data) != len(dy.Data) || &l.bwd.Data[0] != &dy.Data[0] {
+		l.bwd = dy.Reshape(prependBatch(dy.Dim(0), l.in)...)
+	}
+	return l.bwd
 }
 
 func (l *flattenLayer) FwdFLOPs() float64 { return 0 }
@@ -142,12 +154,14 @@ func (l *dropoutLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		return x
 	}
 	n := x.Numel()
-	if l.y == nil || l.y.Numel() != n {
+	if l.y == nil {
 		l.y = tensor.New(x.Shape()...)
-	} else {
-		l.y = l.y.Reshape(x.Shape()...)
+	} else if l.y.Dim(0) != x.Dim(0) {
+		l.y.SetDim0(x.Dim(0))
 	}
-	if len(l.keep) != n {
+	if cap(l.keep) >= n {
+		l.keep = l.keep[:n]
+	} else {
 		l.keep = make([]bool, n)
 	}
 	scale := 1 / (1 - l.p)
@@ -167,10 +181,10 @@ func (l *dropoutLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if l.keep == nil {
 		return dy // eval-mode forward: identity
 	}
-	if l.dx == nil || l.dx.Numel() != dy.Numel() {
+	if l.dx == nil {
 		l.dx = tensor.New(dy.Shape()...)
-	} else {
-		l.dx = l.dx.Reshape(dy.Shape()...)
+	} else if l.dx.Dim(0) != dy.Dim(0) {
+		l.dx.SetDim0(dy.Dim(0))
 	}
 	scale := 1 / (1 - l.p)
 	for i, v := range dy.Data {

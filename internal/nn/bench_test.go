@@ -21,6 +21,7 @@ func benchModel(b *testing.B, spec ModelSpec, batch int) {
 	}
 	d := tensor.New(batch, m.OutDim())
 	b.SetBytes(int64(batch) * int64(m.Cost().Forward+m.Cost().Backward))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		logits := m.Forward(x, true)
@@ -60,6 +61,7 @@ func BenchmarkAlexNetForward(b *testing.B) {
 	x := tensor.New(8, 3, 32, 32)
 	x.RandNormal(rng, 1)
 	b.SetBytes(int64(8 * m.Cost().Forward))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Forward(x, false)

@@ -12,7 +12,9 @@ import (
 
 // convLayer is a 2D convolution over NCHW tensors, implemented as
 // im2col + matmul per sample. The per-sample loop parallelises over the
-// batch with per-chunk scratch so worker goroutines never share buffers.
+// batch; each worker checks a convScratch out of the layer's pool so
+// goroutines never share buffers and steady-state batches allocate
+// nothing.
 type convLayer struct {
 	outC        int
 	kh, kw      int
@@ -20,8 +22,37 @@ type convLayer struct {
 	geom        tensor.ConvGeom
 	w, b        []float64
 	dw, db      []float64
+	wView       *tensor.Tensor // [outC, ColRows] view of w, fixed at Bind
 	x           *tensor.Tensor
 	y, dx       *tensor.Tensor
+	dy          *tensor.Tensor // backward input, shared with workers
+	scratch     sync.Pool      // *convScratch
+}
+
+// convScratch is one worker's im2col and gradient-accumulation storage.
+// The out/dout tensors are header-only views whose Data is re-pointed at
+// the current sample's slice of the batch output, so per-sample matmul
+// calls allocate nothing.
+type convScratch struct {
+	col, dcol *tensor.Tensor
+	dw        *tensor.Tensor
+	db        []float64
+	out, dout *tensor.Tensor
+}
+
+func (l *convLayer) getScratch() *convScratch {
+	if v := l.scratch.Get(); v != nil {
+		return v.(*convScratch)
+	}
+	g := l.geom
+	return &convScratch{
+		col:  tensor.New(g.ColRows(), g.ColCols()),
+		dcol: tensor.New(g.ColRows(), g.ColCols()),
+		dw:   tensor.New(l.outC, g.ColRows()),
+		db:   make([]float64, l.outC),
+		out:  tensor.New(l.outC, g.ColCols()),
+		dout: tensor.New(l.outC, g.ColCols()),
+	}
 }
 
 // Conv2D appends a convolution with outC filters of size k x k.
@@ -56,6 +87,7 @@ func (l *convLayer) Bind(params, grads []float64, rng *rand.Rand) {
 	nw := l.outC * l.geom.ColRows()
 	l.w, l.b = params[:nw], params[nw:]
 	l.dw, l.db = grads[:nw], grads[nw:]
+	l.wView = tensor.FromSlice(l.w, l.outC, l.geom.ColRows())
 	std := math.Sqrt(2.0 / float64(l.geom.ColRows()))
 	for i := range l.w {
 		l.w[i] = rng.NormFloat64() * std
@@ -67,80 +99,112 @@ func (l *convLayer) Bind(params, grads []float64, rng *rand.Rand) {
 
 func (l *convLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
+	l.x = x
+	if l.y == nil {
+		l.y = tensor.New(n, l.outC, l.geom.OutH, l.geom.OutW)
+	} else if l.y.Dim(0) != n {
+		l.y.SetDim0(n)
+	}
+	if parallel.Serial(n, parallel.DefaultMinWork) {
+		l.forwardChunk(0, n)
+	} else {
+		parallel.ForChunked(n, l.forwardChunk)
+	}
+	return l.y
+}
+
+func (l *convLayer) forwardChunk(lo, hi int) {
 	g := l.geom
 	inSize := g.InC * g.InH * g.InW
 	outSize := l.outC * g.OutH * g.OutW
-	l.x = x
-	if l.y == nil || l.y.Dim(0) != n {
-		l.y = tensor.New(n, l.outC, g.OutH, g.OutW)
-	}
-	wm := tensor.FromSlice(l.w, l.outC, g.ColRows())
-	parallel.ForChunked(n, func(lo, hi int) {
-		col := tensor.New(g.ColRows(), g.ColCols())
-		for s := lo; s < hi; s++ {
-			img := x.Data[s*inSize : (s+1)*inSize]
-			g.Im2Col(img, col.Data)
-			out := tensor.FromSlice(l.y.Data[s*outSize:(s+1)*outSize], l.outC, g.ColCols())
-			tensor.MatMul(out, wm, col)
-			// Add per-filter bias across the spatial map.
-			for f := 0; f < l.outC; f++ {
-				bf := l.b[f]
-				row := out.Data[f*g.ColCols() : (f+1)*g.ColCols()]
-				for i := range row {
-					row[i] += bf
-				}
+	cs := l.getScratch()
+	for s := lo; s < hi; s++ {
+		img := l.x.Data[s*inSize : (s+1)*inSize]
+		g.Im2Col(img, cs.col.Data)
+		out := cs.out
+		out.Data = l.y.Data[s*outSize : (s+1)*outSize]
+		tensor.MatMul(out, l.wView, cs.col)
+		// Add per-filter bias across the spatial map.
+		for f := 0; f < l.outC; f++ {
+			bf := l.b[f]
+			row := out.Data[f*g.ColCols() : (f+1)*g.ColCols()]
+			for i := range row {
+				row[i] += bf
 			}
 		}
-	})
-	return l.y
+	}
+	l.scratch.Put(cs)
 }
 
 func (l *convLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n := dy.Dim(0)
 	g := l.geom
+	if l.dx == nil {
+		l.dx = tensor.New(n, g.InC, g.InH, g.InW)
+	} else if l.dx.Dim(0) != n {
+		l.dx.SetDim0(n)
+	}
+	l.dy = dy
+	if parallel.Serial(n, parallel.DefaultMinWork) {
+		l.backwardChunk(0, n)
+	} else {
+		var mu sync.Mutex // serialises accumulation into l.dw / l.db
+		parallel.ForChunked(n, func(lo, hi int) {
+			l.backwardChunkLocked(lo, hi, &mu)
+		})
+	}
+	return l.dx
+}
+
+// backwardChunk processes samples [lo, hi) with exclusive access to the
+// layer's gradient slices (the serial path).
+func (l *convLayer) backwardChunk(lo, hi int) {
+	l.backwardChunkLocked(lo, hi, nil)
+}
+
+// backwardChunkLocked accumulates per-sample gradients into per-worker
+// scratch and merges them into the layer's dw/db at the end, under mu when
+// chunks run concurrently.
+func (l *convLayer) backwardChunkLocked(lo, hi int, mu *sync.Mutex) {
+	g := l.geom
 	inSize := g.InC * g.InH * g.InW
 	outSize := l.outC * g.OutH * g.OutW
-	if l.dx == nil || l.dx.Dim(0) != n {
-		l.dx = tensor.New(n, g.InC, g.InH, g.InW)
-	}
-	wm := tensor.FromSlice(l.w, l.outC, g.ColRows())
-	var mu sync.Mutex // guards accumulation into l.dw / l.db
-	parallel.ForChunked(n, func(lo, hi int) {
-		col := tensor.New(g.ColRows(), g.ColCols())
-		dcol := tensor.New(g.ColRows(), g.ColCols())
-		dwLocal := tensor.New(l.outC, g.ColRows())
-		dbLocal := make([]float64, l.outC)
-		dwS := tensor.New(l.outC, g.ColRows())
-		for s := lo; s < hi; s++ {
-			img := l.x.Data[s*inSize : (s+1)*inSize]
-			g.Im2Col(img, col.Data)
-			dout := tensor.FromSlice(dy.Data[s*outSize:(s+1)*outSize], l.outC, g.ColCols())
-			// dW_s = dOut x col^T, accumulated locally.
-			tensor.MatMulABT(dwS, dout, col)
-			tensor.Axpy(1, dwS.Data, dwLocal.Data)
-			// db_s = row sums of dOut.
-			for f := 0; f < l.outC; f++ {
-				row := dout.Data[f*g.ColCols() : (f+1)*g.ColCols()]
-				var sum float64
-				for _, v := range row {
-					sum += v
-				}
-				dbLocal[f] += sum
+	cs := l.getScratch()
+	tensor.ZeroVec(cs.dw.Data)
+	tensor.ZeroVec(cs.db)
+	for s := lo; s < hi; s++ {
+		img := l.x.Data[s*inSize : (s+1)*inSize]
+		g.Im2Col(img, cs.col.Data)
+		dout := cs.dout
+		dout.Data = l.dy.Data[s*outSize : (s+1)*outSize]
+		// dW += dOut x col^T, accumulated straight into worker scratch.
+		tensor.MatMulABTAdd(cs.dw, dout, cs.col)
+		// db_s = row sums of dOut.
+		for f := 0; f < l.outC; f++ {
+			row := dout.Data[f*g.ColCols() : (f+1)*g.ColCols()]
+			var sum float64
+			for _, v := range row {
+				sum += v
 			}
-			// dcol = W^T x dOut; dx_s = col2im(dcol).
-			tensor.MatMulATB(dcol, wm, dout)
-			dximg := l.dx.Data[s*inSize : (s+1)*inSize]
-			for i := range dximg {
-				dximg[i] = 0
-			}
-			g.Col2Im(dcol.Data, dximg)
+			cs.db[f] += sum
 		}
+		// dcol = W^T x dOut; dx_s = col2im(dcol).
+		tensor.MatMulATB(cs.dcol, l.wView, dout)
+		dximg := l.dx.Data[s*inSize : (s+1)*inSize]
+		for i := range dximg {
+			dximg[i] = 0
+		}
+		g.Col2Im(cs.dcol.Data, dximg)
+	}
+	if mu != nil {
 		mu.Lock()
-		tensor.Axpy(1, dwLocal.Data, l.dw)
-		tensor.Axpy(1, dbLocal, l.db)
+	}
+	tensor.Axpy(1, cs.dw.Data, l.dw)
+	tensor.Axpy(1, cs.db, l.db)
+	if mu != nil {
 		mu.Unlock()
-	})
-	return l.dx
+	}
+	l.scratch.Put(cs)
 }
 
 func (l *convLayer) FwdFLOPs() float64 {
@@ -156,6 +220,7 @@ type maxPoolLayer struct {
 	c, h, w int
 	oh, ow  int
 	argmax  []int32 // flat input index of each output's max
+	x, dy   *tensor.Tensor
 	y, dx   *tensor.Tensor
 }
 
@@ -189,64 +254,87 @@ func (l *maxPoolLayer) Bind(params, grads []float64, rng *rand.Rand) {}
 func (l *maxPoolLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	outSize := l.c * l.oh * l.ow
-	if l.y == nil || l.y.Dim(0) != n {
+	if l.y == nil {
 		l.y = tensor.New(n, l.c, l.oh, l.ow)
+	} else if l.y.Dim(0) != n {
+		l.y.SetDim0(n)
+	}
+	if cap(l.argmax) >= n*outSize {
+		l.argmax = l.argmax[:n*outSize]
+	} else {
 		l.argmax = make([]int32, n*outSize)
 	}
+	l.x = x
+	if parallel.Serial(n, parallel.DefaultMinWork) {
+		l.forwardChunk(0, n)
+	} else {
+		parallel.ForChunked(n, l.forwardChunk)
+	}
+	return l.y
+}
+
+func (l *maxPoolLayer) forwardChunk(lo, hi int) {
 	inSize := l.c * l.h * l.w
-	parallel.ForChunked(n, func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			in := x.Data[s*inSize : (s+1)*inSize]
-			out := l.y.Data[s*outSize : (s+1)*outSize]
-			am := l.argmax[s*outSize : (s+1)*outSize]
-			o := 0
-			for c := 0; c < l.c; c++ {
-				base := c * l.h * l.w
-				for oy := 0; oy < l.oh; oy++ {
-					for ox := 0; ox < l.ow; ox++ {
-						best := math.Inf(-1)
-						bestIdx := 0
-						for ky := 0; ky < l.k; ky++ {
-							rowBase := base + (oy*l.k+ky)*l.w + ox*l.k
-							for kx := 0; kx < l.k; kx++ {
-								if v := in[rowBase+kx]; v > best {
-									best = v
-									bestIdx = rowBase + kx
-								}
+	outSize := l.c * l.oh * l.ow
+	for s := lo; s < hi; s++ {
+		in := l.x.Data[s*inSize : (s+1)*inSize]
+		out := l.y.Data[s*outSize : (s+1)*outSize]
+		am := l.argmax[s*outSize : (s+1)*outSize]
+		o := 0
+		for c := 0; c < l.c; c++ {
+			base := c * l.h * l.w
+			for oy := 0; oy < l.oh; oy++ {
+				for ox := 0; ox < l.ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := 0
+					for ky := 0; ky < l.k; ky++ {
+						rowBase := base + (oy*l.k+ky)*l.w + ox*l.k
+						for kx := 0; kx < l.k; kx++ {
+							if v := in[rowBase+kx]; v > best {
+								best = v
+								bestIdx = rowBase + kx
 							}
 						}
-						out[o] = best
-						am[o] = int32(bestIdx)
-						o++
 					}
+					out[o] = best
+					am[o] = int32(bestIdx)
+					o++
 				}
 			}
 		}
-	})
-	return l.y
+	}
 }
 
 func (l *maxPoolLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n := dy.Dim(0)
+	if l.dx == nil {
+		l.dx = tensor.New(n, l.c, l.h, l.w)
+	} else if l.dx.Dim(0) != n {
+		l.dx.SetDim0(n)
+	}
+	l.dy = dy
+	if parallel.Serial(n, parallel.DefaultMinWork) {
+		l.backwardChunk(0, n)
+	} else {
+		parallel.ForChunked(n, l.backwardChunk)
+	}
+	return l.dx
+}
+
+func (l *maxPoolLayer) backwardChunk(lo, hi int) {
 	inSize := l.c * l.h * l.w
 	outSize := l.c * l.oh * l.ow
-	if l.dx == nil || l.dx.Dim(0) != n {
-		l.dx = tensor.New(n, l.c, l.h, l.w)
-	}
-	parallel.ForChunked(n, func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			dxs := l.dx.Data[s*inSize : (s+1)*inSize]
-			for i := range dxs {
-				dxs[i] = 0
-			}
-			dys := dy.Data[s*outSize : (s+1)*outSize]
-			am := l.argmax[s*outSize : (s+1)*outSize]
-			for o, v := range dys {
-				dxs[am[o]] += v
-			}
+	for s := lo; s < hi; s++ {
+		dxs := l.dx.Data[s*inSize : (s+1)*inSize]
+		for i := range dxs {
+			dxs[i] = 0
 		}
-	})
-	return l.dx
+		dys := l.dy.Data[s*outSize : (s+1)*outSize]
+		am := l.argmax[s*outSize : (s+1)*outSize]
+		for o, v := range dys {
+			dxs[am[o]] += v
+		}
+	}
 }
 
 func (l *maxPoolLayer) FwdFLOPs() float64 {

@@ -13,6 +13,8 @@ type denseLayer struct {
 	in, out int
 	w, b    []float64      // views into the model's flat parameter vector
 	dw, db  []float64      // views into the model's flat gradient vector
+	wView   *tensor.Tensor // [in,out] matrix view of w, fixed at Bind
+	dwView  *tensor.Tensor // [in,out] matrix view of dw, fixed at Bind
 	x       *tensor.Tensor // cached input for backward
 	dx      *tensor.Tensor // scratch for input gradient
 	y       *tensor.Tensor // scratch for output
@@ -43,6 +45,8 @@ func (l *denseLayer) ParamCount() int { return l.in*l.out + l.out }
 func (l *denseLayer) Bind(params, grads []float64, rng *rand.Rand) {
 	l.w, l.b = params[:l.in*l.out], params[l.in*l.out:]
 	l.dw, l.db = grads[:l.in*l.out], grads[l.in*l.out:]
+	l.wView = tensor.FromSlice(l.w, l.in, l.out)
+	l.dwView = tensor.FromSlice(l.dw, l.in, l.out)
 	// He initialisation, appropriate for the ReLU networks used here.
 	std := math.Sqrt(2.0 / float64(l.in))
 	for i := range l.w {
@@ -56,22 +60,20 @@ func (l *denseLayer) Bind(params, grads []float64, rng *rand.Rand) {
 func (l *denseLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	l.x = x
-	if l.y == nil || l.y.Dim(0) != n {
+	if l.y == nil {
 		l.y = tensor.New(n, l.out)
+	} else if l.y.Dim(0) != n {
+		l.y.SetDim0(n)
 	}
-	wm := tensor.FromSlice(l.w, l.in, l.out)
-	tensor.MatMulAddBias(l.y, x, wm, l.b)
+	tensor.MatMulAddBias(l.y, x, l.wView, l.b)
 	return l.y
 }
 
 func (l *denseLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n := dy.Dim(0)
-	wm := tensor.FromSlice(l.w, l.in, l.out)
-	// dW += x^T dy; accumulate via a scratch then axpy so repeated
-	// Backward calls within one optimizer step add up.
-	dwScratch := tensor.New(l.in, l.out)
-	tensor.MatMulATB(dwScratch, l.x, dy)
-	tensor.Axpy(1, dwScratch.Data, l.dw)
+	// dW += x^T dy, accumulated straight into the model's gradient vector
+	// so repeated Backward calls within one optimizer step add up.
+	tensor.MatMulATBAdd(l.dwView, l.x, dy)
 	// db += column sums of dy.
 	for i := 0; i < n; i++ {
 		row := dy.Data[i*l.out : (i+1)*l.out]
@@ -80,10 +82,12 @@ func (l *denseLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx = dy W^T.
-	if l.dx == nil || l.dx.Dim(0) != n {
+	if l.dx == nil {
 		l.dx = tensor.New(n, l.in)
+	} else if l.dx.Dim(0) != n {
+		l.dx.SetDim0(n)
 	}
-	tensor.MatMulABT(l.dx, dy, wm)
+	tensor.MatMulABT(l.dx, dy, l.wView)
 	return l.dx
 }
 

@@ -12,9 +12,13 @@ import (
 	"sync"
 )
 
-// minParallelWork is the smallest index range worth splitting across
-// goroutines; below it the scheduling overhead dominates.
-const minParallelWork = 256
+// DefaultMinWork is the smallest index range worth splitting across
+// goroutines; below it the scheduling overhead dominates. It is exported
+// so hot paths can ask Serial whether ForChunked would run inline and, if
+// so, call their chunk body directly without allocating a closure.
+const DefaultMinWork = 256
+
+const minParallelWork = DefaultMinWork
 
 // Workers returns the degree of parallelism used by For and ForChunked.
 func Workers() int {
@@ -36,11 +40,27 @@ func For(n int, fn func(i int)) {
 // each chunk, using up to Workers() goroutines. Chunked form lets kernels
 // amortise per-iteration overhead (index math, bounds hoisting).
 func ForChunked(n int, fn func(lo, hi int)) {
+	ForChunkedMin(n, minParallelWork, fn)
+}
+
+// Serial reports whether ForChunkedMin(n, minWork, ...) would run inline on
+// the caller's goroutine. Hot paths use it to call their chunk body
+// directly in the serial case, so the closure they would otherwise hand to
+// ForChunked never escapes to the heap.
+func Serial(n, minWork int) bool {
+	return Workers() <= 1 || n < minWork
+}
+
+// ForChunkedMin is ForChunked with an explicit parallelism threshold:
+// ranges smaller than minWork run inline. Kernels whose per-index work is
+// much heavier than a scalar op (e.g. a GEMM row tile) pass a smaller
+// threshold than the package default.
+func ForChunkedMin(n, minWork int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	p := Workers()
-	if p <= 1 || n < minParallelWork {
+	if p <= 1 || n < minWork {
 		fn(0, n)
 		return
 	}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -87,5 +88,54 @@ func TestForSumProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestForChunkedMinCoversRange checks the custom-threshold variant visits
+// every index exactly once, both below and above the threshold.
+func TestForChunkedMinCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 300} {
+		for _, minWork := range []int{1, 8, 1000} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			ForChunkedMin(n, minWork, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+				}
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d minWork=%d: index %d visited %d times", n, minWork, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSerialConsistentWithForChunkedMin pins the contract hot paths rely
+// on: whenever Serial reports true, ForChunkedMin runs the body inline on
+// the caller's goroutine as a single chunk.
+func TestSerialConsistentWithForChunkedMin(t *testing.T) {
+	for _, n := range []int{1, 10, 255, 256, 5000} {
+		for _, minWork := range []int{1, 256, 10000} {
+			if !Serial(n, minWork) {
+				continue
+			}
+			calls := 0
+			ForChunkedMin(n, minWork, func(lo, hi int) {
+				calls++
+				if lo != 0 || hi != n {
+					t.Fatalf("Serial=true but chunk [%d,%d) != [0,%d)", lo, hi, n)
+				}
+			})
+			if calls != 1 {
+				t.Fatalf("Serial=true but %d chunks for n=%d", calls, n)
+			}
+		}
 	}
 }

@@ -10,6 +10,7 @@ func benchPartition(b *testing.B, s Scheme) {
 	for i := range labels {
 		labels[i] = i % 10
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(int64(i)))

@@ -1,33 +1,17 @@
 package tensor
 
-import (
-	"fmt"
+import "fmt"
 
-	"repro/internal/parallel"
-)
+// The four matmul variants the layers need (plus their accumulating
+// forms) are thin shape-checked adapters over the blocked GEMM in gemm.go:
+// transposition is expressed through operand strides, so there is exactly
+// one compute kernel to optimise and test.
 
 // MatMul computes C = A x B for A[m,k], B[k,n], writing into C[m,n].
-// C must not alias A or B. The kernel parallelises over rows of A and uses
-// i-k-j loop order so the inner loop streams contiguous rows of B and C.
+// C must not alias A or B.
 func MatMul(c, a, b *Tensor) {
 	m, k, n := mmDims(c, a, b)
-	ad, bd, cd := a.Data, b.Data, c.Data
-	parallel.ForChunked(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := cd[i*n : (i+1)*n]
-			for j := range ci {
-				ci[j] = 0
-			}
-			ai := ad[i*k : (i+1)*k]
-			for p, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bp := bd[p*n : (p+1)*n]
-				axpyKernel(ci, bp, av)
-			}
-		}
-	})
+	gemm(c.Data, m, n, k, a.Data, k, 1, b.Data, n, 1, nil, false)
 }
 
 // MatMulAddBias computes C = A x B + bias, where bias is a length-n vector
@@ -37,77 +21,36 @@ func MatMulAddBias(c, a, b *Tensor, bias []float64) {
 	if len(bias) != n {
 		panic(fmt.Sprintf("tensor: bias length %d != %d", len(bias), n))
 	}
-	ad, bd, cd := a.Data, b.Data, c.Data
-	parallel.ForChunked(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := cd[i*n : (i+1)*n]
-			copy(ci, bias)
-			ai := ad[i*k : (i+1)*k]
-			for p, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bp := bd[p*n : (p+1)*n]
-				axpyKernel(ci, bp, av)
-			}
-		}
-	})
+	gemm(c.Data, m, n, k, a.Data, k, 1, b.Data, n, 1, bias, false)
 }
 
 // MatMulATB computes C = A^T x B for A[m,k], B[m,n], writing into C[k,n].
 // This is the weight-gradient kernel of a dense layer (dW = X^T dY).
-// Parallelises over rows of the output (columns of A).
 func MatMulATB(c, a, b *Tensor) {
-	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
-		panic("tensor: MatMulATB requires rank-2 tensors")
-	}
-	m, k := a.Dim(0), a.Dim(1)
-	n := b.Dim(1)
-	if b.Dim(0) != m || c.Dim(0) != k || c.Dim(1) != n {
-		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch A%v B%v C%v", a.shape, b.shape, c.shape))
-	}
-	ad, bd, cd := a.Data, b.Data, c.Data
-	parallel.ForChunked(k, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			cp := cd[p*n : (p+1)*n]
-			for j := range cp {
-				cp[j] = 0
-			}
-			for i := 0; i < m; i++ {
-				av := ad[i*k+p]
-				if av == 0 {
-					continue
-				}
-				bi := bd[i*n : (i+1)*n]
-				axpyKernel(cp, bi, av)
-			}
-		}
-	})
+	m, k, n := atbDims(c, a, b)
+	gemm(c.Data, k, n, m, a.Data, 1, k, b.Data, n, 1, nil, false)
+}
+
+// MatMulATBAdd computes C += A^T x B: the accumulating form of MatMulATB,
+// used by layers that add each batch's weight gradient directly into the
+// model's gradient vector without a scratch matrix.
+func MatMulATBAdd(c, a, b *Tensor) {
+	m, k, n := atbDims(c, a, b)
+	gemm(c.Data, k, n, m, a.Data, 1, k, b.Data, n, 1, nil, true)
 }
 
 // MatMulABT computes C = A x B^T for A[m,n], B[k,n], writing into C[m,k].
-// This is the input-gradient kernel of a dense layer (dX = dY W^T): each
-// output element is a dot product of two contiguous rows.
+// This is the input-gradient kernel of a dense layer (dX = dY W^T).
 func MatMulABT(c, a, b *Tensor) {
-	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
-		panic("tensor: MatMulABT requires rank-2 tensors")
-	}
-	m, n := a.Dim(0), a.Dim(1)
-	k := b.Dim(0)
-	if b.Dim(1) != n || c.Dim(0) != m || c.Dim(1) != k {
-		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch A%v B%v C%v", a.shape, b.shape, c.shape))
-	}
-	ad, bd, cd := a.Data, b.Data, c.Data
-	parallel.ForChunked(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := ad[i*n : (i+1)*n]
-			ci := cd[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				bp := bd[p*n : (p+1)*n]
-				ci[p] = dotKernel(ai, bp)
-			}
-		}
-	})
+	m, n, k := abtDims(c, a, b)
+	gemm(c.Data, m, k, n, a.Data, n, 1, b.Data, 1, n, nil, false)
+}
+
+// MatMulABTAdd computes C += A x B^T: the accumulating form of MatMulABT
+// (conv backward accumulates per-sample filter gradients with it).
+func MatMulABTAdd(c, a, b *Tensor) {
+	m, n, k := abtDims(c, a, b)
+	gemm(c.Data, m, k, n, a.Data, n, 1, b.Data, 1, n, nil, true)
 }
 
 func mmDims(c, a, b *Tensor) (m, k, n int) {
@@ -122,7 +65,32 @@ func mmDims(c, a, b *Tensor) (m, k, n int) {
 	return m, k, n
 }
 
-// axpyKernel computes dst += alpha * src with 4-way unrolling.
+func atbDims(c, a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic("tensor: MatMulATB requires rank-2 tensors")
+	}
+	m, k = a.Dim(0), a.Dim(1)
+	n = b.Dim(1)
+	if b.Dim(0) != m || c.Dim(0) != k || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch A%v B%v C%v", a.shape, b.shape, c.shape))
+	}
+	return m, k, n
+}
+
+func abtDims(c, a, b *Tensor) (m, n, k int) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic("tensor: MatMulABT requires rank-2 tensors")
+	}
+	m, n = a.Dim(0), a.Dim(1)
+	k = b.Dim(0)
+	if b.Dim(1) != n || c.Dim(0) != m || c.Dim(1) != k {
+		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch A%v B%v C%v", a.shape, b.shape, c.shape))
+	}
+	return m, n, k
+}
+
+// axpyKernel computes dst += alpha * src with 4-way unrolling. It remains
+// the BLAS-1 backbone of vec.go (Axpy, WeightedSumInto).
 func axpyKernel(dst, src []float64, alpha float64) {
 	n := len(dst)
 	_ = src[n-1]

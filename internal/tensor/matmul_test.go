@@ -29,9 +29,22 @@ func randTensor(rng *rand.Rand, shape ...int) *Tensor {
 	return t
 }
 
+// gemmShapes exercises every routing decision of the blocked GEMM: the
+// degenerate m/n/k = 1 fast paths, the small-m direct-B path, tiles with
+// row/column remainders (non-multiples of the 4x4 micro-tile), shapes
+// that straddle one k/n block boundary, and the conv/dense shapes the
+// paper's models actually produce.
+var gemmShapes = [][3]int{
+	{1, 1, 1}, {1, 7, 1}, {1, 1, 9}, {7, 1, 1},
+	{2, 3, 4}, {5, 1, 7}, {3, 128, 2}, {17, 23, 9},
+	{4, 4, 4}, {5, 5, 5}, {8, 8, 8}, {64, 31, 64},
+	{6, 25, 31}, {16, 150, 10}, {33, 400, 1}, {50, 120, 84},
+	{65, 257, 19}, {40, 300, 5}, {34, 12, 34},
+}
+
 func TestMatMulAgainstNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 1, 7}, {17, 23, 9}, {64, 31, 64}, {3, 128, 2}} {
+	for _, dims := range gemmShapes {
 		m, k, n := dims[0], dims[1], dims[2]
 		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
 		c := New(m, n)
@@ -40,6 +53,43 @@ func TestMatMulAgainstNaive(t *testing.T) {
 		if d := MaxAbsDiff(c.Data, want.Data); d > 1e-10 {
 			t.Fatalf("MatMul %v: max diff %v", dims, d)
 		}
+	}
+}
+
+// TestMatMulDeterministic pins the kernel's fixed accumulation order: the
+// same inputs must produce bitwise-identical outputs on every run (the
+// trajectory-reproducibility contract of the FL runtimes rests on this).
+func TestMatMulDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, dims := range gemmShapes {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+		c1, c2 := New(m, n), New(m, n)
+		MatMul(c1, a, b)
+		MatMul(c2, a, b)
+		for i := range c1.Data {
+			if c1.Data[i] != c2.Data[i] {
+				t.Fatalf("MatMul %v: element %d differs between runs: %v vs %v", dims, i, c1.Data[i], c2.Data[i])
+			}
+		}
+	}
+}
+
+// TestMatMulSteadyStateAllocFree pins the scratch pooling: after warm-up,
+// the kernels must not allocate.
+func TestMatMulSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pin runs in the non-race job")
+	}
+	rng := rand.New(rand.NewSource(13))
+	a, b := randTensor(rng, 40, 57), randTensor(rng, 57, 33)
+	c := New(40, 33)
+	MatMul(c, a, b) // warm the pool
+	allocs := testing.AllocsPerRun(20, func() {
+		MatMul(c, a, b)
+	})
+	if allocs > 0 {
+		t.Fatalf("MatMul allocates %v objects per call in steady state", allocs)
 	}
 }
 
@@ -57,24 +107,32 @@ func TestMatMulOverwritesOutput(t *testing.T) {
 
 func TestMatMulAddBias(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	a, b := randTensor(rng, 6, 3), randTensor(rng, 3, 4)
-	bias := []float64{1, -2, 3, -4}
-	c := New(6, 4)
-	MatMulAddBias(c, a, b, bias)
-	want := naiveMatMul(a, b)
-	for i := 0; i < 6; i++ {
-		for j := 0; j < 4; j++ {
-			want.Data[i*4+j] += bias[j]
+	// {40,57,33} and up exercise the tiled path's per-worker bias init
+	// (m > gemmSmallM), not just the small-m direct path.
+	for _, dims := range [][3]int{{6, 3, 4}, {1, 5, 3}, {10, 784, 100}, {40, 57, 33}, {65, 257, 19}, {200, 30, 10}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+		bias := make([]float64, n)
+		for j := range bias {
+			bias[j] = rng.NormFloat64()
 		}
-	}
-	if d := MaxAbsDiff(c.Data, want.Data); d > 1e-10 {
-		t.Fatalf("bias broadcast wrong: %v", d)
+		c := New(m, n)
+		MatMulAddBias(c, a, b, bias)
+		want := naiveMatMul(a, b)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want.Data[i*n+j] += bias[j]
+			}
+		}
+		if d := MaxAbsDiff(c.Data, want.Data); d > 1e-10 {
+			t.Fatalf("MatMulAddBias %v: max diff %v", dims, d)
+		}
 	}
 }
 
 func TestMatMulATB(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
-	for _, dims := range [][3]int{{2, 3, 4}, {33, 7, 5}, {1, 9, 1}} {
+	for _, dims := range gemmShapes {
 		m, k, n := dims[0], dims[1], dims[2]
 		a, b := randTensor(rng, m, k), randTensor(rng, m, n)
 		c := New(k, n)
@@ -94,9 +152,31 @@ func TestMatMulATB(t *testing.T) {
 	}
 }
 
+func TestMatMulATBAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, dims := range gemmShapes {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randTensor(rng, m, k), randTensor(rng, m, n)
+		c := randTensor(rng, k, n)
+		base := c.Clone()
+		MatMulATBAdd(c, a, b)
+		at := New(k, m)
+		for i := 0; i < m; i++ {
+			for p := 0; p < k; p++ {
+				at.Data[p*m+i] = a.Data[i*k+p]
+			}
+		}
+		want := naiveMatMul(at, b)
+		AddInto(want.Data, want.Data, base.Data)
+		if d := MaxAbsDiff(c.Data, want.Data); d > 1e-10 {
+			t.Fatalf("MatMulATBAdd %v: max diff %v", dims, d)
+		}
+	}
+}
+
 func TestMatMulABT(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	for _, dims := range [][3]int{{2, 3, 4}, {13, 6, 21}, {1, 5, 1}} {
+	for _, dims := range gemmShapes {
 		m, n, k := dims[0], dims[1], dims[2]
 		a, b := randTensor(rng, m, n), randTensor(rng, k, n)
 		c := New(m, k)
@@ -115,6 +195,28 @@ func TestMatMulABT(t *testing.T) {
 	}
 }
 
+func TestMatMulABTAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, dims := range gemmShapes {
+		m, n, k := dims[0], dims[1], dims[2]
+		a, b := randTensor(rng, m, n), randTensor(rng, k, n)
+		c := randTensor(rng, m, k)
+		base := c.Clone()
+		MatMulABTAdd(c, a, b)
+		bt := New(n, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				bt.Data[j*k+i] = b.Data[i*n+j]
+			}
+		}
+		want := naiveMatMul(a, bt)
+		AddInto(want.Data, want.Data, base.Data)
+		if d := MaxAbsDiff(c.Data, want.Data); d > 1e-10 {
+			t.Fatalf("MatMulABTAdd %v: max diff %v", dims, d)
+		}
+	}
+}
+
 func TestMatMulShapeMismatchPanics(t *testing.T) {
 	defer expectPanic(t, "shape mismatch")
 	MatMul(New(2, 2), New(2, 3), New(4, 2))
@@ -123,6 +225,24 @@ func TestMatMulShapeMismatchPanics(t *testing.T) {
 func TestMatMulRankPanics(t *testing.T) {
 	defer expectPanic(t, "rank")
 	MatMul(New(2, 2), New(4), New(2, 2))
+}
+
+// Property: the blocked kernel agrees with the naive triple loop on
+// random shapes, including shapes larger than one micro-tile and shapes
+// that hit every remainder path.
+func TestMatMulMatchesNaiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(50), 1+r.Intn(50), 1+r.Intn(50)
+		a, b := randTensor(r, m, k), randTensor(r, k, n)
+		c := New(m, n)
+		MatMul(c, a, b)
+		want := naiveMatMul(a, b)
+		return MaxAbsDiff(c.Data, want.Data) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // Property: matrix multiplication distributes over addition.
@@ -154,8 +274,39 @@ func BenchmarkMatMul128(b *testing.B) {
 	x, y := randTensor(rng, 128, 128), randTensor(rng, 128, 128)
 	c := New(128, 128)
 	b.SetBytes(128 * 128 * 128 * 2 * 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MatMul(c, x, y)
+	}
+}
+
+// BenchmarkGEMMConvShape measures the im2col matmul of the paper CNN's
+// second conv layer (W[16,150] x col[150,100]) — a small-m direct-B
+// shape.
+func BenchmarkGEMMConvShape(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	w, col := randTensor(rng, 16, 150), randTensor(rng, 150, 100)
+	c := New(16, 100)
+	b.SetBytes(16 * 150 * 100 * 2 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(c, w, col)
+	}
+}
+
+// BenchmarkGEMMDenseBackward measures the dense weight-gradient kernel at
+// MLP scale (dW = X^T dY with X[10,784], dY[10,100]) — a large-m, tiny-k
+// accumulating shape.
+func BenchmarkGEMMDenseBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x, dy := randTensor(rng, 10, 784), randTensor(rng, 10, 100)
+	c := New(784, 100)
+	b.SetBytes(784 * 100 * 10 * 2 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulATBAdd(c, x, dy)
 	}
 }

@@ -74,6 +74,30 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{Data: t.Data, shape: append([]int(nil), shape...)}
 }
 
+// SetDim0 resizes the leading dimension to n in place, reusing the
+// existing backing array when its capacity suffices (growing reallocates).
+// Element contents after a resize are unspecified — callers are expected
+// to overwrite the tensor fully, which is why the batch-sized scratch
+// buffers of the nn layers can ride through tail batches without
+// reallocating. Must not be used on views that share Data with a tensor
+// the caller still reads.
+func (t *Tensor) SetDim0(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("tensor: SetDim0 size %d", n))
+	}
+	row := 1
+	for _, d := range t.shape[1:] {
+		row *= d
+	}
+	need := n * row
+	if cap(t.Data) >= need {
+		t.Data = t.Data[:need]
+	} else {
+		t.Data = make([]float64, need)
+	}
+	t.shape[0] = n
+}
+
 // Clone returns a deep copy.
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.shape...)

@@ -160,3 +160,34 @@ func expectPanic(t *testing.T, what string) {
 		t.Fatalf("expected panic: %s", what)
 	}
 }
+
+func TestSetDim0(t *testing.T) {
+	x := New(4, 3)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	base := &x.Data[0]
+	// Shrink: reuse backing, keep row shape.
+	x.SetDim0(2)
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.Numel() != 6 {
+		t.Fatalf("after shrink: shape %v numel %d", x.Shape(), x.Numel())
+	}
+	if &x.Data[0] != base {
+		t.Fatal("shrink reallocated")
+	}
+	// Grow within capacity: still no reallocation.
+	x.SetDim0(4)
+	if &x.Data[0] != base || x.Numel() != 12 {
+		t.Fatalf("grow-within-cap reallocated or wrong numel %d", x.Numel())
+	}
+	// Grow past capacity: reallocates, shape follows.
+	x.SetDim0(100)
+	if x.Dim(0) != 100 || x.Numel() != 300 {
+		t.Fatalf("after big grow: shape %v", x.Shape())
+	}
+}
+
+func TestSetDim0NonPositivePanics(t *testing.T) {
+	defer expectPanic(t, "SetDim0")
+	New(2, 2).SetDim0(0)
+}

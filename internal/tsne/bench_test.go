@@ -14,6 +14,7 @@ func BenchmarkEmbed150(b *testing.B) {
 	for i := range x {
 		x[i] = rng.NormFloat64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Embed(x, n, dim, Config{Iters: 250, Seed: 2}); err != nil {
@@ -35,6 +36,7 @@ func BenchmarkSilhouette(b *testing.B) {
 	for i := range labels {
 		labels[i] = i % 10
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Silhouette(x, labels, n, dim); err != nil {
