@@ -294,6 +294,38 @@ func BenchmarkAsync1kClients(b *testing.B)  { benchAsyncPopulation(b, 1_000) }
 func BenchmarkSync10kClients(b *testing.B)  { benchSyncPopulation(b, 10_000) }
 func BenchmarkAsync10kClients(b *testing.B) { benchAsyncPopulation(b, 10_000) }
 
+// BenchmarkAsyncChurn1k measures the device-heterogeneity event loop at
+// 1k-client scale: lognormal FLOP-coupled device speeds (arrivals priced
+// by metered FLOPs, joined at dispatch), adaptive local steps, Markov
+// availability churn, and the max-staleness admission cutoff — the full
+// hetero scenario machinery on top of the buffered runtime.
+func BenchmarkAsyncChurn1k(b *testing.B) {
+	cfg := benchPopulationConfig(b, 1_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	updates := 0
+	for i := 0; i < b.N; i++ {
+		spec := core.RunSpec{
+			Config:             cfg,
+			Runtime:            core.RuntimeAsync,
+			Concurrency:        128,
+			BufferSize:         32,
+			Devices:            core.LognormalDevices{Mu: 0, Sigma: 0.6},
+			FlopRate:           1e6,
+			AdaptiveLocalSteps: true,
+			Churn:              &core.ChurnModel{MeanUp: 30, MeanDown: 3},
+			Policy:             core.WithMaxStaleness(&core.FedBuffPolicy{}, 8),
+		}
+		spec.Algo = core.NewFedTrip(0.4)
+		res, err := core.Start(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates += res.Rounds * 32
+	}
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
+}
+
 // BenchmarkAsyncFedAsync1k measures the FedAsync single-arrival path
 // (aggregation policy BufferSize=1 with mixing-rate merges) at 1k-client
 // scale through the unified RunSpec facade. The round budget is scaled so

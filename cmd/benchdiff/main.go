@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Benchmark mirrors cmd/benchjson's output object.
@@ -45,10 +46,36 @@ var diffMetrics = []string{"ns/op", "allocs/op", "B/op", "updates/sec"}
 // maximum rather than the minimum, and whose regressions are decreases.
 var higherIsBetter = map[string]bool{"updates/sec": true}
 
-// gatedMetrics are the metrics -threshold fails on. B/op and updates/sec
-// stay report-only: byte counts include one-time pool warm-up and
-// throughput double-counts ns/op.
-var gatedMetrics = map[string]bool{"ns/op": true, "allocs/op": true}
+// defaultGate lists the metrics -threshold fails on when -gate is not
+// given. B/op and updates/sec are never sensible gates: byte counts
+// include one-time pool warm-up and throughput double-counts ns/op. CI
+// narrows the gate to allocs/op alone — allocation counts are
+// deterministic where shared-runner timings are not.
+const defaultGate = "ns/op,allocs/op"
+
+// parseGate resolves a comma-separated -gate list against the metrics
+// benchdiff knows how to compare.
+func parseGate(spec string) (map[string]bool, error) {
+	known := map[string]bool{}
+	for _, m := range diffMetrics {
+		known[m] = true
+	}
+	gate := map[string]bool{}
+	for _, m := range strings.Split(spec, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		if !known[m] {
+			return nil, fmt.Errorf("unknown gate metric %q (known: %s)", m, strings.Join(diffMetrics, ","))
+		}
+		gate[m] = true
+	}
+	if len(gate) == 0 {
+		return nil, fmt.Errorf("empty -gate metric list")
+	}
+	return gate, nil
+}
 
 // MergeBaseline folds a sequence of historical artifacts (oldest first)
 // into one baseline: per benchmark and metric, the best value seen. A
@@ -93,10 +120,10 @@ func MergeBaseline(history [][]Benchmark) []Benchmark {
 
 // Regressions returns the rows whose gated metric moved past threshold
 // percent in the losing direction.
-func Regressions(rows []DiffRow, threshold float64) []DiffRow {
+func Regressions(rows []DiffRow, threshold float64, gated map[string]bool) []DiffRow {
 	var bad []DiffRow
 	for _, r := range rows {
-		if r.Status != "" || !gatedMetrics[r.Metric] {
+		if r.Status != "" || !gated[r.Metric] {
 			continue
 		}
 		delta := r.Delta
@@ -212,12 +239,19 @@ func load(path string) ([]Benchmark, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 0,
-		"fail (exit 2) when ns/op or allocs/op regress more than this percentage over the baseline; 0 = report only")
+		"fail (exit 2) when a gated metric regresses more than this percentage over the baseline; 0 = report only")
+	gateSpec := flag.String("gate", defaultGate,
+		"comma-separated metrics -threshold gates on (subset of ns/op,allocs/op,B/op,updates/sec); e.g. allocs/op alone for noisy shared runners")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] OLD.json [OLD2.json ...] NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-gate METRICS] OLD.json [OLD2.json ...] NEW.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	gate, err := parseGate(*gateSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
 	args := flag.Args()
 	if len(args) < 2 {
 		flag.Usage()
@@ -240,7 +274,7 @@ func main() {
 	rows := Diff(MergeBaseline(history), cur)
 	Render(os.Stdout, rows)
 	if *threshold > 0 {
-		bad := Regressions(rows, *threshold)
+		bad := Regressions(rows, *threshold, gate)
 		if len(bad) > 0 {
 			fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.1f%%:\n", len(bad), *threshold)
 			for _, r := range bad {

@@ -98,11 +98,44 @@ func TestRegressionsGateOnlyCostMetrics(t *testing.T) {
 		{Name: "BenchmarkB", Metric: "ns/op", Delta: -50},       // improvement
 		{Name: "BenchmarkC", Status: "added"},
 	}
-	bad := Regressions(rows, 20)
+	gate, err := parseGate(defaultGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Regressions(rows, 20, gate)
 	if len(bad) != 1 || bad[0].Name != "BenchmarkA" || bad[0].Metric != "ns/op" {
 		t.Fatalf("regressions %+v", bad)
 	}
-	if got := Regressions(rows, 30); len(got) != 0 {
+	if got := Regressions(rows, 30, gate); len(got) != 0 {
 		t.Fatalf("threshold 30 should pass, got %+v", got)
+	}
+}
+
+// The -gate flag narrows which metrics can fail the build: CI gates on
+// allocs/op alone, so a noisy ns/op swing on a shared runner passes
+// while an allocation regression still exits non-zero.
+func TestGateNarrowsGatedMetrics(t *testing.T) {
+	rows := []DiffRow{
+		{Name: "BenchmarkA", Metric: "ns/op", Delta: 80},    // noisy runner swing
+		{Name: "BenchmarkA", Metric: "allocs/op", Delta: 3}, // real regression
+	}
+	gate, err := parseGate("allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Regressions(rows, 20, gate); len(got) != 0 {
+		t.Fatalf("allocs-only gate flagged %+v", got)
+	}
+	bad := Regressions(rows, 1, gate)
+	if len(bad) != 1 || bad[0].Metric != "allocs/op" {
+		t.Fatalf("allocs-only gate missed the allocation regression: %+v", bad)
+	}
+	for _, spec := range []string{"", "bogus/op", "allocs/op,nope"} {
+		if _, err := parseGate(spec); err == nil {
+			t.Errorf("parseGate(%q) accepted", spec)
+		}
+	}
+	if g, err := parseGate(" allocs/op , ns/op "); err != nil || !g["allocs/op"] || !g["ns/op"] || len(g) != 2 {
+		t.Fatalf("parseGate with spaces = %v, %v", g, err)
 	}
 }

@@ -12,8 +12,16 @@
 // compares the FedBuff and FedAsync policies side by side under a
 // straggler latency model:
 //
-//	fedtrip-tables -exp tta                                # barrier vs fedbuff vs fedasync
+//	fedtrip-tables -exp tta                                # barrier vs fedbuff vs fedasync + policy sweep
 //	fedtrip-tables -exp table4 -runtime async -policy fedasync -latency straggler:1,10,3
+//
+// Device heterogeneity is selected with -device-dist (FLOP-coupled
+// compute speeds), -dropout (availability churn), and
+// -local-steps-adaptive; the hetero experiment compares FedTrip against
+// FedAvg/FedProx across uniform, tiered, and churning lognormal fleets:
+//
+//	fedtrip-tables -exp hetero
+//	fedtrip-tables -exp table4 -runtime async -device-dist tiered -local-steps-adaptive
 //
 // Output is plain-text tables on stdout (or -o file); progress lines go to
 // stderr.
@@ -44,6 +52,9 @@ func main() {
 		serverLR = flag.String("server-lr", "", "server learning-rate schedule on merge: const:ETA|invsqrt:ETA0|step:ETA0,G,E")
 		conc     = flag.Int("concurrency", 0, "async: clients training simultaneously (0 = K)")
 		buffer   = flag.Int("buffer", 0, "async: arrivals per aggregation (0 = K)")
+		devDist  = flag.String("device-dist", "", "device compute-speed distribution for async/barrier cases (none|uniform:MIN,MAX|lognormal:MU,SIGMA|tiered[:S1,F1,...])")
+		dropout  = flag.String("dropout", "", "client availability churn for async cases (none|markov:UP,DOWN[+drop:AT,FRAC,DUR]...)")
+		adaptive = flag.Bool("local-steps-adaptive", false, "scale each client's local step budget by its device speed (needs -device-dist)")
 	)
 	flag.Parse()
 	if *list {
@@ -55,6 +66,7 @@ func main() {
 	sel := runtimeSelection{
 		runtime: *runtime, latency: *latency, policy: *policy,
 		serverLR: *serverLR, concurrency: *conc, buffer: *buffer,
+		devices: *devDist, churn: *dropout, adaptiveSteps: *adaptive,
 	}
 	if err := run(*expList, *profile, *outPath, *verbose, sel); err != nil {
 		fmt.Fprintln(os.Stderr, "fedtrip-tables:", err)
@@ -66,6 +78,8 @@ func main() {
 type runtimeSelection struct {
 	runtime, latency, policy, serverLR string
 	concurrency, buffer                int
+	devices, churn                     string
+	adaptiveSteps                      bool
 }
 
 func (s runtimeSelection) apply(p *experiments.Profile) error {
@@ -94,6 +108,19 @@ func (s runtimeSelection) apply(p *experiments.Profile) error {
 		}
 		p.ServerLR = s.serverLR
 	}
+	if s.devices != "" {
+		if _, err := core.ParseDeviceDist(s.devices); err != nil {
+			return err
+		}
+		p.Devices = s.devices
+	}
+	if s.churn != "" {
+		if _, err := core.ParseChurn(s.churn); err != nil {
+			return err
+		}
+		p.Churn = s.churn
+	}
+	p.AdaptiveSteps = s.adaptiveSteps
 	p.Concurrency = s.concurrency
 	p.Buffer = s.buffer
 	return nil

@@ -17,6 +17,18 @@
 //	fedtrip -algo fedtrip -runtime async -latency exp:2 -policy fedasync:0.6 -rounds 60
 //	fedtrip -algo fedavg -runtime barrier -latency straggler:1,10,5 -rounds 30
 //
+// Device heterogeneity replaces the independent latency draw with
+// FLOP-coupled compute: -device-dist samples per-client speeds, each
+// dispatch's duration is its metered FLOPs over the device's
+// throughput, -local-steps-adaptive makes slow clients train
+// proportionally fewer steps, and -dropout adds availability churn
+// (Markov on/off plus mass-dropout events) with -policy ...+maxstale:N
+// as the admission cutoff:
+//
+//	fedtrip -algo fedtrip -runtime async -device-dist lognormal:0,0.6 \
+//	        -local-steps-adaptive -dropout markov:90,10 \
+//	        -policy fedbuff+maxstale:8 -rounds 60
+//
 // Population scale is set with -clients and the real parallelism (and
 // memory: one model-sized training engine per shard) with -shards; the
 // two are independent, so a 10k-client fleet runs on a laptop:
@@ -73,8 +85,12 @@ func main() {
 		conc      = flag.Int("concurrency", 0, "async: clients training simultaneously (0 = K)")
 		latSpec   = flag.String("latency", "zero", "async: client latency model (zero|const:D|uniform:MIN,MAX|exp:MEAN|lognormal:MU,SIGMA|straggler:F,S,E)")
 		staleExp  = flag.Float64("stale-exp", 0.5, "async: polynomial staleness discount exponent (0 = no discount)")
-		policy    = flag.String("policy", "", "aggregation policy: fedavg|fedbuff[:EXP]|fedasync[:ALPHA[,EXP]]|importance[:BETA[,EXP]] (default: fedavg sync, fedbuff async)")
+		policy    = flag.String("policy", "", "aggregation policy: fedavg|fedbuff[:EXP]|fedasync[:ALPHA[,EXP]]|importance[:BETA[,EXP]]|maxstale:MAX, compose a cutoff with +maxstale:MAX (default: fedavg sync, fedbuff async)")
 		serverLR  = flag.String("server-lr", "", "server learning-rate schedule on merge: const:ETA|invsqrt:ETA0|step:ETA0,G,E (default: full replacement)")
+		devDist   = flag.String("device-dist", "", "device compute-speed distribution (none|uniform:MIN,MAX|lognormal:MU,SIGMA|tiered[:S1,F1,...]); dispatch latency becomes metered FLOPs / (flop-rate * speed)")
+		flopRate  = flag.Float64("flop-rate", 0, "device mode: GFLOPs/s of a speed-1.0 device (0 = 1)")
+		dropout   = flag.String("dropout", "", "client availability churn (none|markov:UP,DOWN[+drop:AT,FRAC,DUR]...)")
+		adaptive  = flag.Bool("local-steps-adaptive", false, "device mode: scale each client's local step budget by its device speed")
 	)
 	flag.Parse()
 	if err := run(runOpts{
@@ -89,6 +105,8 @@ func main() {
 		buffer: *buffer, conc: *conc,
 		latSpec: *latSpec, staleExp: *staleExp,
 		policy: *policy, serverLR: *serverLR,
+		devDist: *devDist, flopRate: *flopRate,
+		dropout: *dropout, adaptive: *adaptive,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "fedtrip:", err)
 		os.Exit(1)
@@ -112,6 +130,9 @@ type runOpts struct {
 	latSpec                             string
 	staleExp                            float64
 	policy, serverLR                    string
+	devDist, dropout                    string
+	flopRate                            float64
+	adaptive                            bool
 }
 
 func run(o runOpts) error {
@@ -204,6 +225,28 @@ func run(o runOpts) error {
 		rspec.BufferSize = o.buffer
 		rspec.Discount = core.PolyDiscount(o.staleExp)
 	}
+	// Device fleet and churn: parsed unconditionally, attached so that
+	// RunSpec.Validate rejects conflicting combinations loudly (devices
+	// on sync, an independent -latency next to a device fleet, churn
+	// outside the buffered runtime, -local-steps-adaptive without a
+	// fleet).
+	dev, err := core.ParseDeviceDist(o.devDist)
+	if err != nil {
+		return err
+	}
+	rspec.Devices = dev
+	rspec.AdaptiveLocalSteps = o.adaptive
+	if o.flopRate != 0 {
+		// Attached whether or not a fleet is configured: a -flop-rate
+		// without -device-dist must hit Validate's rejection, not pass
+		// as a silent no-op.
+		rspec.FlopRate = o.flopRate * 1e9
+	}
+	churnModel, err := core.ParseChurn(o.dropout)
+	if err != nil {
+		return err
+	}
+	rspec.Churn = churnModel
 	if o.policy != "" {
 		pol, err := core.ParsePolicy(o.policy)
 		if err != nil {
@@ -226,8 +269,18 @@ func run(o runOpts) error {
 		fmt.Printf("fedtrip: %s on %s/%s, %s, %d-of-%d clients, %d rounds, policy %s\n",
 			algo.Name(), o.model, o.dataset, scheme, o.perRound, o.clients, o.rounds, rspec.Policy.Name())
 	default:
-		fmt.Printf("fedtrip: %s on %s/%s, %s, %s policy=%s buffer=%d conc=%d latency=%s, %d aggregations\n",
-			algo.Name(), o.model, o.dataset, scheme, rt, rspec.Policy.Name(), rspec.BufferSize, rspec.Concurrency, rspec.Latency, o.rounds)
+		pricing := fmt.Sprintf("latency=%s", rspec.Latency)
+		if rspec.Devices != nil {
+			pricing = fmt.Sprintf("devices=%s flop-rate=%gGF/s", rspec.Devices, rspec.FlopRate/1e9)
+			if rspec.AdaptiveLocalSteps {
+				pricing += " adaptive-steps"
+			}
+		}
+		if rspec.Churn != nil {
+			pricing += fmt.Sprintf(" dropout=%s", rspec.Churn)
+		}
+		fmt.Printf("fedtrip: %s on %s/%s, %s, %s policy=%s buffer=%d conc=%d %s, %d aggregations\n",
+			algo.Name(), o.model, o.dataset, scheme, rt, rspec.Policy.Name(), rspec.BufferSize, rspec.Concurrency, pricing, o.rounds)
 	}
 	res, err := core.Start(rspec)
 	if err != nil {
@@ -247,6 +300,9 @@ func run(o runOpts) error {
 	}
 	if n := len(res.SimTimeByRound); n > 0 {
 		fmt.Printf("  simulated time  %.1f s\n", res.SimTimeByRound[n-1])
+	}
+	if res.DroppedUpdates > 0 {
+		fmt.Printf("  dropped updates %d (in-flight work of permanently dropped clients)\n", res.DroppedUpdates)
 	}
 	if o.target > 0 {
 		if res.RoundsToTarget > 0 {

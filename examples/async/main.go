@@ -17,9 +17,18 @@
 // evaluator holding up at population scale.
 //
 //	go run ./examples/async
+//
+// -scenario churn runs the device-heterogeneity scenario instead: the
+// same 10k-client fleet with lognormal FLOP-coupled device speeds,
+// adaptive local steps, ~10% of clients offline at any time (Markov
+// churn), a mid-run mass-dropout event, and a max-staleness admission
+// cutoff absorbing the rejoin updates.
+//
+//	go run ./examples/async -scenario churn
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -34,6 +43,12 @@ import (
 )
 
 func main() {
+	scenario := flag.String("scenario", "", "\"\" = sync-vs-async comparison + 10k straggler fleet; \"churn\" = 10k-client device-heterogeneity/churn scenario")
+	flag.Parse()
+	if *scenario == "churn" {
+		churnScenario()
+		return
+	}
 	const (
 		clients   = 10
 		perClient = 60
@@ -205,6 +220,102 @@ func tenThousandClients() {
 	fmt.Printf("  final accuracy        %.4f (best %.4f)\n", res.FinalAccuracy, res.BestAccuracy)
 	fmt.Printf("  simulated time        %.1f s over %d aggregations\n", res.SimTimeByRound[len(res.SimTimeByRound)-1], res.Rounds)
 	fmt.Printf("  mean staleness (last) %.2f aggregations\n", res.MeanStalenessByRound[len(res.MeanStalenessByRound)-1])
+	fmt.Printf("  fleet coverage        %d distinct clients over %d dispatches\n", distinct, dispatches)
+	fmt.Printf("  train GFLOPs          %.2f\n", res.TotalGFLOPs())
+	fmt.Printf("  heap in use           %.0f MB (population + engines + data)\n", float64(mem.HeapInuse)/1e6)
+	fmt.Printf("  wall clock            %.1f s\n", time.Since(start).Seconds())
+}
+
+// churnScenario is the device-heterogeneity acceptance scenario: 10,000
+// clients whose dispatch latency is their metered FLOPs over a
+// lognormally distributed device speed (adaptive local steps shrink the
+// slow tail's rounds), with ~10% of the fleet offline at any moment
+// under Markov churn, a mass-dropout event killing 20% of devices for a
+// stretch mid-run, and a FedBuff+max-staleness policy admitting only
+// updates at most 16 aggregations stale. Runs in well under the CI
+// job's two-minute timeout.
+func churnScenario() {
+	const (
+		clients   = 10_000
+		perClient = 6
+		aggs      = 30
+		buffer    = 64
+		inflight  = 256
+	)
+	start := time.Now()
+	train, test, err := data.Generate(data.Spec{
+		Kind: data.KindMNIST, Train: clients * perClient, Test: 200, Seed: 71,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := partition.Partition(partition.IID(), train.Y,
+		train.Classes, clients, perClient, rand.New(rand.NewSource(72)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	algo, err := algos.New("fedtrip", algos.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := core.RunSpec{
+		Config: core.Config{
+			Model: nn.ModelSpec{
+				Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10, Scale: 0.5,
+			},
+			Train: train, Test: test, Parts: parts,
+			Rounds: aggs, ClientsPerRound: buffer,
+			// Batch 2 over 6 samples = 3 mini-batch steps per round, so
+			// the adaptive budget has room to shrink on the slow tail.
+			BatchSize: 2, LocalEpochs: 1,
+			LR: 0.01, Momentum: 0.9,
+			Algo: algo, Seed: 73,
+			EvalEvery: 10,
+		},
+		Runtime:     core.RuntimeAsync,
+		Concurrency: inflight,
+		BufferSize:  buffer,
+		// Heavy-tailed device speeds, FLOP-coupled: a 0.25x device takes
+		// 4x the virtual time of the median — unless adaptive steps cut
+		// its round short. The reference throughput is scaled to the toy
+		// model so a median device's round lasts a few virtual seconds
+		// (what a real CNN costs at phone-class GFLOP/s rates).
+		Devices:            core.LognormalDevices{Mu: 0, Sigma: 0.75},
+		FlopRate:           1e6,
+		AdaptiveLocalSteps: true,
+		// ~10% offline in steady state (90s up / 10s down — an outage
+		// spans tens of aggregations, far past the staleness cutoff, so
+		// rejoin uploads of clients that dropped mid-flight are
+		// admission-filtered, not just damped), plus a mass event: 20%
+		// of the fleet gone for 5 virtual seconds mid-run, rejoining
+		// before the end.
+		Churn: &core.ChurnModel{
+			MeanUp: 90, MeanDown: 10,
+			Drops: []core.MassDrop{{At: 5, Fraction: 0.2, Duration: 5}},
+		},
+		Policy: core.WithMaxStaleness(&core.FedBuffPolicy{}, 16),
+	}
+	a, err := core.NewAsyncServerSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("10k-client churn fleet: %d clients, %d in flight, buffer %d, %d aggregations\n",
+		clients, inflight, buffer, aggs)
+	fmt.Printf("  devices lognormal(0,0.75), adaptive steps, markov:90,10 churn + 20%% mass drop, maxstale:16\n")
+	res, err := a.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	distinct, dispatches := a.Participation()
+	runtime.GC()
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	defer runtime.KeepAlive(a)
+	fmt.Printf("  final accuracy        %.4f (best %.4f)\n", res.FinalAccuracy, res.BestAccuracy)
+	fmt.Printf("  simulated time        %.3f s over %d aggregations\n", res.SimTimeByRound[len(res.SimTimeByRound)-1], res.Rounds)
+	fmt.Printf("  mean staleness (last) %.2f aggregations\n", res.MeanStalenessByRound[len(res.MeanStalenessByRound)-1])
+	fmt.Printf("  dropped updates       %d (permanently dropped clients)\n", res.DroppedUpdates)
+	fmt.Printf("  offline right now     %d of %d clients\n", a.Offline(), clients)
 	fmt.Printf("  fleet coverage        %d distinct clients over %d dispatches\n", distinct, dispatches)
 	fmt.Printf("  train GFLOPs          %.2f\n", res.TotalGFLOPs())
 	fmt.Printf("  heap in use           %.0f MB (population + engines + data)\n", float64(mem.HeapInuse)/1e6)

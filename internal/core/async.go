@@ -130,6 +130,18 @@ type AsyncServer struct {
 	latRng *rand.Rand
 	now    float64
 	pop    *population
+	// Device-heterogeneity state (nil / unused without RunSpec.Devices):
+	// per-client compute-speed multipliers, per-client adaptive local
+	// step budgets (nil when AdaptiveLocalSteps is off), and the
+	// reference device throughput in FLOPs per virtual second.
+	devSpeed []float64
+	devSteps []int
+	flopRate float64
+	// churn is the fleet availability process (nil without RunSpec.Churn).
+	churn *churn
+	// joinScratch gathers the jobs a device-mode dispatch burst submitted
+	// before they are joined in dispatch order (event-loop scratch).
+	joinScratch []*trainJob
 }
 
 // NewAsyncServer validates the legacy configuration and builds the
@@ -142,6 +154,20 @@ func NewAsyncServer(cfg AsyncConfig) (*AsyncServer, error) {
 	return newAsyncServer(sp)
 }
 
+// NewAsyncServerSpec validates a RunSpec and builds its async runtime —
+// Start's async path for callers that want the server handle (fleet
+// statistics: Participation, Offline, DeviceSpeeds) around the run. The
+// spec's runtime must be async or barrier.
+func NewAsyncServerSpec(sp RunSpec) (*AsyncServer, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if sp.Runtime == RuntimeSync {
+		return nil, fmt.Errorf("core: NewAsyncServerSpec wants the async or barrier runtime, got %q", sp.Runtime)
+	}
+	return newAsyncServer(sp)
+}
+
 // newAsyncServer builds the runtime from a validated spec (policy
 // resolved, defaults filled).
 func newAsyncServer(sp RunSpec) (*AsyncServer, error) {
@@ -150,7 +176,7 @@ func newAsyncServer(sp RunSpec) (*AsyncServer, error) {
 		return nil, err
 	}
 	s.policy = sp.Policy
-	return &AsyncServer{
+	a := &AsyncServer{
 		s:    s,
 		spec: sp,
 		// A dedicated latency source keeps the selection stream
@@ -158,7 +184,55 @@ func newAsyncServer(sp RunSpec) (*AsyncServer, error) {
 		// barrier equivalence mode depends on.
 		latRng: rand.New(rand.NewSource(sp.Seed + 99991)),
 		pop:    newPopulation(len(s.clients), sp.Latency),
-	}, nil
+	}
+	if sp.Devices != nil {
+		a.devSpeed = sampleDeviceSpeeds(len(s.clients), sp.Devices, sp.Seed)
+		a.flopRate = sp.FlopRate
+		if sp.AdaptiveLocalSteps {
+			a.devSteps = make([]int, len(s.clients))
+			for id, c := range s.clients {
+				a.devSteps[id] = adaptiveSteps(a.devSpeed[id], len(c.Indices), sp.BatchSize, sp.LocalEpochs)
+			}
+		}
+	}
+	if sp.Churn != nil {
+		a.churn = newChurn(len(s.clients), sp.Churn, sp.Seed)
+	}
+	return a, nil
+}
+
+// adaptiveSteps is a device's per-round mini-batch step budget: the
+// round's full step count scaled by the client's speed, clamped to
+// [1, full]. A speed-1 device trains the full round, so the homogeneous
+// fleet reproduces the plain trajectory bit-for-bit.
+func adaptiveSteps(speed float64, samples, batch, epochs int) int {
+	full := epochs * ((samples + batch - 1) / batch)
+	steps := int(math.Round(speed * float64(full)))
+	if steps < 1 {
+		steps = 1
+	}
+	if steps > full {
+		steps = full
+	}
+	return steps
+}
+
+// deviceDuration prices one completed dispatch: the round's metered
+// FLOPs over the client's effective throughput.
+func (a *AsyncServer) deviceDuration(j *trainJob) float64 {
+	return float64(j.flops) / (a.flopRate * j.speed)
+}
+
+// armJob fills a job's device dispatch parameters (no-ops without a
+// device fleet).
+func (a *AsyncServer) armJob(j *trainJob, id int) {
+	if a.devSpeed == nil {
+		return
+	}
+	j.speed = a.devSpeed[id]
+	if a.devSteps != nil {
+		j.steps = a.devSteps[id]
+	}
 }
 
 // Server exposes the underlying synchronous server (global model, clients,
@@ -174,6 +248,19 @@ func (a *AsyncServer) Now() float64 { return a.now }
 func (a *AsyncServer) Participation() (distinct int, dispatches int64) {
 	return a.pop.participants()
 }
+
+// Offline reports how many clients are currently offline or permanently
+// dropped (0 without a churn process).
+func (a *AsyncServer) Offline() int {
+	if a.churn == nil {
+		return 0
+	}
+	return a.churn.offlineCount()
+}
+
+// DeviceSpeeds returns the fleet's sampled per-client compute-speed
+// multipliers (nil without a device distribution). Read-only.
+func (a *AsyncServer) DeviceSpeeds() []float64 { return a.devSpeed }
 
 // RunAsync executes the legacy async configuration through the unified
 // facade (equivalent to Start on the corresponding RunSpec).
@@ -218,8 +305,12 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 		for i, c := range selected {
 			j := jobs[i]
 			j.c, j.round, j.seq, j.global = c, t, i, s.global
-			j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, c.ID, a.latRng)
-			a.pop.dispatched(c.ID)
+			j.steps, j.speed = 0, 0
+			a.armJob(j, c.ID)
+			if a.devSpeed == nil {
+				j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, c.ID, a.latRng)
+			}
+			a.pop.dispatched(c.ID, j)
 			// All jobs read the same pre-aggregation global; no writer
 			// until every one of them has joined below.
 			sp.submit(j)
@@ -229,7 +320,12 @@ func (a *AsyncServer) runBarrier() (*Result, error) {
 		weights := s.growWeights(len(jobs))
 		for i, j := range jobs {
 			<-j.done
-			a.pop.arrived(j.c.ID)
+			if a.devSpeed != nil {
+				// Device-profiled fleet: the round time is the metered
+				// compute itself, not an independent latency draw.
+				j.finish = a.now + a.deviceDuration(j)
+			}
+			a.pop.arrived(j.c.ID, true)
 			if j.finish > roundEnd {
 				roundEnd = j.finish
 			}
@@ -290,42 +386,119 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 	seq := 0
 	aggs := 0
 
+	// Availability callbacks. A drop pulls the client out of the idle
+	// set and, when it is mid-flight, defers the arrival past the rejoin
+	// (the device pauses and uploads late — which is how updates stale
+	// enough for a MaxStalenessPolicy cutoff arise) or voids it entirely
+	// on a permanent drop. A rejoin makes an idle client dispatchable
+	// again; an in-flight one returns through its (deferred) arrival.
+	onDrop := func(id int, at, rejoinAt float64) {
+		a.pop.idle.remove(id)
+		j := a.pop.inflight[id]
+		if j == nil {
+			return
+		}
+		if math.IsInf(rejoinAt, 1) {
+			j.dropped = true
+			return
+		}
+		if j.finish > at {
+			j.finish = rejoinAt + (j.finish - at)
+			inflight.fix(j.heapIdx)
+		}
+	}
+	onRejoin := func(id int) {
+		if a.pop.inflight[id] == nil {
+			a.pop.idle.add(id)
+		}
+	}
+
 	dispatch := func() {
-		for inflight.len() < a.spec.Concurrency {
+		pending := a.joinScratch[:0]
+		for inflight.len()+len(pending) < a.spec.Concurrency {
 			id, ok := a.pickAvailable()
 			if !ok {
 				break
 			}
 			j := &trainJob{c: s.clients[id], round: aggs + 1, seq: seq, done: make(chan struct{}, 1)}
 			seq++
-			j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, id, a.latRng)
+			a.armJob(j, id)
 			// Snapshot: the global model mutates under in-flight jobs. The
 			// buffer comes from the pool and goes back on arrival, so
 			// steady-state dispatch is |w|-allocation-free.
 			j.global = paramsPool.getCopy(s.global)
-			a.pop.dispatched(id)
+			a.pop.dispatched(id, j)
 			sp.submit(j)
+			if a.devSpeed == nil {
+				j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, id, a.latRng)
+				inflight.push(j)
+				continue
+			}
+			// Device-profiled fleet: the arrival time derives from the
+			// round's metered FLOPs, which exist only once training ran.
+			// Submit the whole burst first — the shards train it in
+			// parallel — then join in dispatch order below.
+			pending = append(pending, j)
+		}
+		for _, j := range pending {
+			<-j.done
+			j.trained = true
+			j.finish = a.now + a.deviceDuration(j)
 			inflight.push(j)
 		}
+		a.joinScratch = pending[:0]
 	}
 
 	for aggs < cfg.Rounds {
+		// Availability first: every drop/rejoin up to the current clock
+		// must land before this instant's dispatch decisions.
+		if a.churn != nil {
+			a.churn.advance(a.now, onDrop, onRejoin)
+		}
 		dispatch()
-		j := inflight.pop()
+		j := inflight.peek()
+		if a.churn != nil {
+			// The next event is the earlier of the next arrival and the
+			// next availability change; an exact tie processes the
+			// availability change first. (A drop tied with an arrival
+			// does not defer it — onDrop only defers jobs with
+			// finish > drop time, so an update that is already due
+			// merges before its client goes dark.)
+			if at, ok := a.churn.next(); ok && (j == nil || at <= j.finish) {
+				if at > a.now {
+					a.now = at
+				}
+				continue
+			}
+		}
 		if j == nil {
 			rec.finalize()
-			return res, fmt.Errorf("core: async runtime stalled with no clients in flight")
+			return res, fmt.Errorf("core: async runtime stalled: no client in flight and none dispatchable (offline clients with no rejoin scheduled cannot return)")
 		}
+		inflight.pop()
 		if j.finish > a.now {
 			a.now = j.finish
 		}
-		<-j.done
-		a.pop.arrived(j.c.ID)
+		if !j.trained {
+			<-j.done
+		}
+		a.pop.arrived(j.c.ID, a.churn == nil || a.churn.online(j.c.ID))
 		flopsTotal += j.flops
 		// Training is over for this job; its global snapshot has been
 		// consumed and can serve the next dispatch.
 		paramsPool.put(j.global)
 		j.global = nil
+		if j.dropped {
+			// The device died mid-flight: the update is lost. Its FLOPs
+			// stay metered (the work was burned before the drop); the
+			// pooled upload buffer goes straight back.
+			if j.update.pooled {
+				paramsPool.put(j.update.Params)
+			}
+			j.update = Update{}
+			res.DroppedUpdates++
+			continue
+		}
 		buffer = append(buffer, j)
 		if !a.s.policy.ReadyToMerge(len(buffer)) {
 			continue

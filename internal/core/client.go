@@ -192,15 +192,39 @@ func (c *Client) ScratchModels() (*nn.Model, *nn.Model) {
 	return c.engine().scratch()
 }
 
+// Scalar names under which the runtime surfaces device-heterogeneity
+// context to algorithms (the same per-method scalar hook surface FedTrip
+// uses for xi): the client's compute-speed multiplier and, when adaptive
+// local steps are enabled, this round's mini-batch step budget. Both are
+// set before BeginRound, so a method can read them from any hook.
+const (
+	ScalarDeviceSpeed = "device.speed"
+	ScalarDeviceSteps = "device.steps"
+)
+
 // LocalTrain runs one participating round: load the global model, run E
 // local epochs of mini-batch SGD with the method's hooks, update the
 // historical model, and return the upload.
 func (c *Client) LocalTrain(round int, global []float64) Update {
+	return c.LocalTrainSteps(round, global, 0)
+}
+
+// LocalTrainSteps is LocalTrain with a mini-batch step budget: maxSteps
+// caps the total steps across the round's local epochs (0 = no cap).
+// The device-heterogeneity runtime uses it to make a slow client train
+// proportionally fewer steps before its (deadline-style) upload; the
+// budget is surfaced to algorithms as the ScalarDeviceSteps scalar. A
+// budget equal to the round's full step count draws and trains exactly
+// like LocalTrain.
+func (c *Client) LocalTrainSteps(round int, global []float64, maxSteps int) Update {
 	cfg := c.cfg
 	algo := cfg.Algo
 	e := c.engine()
 	e.model.SetParams(global)
 	e.opt.Reset()
+	if maxSteps > 0 {
+		c.SetScalar(ScalarDeviceSteps, float64(maxSteps))
+	}
 	algo.BeginRound(c, round, global)
 	fg, hasFG := algo.(FeatureGradder)
 	lg, hasLG := algo.(LogitGradder)
@@ -213,10 +237,17 @@ func (c *Client) LocalTrain(round int, global []float64) Update {
 		e.idx = make([]int, 0, cfg.BatchSize)
 	}
 	idx := e.idx[:0]
+	steps := 0
 	for ep := 0; ep < cfg.LocalEpochs; ep++ {
+		if maxSteps > 0 && steps >= maxSteps {
+			break
+		}
 		perm := randPermInto(rng, e.perm, n)
 		e.perm = perm
 		for start := 0; start < n; start += cfg.BatchSize {
+			if maxSteps > 0 && steps >= maxSteps {
+				break
+			}
 			end := start + cfg.BatchSize
 			if end > n {
 				end = n
@@ -252,6 +283,7 @@ func (c *Client) LocalTrain(round int, global []float64) Update {
 				clipToNorm(e.model.Grads(), cfg.ClipNorm)
 			}
 			e.opt.Step(e.model.Params(), e.model.Grads())
+			steps++
 		}
 	}
 	algo.EndRound(c, round)

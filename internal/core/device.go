@@ -1,0 +1,510 @@
+// Device heterogeneity: per-client compute profiles and availability.
+//
+// The async runtime's latency models (latency.go) price each dispatch
+// with a duration drawn from a distribution that is *independent* of the
+// work the client actually does. Real edge fleets are the opposite: a
+// device's round time is its compute — FLOPs executed divided by the
+// silicon's throughput — and devices come and go. This file supplies
+// both missing dimensions:
+//
+//   - A DeviceDistribution samples one compute-speed multiplier per
+//     client at fleet construction (uniform, lognormal, or tiered
+//     edge/mobile/server populations). With a device fleet configured,
+//     a dispatch's virtual duration derives from the client's *metered*
+//     FLOPs for that round — flops / (FlopRate * speed) — instead of an
+//     independent latency draw, so compute heterogeneity and the FLOP
+//     accounting of the paper's resource tables stay coupled. With
+//     RunSpec.AdaptiveLocalSteps, a 0.25x-speed client also trains
+//     proportionally fewer local mini-batch steps (deadline-style
+//     partial work), surfaced to algorithms through the client scalar
+//     hook surface ("device.speed", "device.steps").
+//
+//   - A ChurnModel makes clients drop out and rejoin: a per-client
+//     on/off Markov process (exponential up/down durations) plus a
+//     mass-dropout event injector (a fraction of the fleet lost at a
+//     scheduled virtual time, temporarily or permanently). Offline
+//     clients leave the population registry's idle set, so the
+//     dispatcher never picks them; a client that drops mid-flight pauses
+//     — its arrival is deferred past the rejoin, which is how genuinely
+//     stale updates (the MaxStalenessPolicy regime) arise. Permanently
+//     dropped clients lose their in-flight update entirely.
+//
+// Both processes draw from dedicated seed streams (deviceSeedOffset,
+// churnSeedOffset), so enabling them never perturbs the selection or
+// latency streams — and a zero-heterogeneity fleet with no churn
+// reproduces the plain async trajectory bit-for-bit (pinned by
+// TestDeviceUniformFleetMatchesConstLatency).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// deviceSeedOffset and churnSeedOffset separate the device-sampling and
+// churn streams from every other seed stream in the runtime (selection:
+// cfg.Seed, clients: +1000+k, engines: +500000, latency: +99991).
+const (
+	deviceSeedOffset = 700_000
+	churnSeedOffset  = 800_000
+)
+
+// Speed multipliers are clamped into [minDeviceSpeed, maxDeviceSpeed] at
+// sampling time: a heavy-tailed distribution must not mint a client whose
+// flop-derived round time is effectively infinite (or zero).
+const (
+	minDeviceSpeed = 1.0 / 32
+	maxDeviceSpeed = 32.0
+)
+
+// DeviceDistribution samples per-client compute-speed multipliers
+// (1.0 = the reference device that executes RunSpec.FlopRate FLOPs per
+// simulated second). SampleSpeed must draw all randomness from the
+// supplied rng; the runtime samples every client once at construction
+// from a dedicated seed stream, in client-ID order.
+type DeviceDistribution interface {
+	SampleSpeed(clientID int, rng *rand.Rand) float64
+	String() string
+}
+
+// UniformDevices draws speeds uniformly from [Min, Max]. uniform:1,1 is
+// the homogeneous reference fleet.
+type UniformDevices struct{ Min, Max float64 }
+
+func (d UniformDevices) SampleSpeed(_ int, rng *rand.Rand) float64 {
+	return d.Min + rng.Float64()*(d.Max-d.Min)
+}
+func (d UniformDevices) String() string { return fmt.Sprintf("uniform:%g,%g", d.Min, d.Max) }
+
+// LognormalDevices draws exp(Mu + Sigma*N(0,1)) — the heavy-tailed
+// device-speed spread observed in production fleets, where a small
+// fraction of devices is dramatically slower.
+type LognormalDevices struct{ Mu, Sigma float64 }
+
+func (d LognormalDevices) SampleSpeed(_ int, rng *rand.Rand) float64 {
+	return math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+}
+func (d LognormalDevices) String() string { return fmt.Sprintf("lognormal:%g,%g", d.Mu, d.Sigma) }
+
+// DeviceTier is one slice of a TieredDevices fleet: Frac of the clients
+// run at Speed.
+type DeviceTier struct{ Speed, Frac float64 }
+
+// TieredDevices assigns each client to a named speed tier by fraction —
+// the classic edge/mobile/server split. Fractions are normalized at
+// sampling time.
+type TieredDevices struct{ Tiers []DeviceTier }
+
+// DefaultTiers is the canonical three-tier fleet: 30% edge devices at
+// 0.25x, 60% mobile at 1x, 10% server-class at 4x.
+func DefaultTiers() TieredDevices {
+	return TieredDevices{Tiers: []DeviceTier{{0.25, 0.3}, {1, 0.6}, {4, 0.1}}}
+}
+
+func (d TieredDevices) SampleSpeed(_ int, rng *rand.Rand) float64 {
+	var total float64
+	for _, t := range d.Tiers {
+		total += t.Frac
+	}
+	u := rng.Float64() * total
+	for _, t := range d.Tiers {
+		u -= t.Frac
+		if u < 0 {
+			return t.Speed
+		}
+	}
+	return d.Tiers[len(d.Tiers)-1].Speed
+}
+
+func (d TieredDevices) String() string {
+	s := "tiered"
+	for i, t := range d.Tiers {
+		if i == 0 {
+			s += ":"
+		} else {
+			s += ","
+		}
+		s += fmt.Sprintf("%g,%g", t.Speed, t.Frac)
+	}
+	return s
+}
+
+// ParseDeviceDist parses a CLI device-distribution spec:
+//
+//	none                 homogeneous fleet (no device profiles)
+//	uniform:MIN,MAX      speed uniform in [MIN, MAX]
+//	lognormal:MU,SIGMA   speed = exp(MU + SIGMA*N(0,1))
+//	tiered               the default 0.25x/1x/4x edge/mobile/server fleet
+//	tiered:S1,F1,S2,F2,...  custom tiers (speed, fraction pairs)
+func ParseDeviceDist(spec string) (DeviceDistribution, error) {
+	name, args, err := parseSpec(spec, "device-dist")
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "", "none":
+		if len(args) != 0 {
+			return nil, fmt.Errorf("core: device-dist %q takes no args", name)
+		}
+		return nil, nil
+	case "uniform":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("core: device-dist uniform wants 2 args, got %d", len(args))
+		}
+		if args[0] <= 0 || args[1] < args[0] {
+			return nil, fmt.Errorf("core: uniform device speeds want 0 < min <= max, got [%g,%g]", args[0], args[1])
+		}
+		return UniformDevices{Min: args[0], Max: args[1]}, nil
+	case "lognormal":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("core: device-dist lognormal wants 2 args, got %d", len(args))
+		}
+		if args[1] < 0 {
+			return nil, fmt.Errorf("core: lognormal device sigma %g must be >= 0", args[1])
+		}
+		return LognormalDevices{Mu: args[0], Sigma: args[1]}, nil
+	case "tiered":
+		if len(args) == 0 {
+			return DefaultTiers(), nil
+		}
+		if len(args)%2 != 0 {
+			return nil, fmt.Errorf("core: tiered device-dist wants speed,fraction pairs, got %d args", len(args))
+		}
+		d := TieredDevices{}
+		for i := 0; i < len(args); i += 2 {
+			if args[i] <= 0 || args[i+1] <= 0 {
+				return nil, fmt.Errorf("core: tiered device-dist wants positive speeds and fractions, got %g,%g", args[i], args[i+1])
+			}
+			d.Tiers = append(d.Tiers, DeviceTier{Speed: args[i], Frac: args[i+1]})
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("core: unknown device distribution %q (none|uniform|lognormal|tiered)", name)
+}
+
+// sampleDeviceSpeeds resolves the fleet's per-client speed multipliers
+// from a dedicated seed stream, clamped into the representable range.
+func sampleDeviceSpeeds(n int, dist DeviceDistribution, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed + deviceSeedOffset))
+	speeds := make([]float64, n)
+	for id := 0; id < n; id++ {
+		s := dist.SampleSpeed(id, rng)
+		if s < minDeviceSpeed {
+			s = minDeviceSpeed
+		}
+		if s > maxDeviceSpeed {
+			s = maxDeviceSpeed
+		}
+		speeds[id] = s
+	}
+	return speeds
+}
+
+// MassDrop is one injected mass-dropout event: at virtual time At, each
+// online-or-offline (but not yet dead) client independently drops with
+// probability Fraction. Duration > 0 schedules the rejoin; Duration <= 0
+// kills the affected clients for the rest of the run (their in-flight
+// updates are lost).
+type MassDrop struct {
+	At, Fraction, Duration float64
+}
+
+// ChurnModel describes the fleet's availability process: a per-client
+// on/off Markov chain (exponential up/down durations) plus scheduled
+// mass-dropout events. The zero value is invalid; a nil *ChurnModel on
+// the RunSpec means a fully available fleet.
+type ChurnModel struct {
+	// MeanUp and MeanDown are the exponential means of the on and off
+	// phases in simulated seconds. Both zero disables the Markov chain
+	// (mass-dropout events only); otherwise both must be positive. The
+	// steady-state offline fraction is MeanDown / (MeanUp + MeanDown).
+	MeanUp, MeanDown float64
+	// Drops are the injected mass-dropout events, in any order.
+	Drops []MassDrop
+}
+
+// Validate checks the churn parameters.
+func (m *ChurnModel) Validate() error {
+	if (m.MeanUp <= 0) != (m.MeanDown <= 0) {
+		return fmt.Errorf("core: churn wants both MeanUp and MeanDown positive (or both zero), got %g/%g", m.MeanUp, m.MeanDown)
+	}
+	if m.MeanUp <= 0 && len(m.Drops) == 0 {
+		return fmt.Errorf("core: churn model with neither a Markov process nor mass-dropout events")
+	}
+	for _, d := range m.Drops {
+		if d.At < 0 || d.Fraction <= 0 || d.Fraction > 1 {
+			return fmt.Errorf("core: mass drop wants at >= 0 and 0 < fraction <= 1, got %+v", d)
+		}
+	}
+	return nil
+}
+
+// String renders the model in ParseChurn's grammar.
+func (m *ChurnModel) String() string {
+	s := "none"
+	if m.MeanUp > 0 {
+		s = fmt.Sprintf("markov:%g,%g", m.MeanUp, m.MeanDown)
+	}
+	for _, d := range m.Drops {
+		if s == "none" {
+			s = ""
+		} else {
+			s += "+"
+		}
+		s += fmt.Sprintf("drop:%g,%g,%g", d.At, d.Fraction, d.Duration)
+	}
+	return s
+}
+
+// ParseChurn parses a CLI churn spec: "+"-separated segments of
+//
+//	none                   no churn (nil model)
+//	markov:UP,DOWN         per-client on/off chain with exponential
+//	                       mean up/down durations (seconds)
+//	drop:AT,FRAC,DUR       mass dropout: at time AT, fraction FRAC of
+//	                       the fleet drops for DUR seconds (DUR <= 0 =
+//	                       permanently)
+//
+// e.g. "markov:90,10" or "markov:90,10+drop:60,0.3,30".
+func ParseChurn(spec string) (*ChurnModel, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	m := &ChurnModel{}
+	for _, seg := range strings.Split(spec, "+") {
+		name, args, err := parseSpec(seg, "dropout")
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "markov":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("core: dropout markov wants 2 args, got %d", len(args))
+			}
+			if m.MeanUp > 0 {
+				return nil, fmt.Errorf("core: dropout spec %q repeats markov", spec)
+			}
+			m.MeanUp, m.MeanDown = args[0], args[1]
+		case "drop":
+			if len(args) != 3 {
+				return nil, fmt.Errorf("core: dropout drop wants 3 args (at,fraction,duration), got %d", len(args))
+			}
+			m.Drops = append(m.Drops, MassDrop{At: args[0], Fraction: args[1], Duration: args[2]})
+		default:
+			return nil, fmt.Errorf("core: unknown dropout segment %q (markov:UP,DOWN|drop:AT,FRAC,DUR)", name)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// churnEventKind discriminates the availability event queue.
+type churnEventKind uint8
+
+const (
+	churnDrop   churnEventKind = iota // one client goes offline
+	churnRejoin                       // one client comes back online
+	churnMass                         // a scheduled MassDrop fires (id = Drops index)
+)
+
+// churnEvent is one entry of the availability event queue, ordered by
+// (at, seq) — seq is the scheduling order, which makes replays
+// deterministic even under simultaneous events.
+type churnEvent struct {
+	at   float64
+	seq  int64
+	id   int32
+	gen  int32
+	kind churnEventKind
+}
+
+// churnHeap is a plain binary min-heap of churn events (push/pop only —
+// events are invalidated lazily via the per-client generation counter,
+// never removed in place).
+type churnHeap struct{ es []churnEvent }
+
+func churnLess(a, b churnEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *churnHeap) len() int { return len(h.es) }
+
+func (h *churnHeap) push(e churnEvent) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !churnLess(h.es[i], h.es[parent]) {
+			break
+		}
+		h.es[i], h.es[parent] = h.es[parent], h.es[i]
+		i = parent
+	}
+}
+
+func (h *churnHeap) pop() churnEvent {
+	e := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.es) && churnLess(h.es[l], h.es[smallest]) {
+			smallest = l
+		}
+		if r < len(h.es) && churnLess(h.es[r], h.es[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return e
+		}
+		h.es[i], h.es[smallest] = h.es[smallest], h.es[i]
+		i = smallest
+	}
+}
+
+// churn is the runtime state of one fleet's availability process. All
+// mutation happens on the event loop; there is no locking. Events that a
+// later state change made moot (a mass drop killing a client whose
+// Markov rejoin was already queued) are invalidated lazily: every
+// scheduled event carries the client's generation at scheduling time and
+// is discarded on pop if the generation has moved on.
+type churn struct {
+	model   ChurnModel
+	rng     *rand.Rand
+	offline []bool
+	dead    []bool
+	gen     []int32
+	h       churnHeap
+	seq     int64
+	// nOffline tracks the current offline+dead population for cheap
+	// fleet statistics.
+	nOffline int
+}
+
+// newChurn builds the availability process: every client starts online,
+// with its first Markov drop (if the chain is enabled) and every mass
+// drop pre-scheduled.
+func newChurn(n int, m *ChurnModel, seed int64) *churn {
+	c := &churn{
+		model:   *m,
+		rng:     rand.New(rand.NewSource(seed + churnSeedOffset)),
+		offline: make([]bool, n),
+		dead:    make([]bool, n),
+		gen:     make([]int32, n),
+	}
+	if m.MeanUp > 0 {
+		for id := 0; id < n; id++ {
+			c.schedule(c.rng.ExpFloat64()*m.MeanUp, int32(id), churnDrop)
+		}
+	}
+	for i, d := range m.Drops {
+		c.schedule(d.At, int32(i), churnMass)
+	}
+	return c
+}
+
+func (c *churn) schedule(at float64, id int32, kind churnEventKind) {
+	var gen int32
+	if kind != churnMass {
+		gen = c.gen[id]
+	}
+	c.h.push(churnEvent{at: at, seq: c.seq, id: id, gen: gen, kind: kind})
+	c.seq++
+}
+
+// online reports whether the client is currently dispatchable.
+func (c *churn) online(id int) bool { return !c.offline[id] && !c.dead[id] }
+
+// offlineCount returns how many clients are currently offline or dead.
+func (c *churn) offlineCount() int { return c.nOffline }
+
+// next returns the virtual time of the earliest pending availability
+// event, or false when the process has run dry (no future drops or
+// rejoins — a fully dead fleet stays dead).
+func (c *churn) next() (float64, bool) {
+	if c.h.len() == 0 {
+		return 0, false
+	}
+	return c.h.es[0].at, true
+}
+
+// advance processes every availability event with time <= now, in event
+// order. onDrop(id, at, rejoinAt) fires when a client goes offline
+// (rejoinAt = +Inf for a permanent drop); onRejoin(id) when it returns.
+// The callbacks run with the churn state already updated.
+func (c *churn) advance(now float64, onDrop func(id int, at, rejoinAt float64), onRejoin func(id int)) {
+	for c.h.len() > 0 && c.h.es[0].at <= now {
+		e := c.h.pop()
+		switch e.kind {
+		case churnDrop:
+			id := int(e.id)
+			if c.dead[id] || c.offline[id] || e.gen != c.gen[id] {
+				continue
+			}
+			rejoin := e.at + c.rng.ExpFloat64()*c.model.MeanDown
+			c.setOffline(id)
+			c.schedule(rejoin, e.id, churnRejoin)
+			onDrop(id, e.at, rejoin)
+		case churnRejoin:
+			id := int(e.id)
+			if c.dead[id] || !c.offline[id] || e.gen != c.gen[id] {
+				continue
+			}
+			c.setOnline(id)
+			if c.model.MeanUp > 0 {
+				c.schedule(e.at+c.rng.ExpFloat64()*c.model.MeanUp, e.id, churnDrop)
+			}
+			onRejoin(id)
+		case churnMass:
+			d := c.model.Drops[e.id]
+			// Every client draws, independent of its current state, so
+			// the draw count (and everything downstream of this rng)
+			// depends only on the fleet size.
+			for id := range c.offline {
+				hit := c.rng.Float64() < d.Fraction
+				if !hit || c.dead[id] {
+					continue
+				}
+				if d.Duration <= 0 {
+					wasOffline := c.offline[id]
+					c.dead[id] = true
+					c.gen[id]++ // cancel any queued rejoin
+					if !wasOffline {
+						c.nOffline++
+					}
+					onDrop(id, e.at, math.Inf(1))
+					continue
+				}
+				if c.offline[id] {
+					// Already down (Markov): its own rejoin stands.
+					continue
+				}
+				c.setOffline(id)
+				c.schedule(e.at+d.Duration, int32(id), churnRejoin)
+				onDrop(id, e.at, e.at+d.Duration)
+			}
+		}
+	}
+}
+
+func (c *churn) setOffline(id int) {
+	c.offline[id] = true
+	c.gen[id]++
+	c.nOffline++
+}
+
+func (c *churn) setOnline(id int) {
+	c.offline[id] = false
+	c.gen[id]++
+	c.nOffline--
+}

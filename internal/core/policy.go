@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 )
 
 // AggregationPolicy owns the server's merge decisions: *when* buffered
@@ -175,6 +177,55 @@ func (p *ImportancePolicy) defaultDiscount(d func(int) float64, force bool) {
 	}
 }
 
+// MaxStalenessPolicy is a hard staleness admission cutoff decorating any
+// policy (promoted from the README's custom-policy example, where it
+// lived as ~20 user lines): an update whose Staleness exceeds MaxStale
+// weighs 0 at aggregation — it contributes nothing, and a buffer of
+// nothing but cutoff updates merges as a no-op (the weighted-average
+// guard, not a NaN). The pooled upload buffer is recycled either way.
+// It is the admission control a churning fleet needs: a client that
+// drops mid-flight and rejoins much later arrives with an update many
+// aggregations stale, which a polynomial discount only dampens.
+type MaxStalenessPolicy struct {
+	// AggregationPolicy is the decorated policy (nil = the runtime's
+	// default policy at Validate time).
+	AggregationPolicy
+	// MaxStale is the largest admissible staleness (inclusive).
+	MaxStale int
+}
+
+// WithMaxStaleness wraps a policy (nil = the runtime's default policy)
+// with a hard staleness cutoff.
+func WithMaxStaleness(p AggregationPolicy, maxStale int) AggregationPolicy {
+	return &MaxStalenessPolicy{AggregationPolicy: p, MaxStale: maxStale}
+}
+
+func (p *MaxStalenessPolicy) Name() string {
+	if p.AggregationPolicy == nil {
+		return "+maxstale"
+	}
+	return p.AggregationPolicy.Name() + "+maxstale"
+}
+
+func (p *MaxStalenessPolicy) Weight(u Update) float64 {
+	if u.Staleness > p.MaxStale {
+		return 0
+	}
+	return p.AggregationPolicy.Weight(u)
+}
+
+func (p *MaxStalenessPolicy) defaultBuffer(k int) {
+	if bs, ok := p.AggregationPolicy.(bufferSizer); ok {
+		bs.defaultBuffer(k)
+	}
+}
+
+func (p *MaxStalenessPolicy) defaultDiscount(d func(int) float64, force bool) {
+	if dc, ok := p.AggregationPolicy.(discounter); ok {
+		dc.defaultDiscount(d, force)
+	}
+}
+
 // ScheduledLR decorates a policy with a server learning-rate schedule:
 // the merged delta is scaled by Schedule(t) on aggregation t, on top of
 // whatever rate the inner policy reports. A nil inner policy is filled
@@ -282,11 +333,28 @@ func ParseLRSchedule(spec string) (func(t int) float64, error) {
 //	                     (no EXP: the runtime's discount chain applies)
 //	fedasync[:ALPHA[,EXP]]  single-arrival mixing at rate ALPHA (0.6)
 //	importance[:BETA[,EXP]] loss-weighted buffer, smoothing BETA (0.1)
+//	maxstale:MAX         hard staleness cutoff (weight 0 past MAX) on
+//	                     the runtime's default policy
 //
-// Merge thresholds (K) default from RunSpec.BufferSize at Validate time.
-// Compose a server learning-rate schedule with WithServerLR /
-// ParseLRSchedule.
+// A trailing "+maxstale:MAX" composes the cutoff onto any other spec
+// (e.g. "fedbuff:0.5+maxstale:8"). Merge thresholds (K) default from
+// RunSpec.BufferSize at Validate time. Compose a server learning-rate
+// schedule with WithServerLR / ParseLRSchedule.
 func ParsePolicy(spec string) (AggregationPolicy, error) {
+	if base, cutoff, found := strings.Cut(spec, "+maxstale:"); found {
+		max, err := strconv.Atoi(strings.TrimSpace(cutoff))
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("core: maxstale cutoff %q must be a nonnegative integer", cutoff)
+		}
+		var inner AggregationPolicy
+		if base != "" {
+			inner, err = ParsePolicy(base)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return WithMaxStaleness(inner, max), nil
+	}
 	name, args, err := parseSpec(spec, "policy")
 	if err != nil {
 		return nil, err
@@ -309,6 +377,11 @@ func ParsePolicy(spec string) (AggregationPolicy, error) {
 		return PolyDiscount(args[i]), nil
 	}
 	switch name {
+	case "maxstale":
+		if len(args) != 1 || args[0] < 0 || args[0] != math.Trunc(args[0]) {
+			return nil, fmt.Errorf("core: policy maxstale wants one nonnegative integer cutoff, got %v", args)
+		}
+		return WithMaxStaleness(nil, int(args[0])), nil
 	case "fedavg":
 		if err := atMost(0); err != nil {
 			return nil, err
@@ -356,5 +429,5 @@ func ParsePolicy(spec string) (AggregationPolicy, error) {
 		}
 		return &ImportancePolicy{Beta: beta, Discount: d}, nil
 	}
-	return nil, fmt.Errorf("core: unknown aggregation policy %q (fedavg|fedbuff|fedasync|importance)", name)
+	return nil, fmt.Errorf("core: unknown aggregation policy %q (fedavg|fedbuff|fedasync|importance|maxstale)", name)
 }

@@ -22,12 +22,17 @@ type population struct {
 	// because an in-flight update's dispatch round must survive the
 	// client being re-dispatched before the update merges.
 	dispatches []int32
+	// inflight[k] is the job client k is currently out on (nil when the
+	// client is idle or offline). The churn process uses it to defer or
+	// void an in-flight arrival when its client drops.
+	inflight []*trainJob
 }
 
 func newPopulation(n int, lat LatencyModel) *population {
 	p := &population{
 		idle:       newIdleSet(n),
 		dispatches: make([]int32, n),
+		inflight:   make([]*trainJob, n),
 	}
 	if pcl, ok := lat.(PerClientLatency); ok {
 		p.jitter = pcl
@@ -49,15 +54,23 @@ func (p *population) sampleLatency(lat LatencyModel, id int, rng *rand.Rand) flo
 	return lat.Sample(id, rng)
 }
 
-// dispatched records that client id was sent out and removes it from the
-// idle set.
-func (p *population) dispatched(id int) {
+// dispatched records that client id was sent out on job j and removes it
+// from the idle set.
+func (p *population) dispatched(id int, j *trainJob) {
 	p.idle.remove(id)
 	p.dispatches[id]++
+	p.inflight[id] = j
 }
 
-// arrived returns client id to the idle set.
-func (p *population) arrived(id int) { p.idle.add(id) }
+// arrived clears client id's in-flight job and, when the client is still
+// online, returns it to the idle set (an offline client rejoins the idle
+// set at its rejoin event instead).
+func (p *population) arrived(id int, online bool) {
+	p.inflight[id] = nil
+	if online {
+		p.idle.add(id)
+	}
+}
 
 // participants returns how many distinct clients have been dispatched at
 // least once, and the total number of dispatches.

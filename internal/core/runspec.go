@@ -62,6 +62,29 @@ type RunSpec struct {
 	// RuntimeSync, FedBuffPolicy otherwise. An Algorithm's Aggregator
 	// override still wins over any policy.
 	Policy AggregationPolicy
+	// Devices samples one compute-speed multiplier per client (device.go)
+	// for the async and barrier runtimes. With a fleet configured, each
+	// dispatch's virtual duration derives from the round's *metered*
+	// FLOPs — flops / (FlopRate * speed) — so Latency must be left nil
+	// (or ZeroLatency): compute heterogeneity replaces the independent
+	// latency draw. nil = homogeneous fleet, Latency prices dispatches.
+	Devices DeviceDistribution
+	// FlopRate is the simulated throughput, in FLOPs per virtual second,
+	// of a speed-1.0 device (Devices runs only). 0 = 1e9 (1 GFLOP/s, an
+	// edge-class device).
+	FlopRate float64
+	// AdaptiveLocalSteps makes each client's local step budget scale
+	// with its device speed (deadline-style partial work): a 0.25x
+	// client runs a quarter of the round's mini-batch steps, never fewer
+	// than one, never more than the full count. Requires Devices. The
+	// budget reaches algorithms as the ScalarDeviceSteps client scalar.
+	AdaptiveLocalSteps bool
+	// Churn is the fleet's availability process (per-client on/off
+	// Markov churn plus mass-dropout events) for the buffered async
+	// runtime. Offline clients are never dispatched; clients that drop
+	// mid-flight arrive late (after rejoin) or, if permanently dropped,
+	// lose the update (Result.DroppedUpdates). nil = always available.
+	Churn *ChurnModel
 }
 
 // Validate checks the spec and fills every default in one place: the base
@@ -87,6 +110,9 @@ func (sp *RunSpec) Validate() error {
 				return fmt.Errorf("core: the sync runtime has no simulated clock; use the barrier runtime to price lock-step rounds under a latency model")
 			}
 		}
+		if sp.Devices != nil {
+			return fmt.Errorf("core: the sync runtime has no simulated clock; device profiles need the async or barrier runtime")
+		}
 		if sp.BufferSize == 0 {
 			sp.BufferSize = sp.ClientsPerRound
 		}
@@ -103,8 +129,37 @@ func (sp *RunSpec) Validate() error {
 		if sp.BufferSize < 1 {
 			return fmt.Errorf("core: async buffer size %d", sp.BufferSize)
 		}
+		if sp.Devices != nil {
+			if sp.Latency != nil {
+				if _, isZero := sp.Latency.(ZeroLatency); !isZero {
+					return fmt.Errorf("core: device profiles derive each dispatch's latency from its metered FLOPs; drop the %s latency model", sp.Latency)
+				}
+			}
+			if sp.FlopRate < 0 {
+				return fmt.Errorf("core: device flop rate %g must be positive", sp.FlopRate)
+			}
+			if sp.FlopRate == 0 {
+				sp.FlopRate = 1e9
+			}
+		}
 		if sp.Latency == nil {
 			sp.Latency = ZeroLatency{}
+		}
+	}
+	if sp.Devices == nil {
+		if sp.AdaptiveLocalSteps {
+			return fmt.Errorf("core: adaptive local steps scale with device speed; configure a device distribution")
+		}
+		if sp.FlopRate != 0 {
+			return fmt.Errorf("core: FlopRate prices device-profile dispatches; configure a device distribution")
+		}
+	}
+	if sp.Churn != nil {
+		if sp.Runtime != RuntimeAsync {
+			return fmt.Errorf("core: client churn needs the buffered async runtime (the lock-step loops have no dropout semantics)")
+		}
+		if err := sp.Churn.Validate(); err != nil {
+			return err
 		}
 	}
 	if sp.Runtime == RuntimeAsync {
@@ -148,6 +203,10 @@ func clonedForRun(p AggregationPolicy) AggregationPolicy {
 	case *ImportancePolicy:
 		cp := *p
 		return &cp
+	case *MaxStalenessPolicy:
+		cp := *p
+		cp.AggregationPolicy = clonedForRun(cp.AggregationPolicy)
+		return &cp
 	case *ScheduledLR:
 		cp := *p
 		cp.AggregationPolicy = clonedForRun(cp.AggregationPolicy)
@@ -168,18 +227,40 @@ func (sp *RunSpec) resolvePolicy() error {
 		}
 		return &FedBuffPolicy{}
 	}
-	sp.Policy = clonedForRun(sp.Policy)
-	switch p := sp.Policy.(type) {
-	case nil:
-		sp.Policy = defaultPolicy()
-	case *ScheduledLR:
-		if p.AggregationPolicy == nil {
-			p.AggregationPolicy = defaultPolicy()
+	// fillInner pushes the runtime default into decorator policies
+	// (ScheduledLR, MaxStalenessPolicy) whose wrapped policy was left
+	// nil, at any nesting depth.
+	var fillInner func(p AggregationPolicy) (AggregationPolicy, error)
+	fillInner = func(p AggregationPolicy) (AggregationPolicy, error) {
+		switch p := p.(type) {
+		case nil:
+			return defaultPolicy(), nil
+		case *MaxStalenessPolicy:
+			if p.MaxStale < 0 {
+				return nil, fmt.Errorf("core: max staleness cutoff %d must be >= 0", p.MaxStale)
+			}
+			inner, err := fillInner(p.AggregationPolicy)
+			if err != nil {
+				return nil, err
+			}
+			p.AggregationPolicy = inner
+		case *ScheduledLR:
+			if p.Schedule == nil {
+				return nil, fmt.Errorf("core: ScheduledLR policy with nil schedule")
+			}
+			inner, err := fillInner(p.AggregationPolicy)
+			if err != nil {
+				return nil, err
+			}
+			p.AggregationPolicy = inner
 		}
-		if p.Schedule == nil {
-			return fmt.Errorf("core: ScheduledLR policy with nil schedule")
-		}
+		return p, nil
 	}
+	pol, err := fillInner(clonedForRun(sp.Policy))
+	if err != nil {
+		return err
+	}
+	sp.Policy = pol
 	if bs, ok := sp.Policy.(bufferSizer); ok {
 		bs.defaultBuffer(sp.BufferSize)
 	}

@@ -25,6 +25,22 @@ func jobLess(a, b *trainJob) bool {
 
 func (h *jobHeap) len() int { return len(h.js) }
 
+// peek returns the earliest job without removing it; nil when empty.
+func (h *jobHeap) peek() *trainJob {
+	if len(h.js) == 0 {
+		return nil
+	}
+	return h.js[0]
+}
+
+// fix restores the heap invariant after the job at slot i changed its
+// key — the churn process uses it to defer an in-flight job's arrival
+// past the client's rejoin.
+func (h *jobHeap) fix(i int) {
+	h.down(i)
+	h.up(i)
+}
+
 // push inserts a job.
 func (h *jobHeap) push(j *trainJob) {
 	j.heapIdx = len(h.js)

@@ -185,7 +185,7 @@ func TestPickAvailableBusyStates(t *testing.T) {
 	}
 	// Partially busy: mark half the fleet dispatched.
 	for id := 0; id < n/2; id++ {
-		a.pop.dispatched(id)
+		a.pop.dispatched(id, nil)
 	}
 	for trial := 0; trial < 50; trial++ {
 		id, ok := a.pickAvailable()
@@ -198,13 +198,13 @@ func TestPickAvailableBusyStates(t *testing.T) {
 	}
 	// All busy: pick reports exhaustion.
 	for id := n / 2; id < n; id++ {
-		a.pop.dispatched(id)
+		a.pop.dispatched(id, nil)
 	}
 	if _, ok := a.pickAvailable(); ok {
 		t.Fatal("pick succeeded with the whole fleet in flight")
 	}
 	// Arrivals free clients again.
-	a.pop.arrived(2)
+	a.pop.arrived(2, true)
 	id, ok := a.pickAvailable()
 	if !ok || id != 2 {
 		t.Fatalf("pick after arrival: %d %v", id, ok)
@@ -224,10 +224,10 @@ func TestPopulationParticipationStats(t *testing.T) {
 			t.Fatalf("latBase[%d]=%v want %v", id, p.latBase[id], want)
 		}
 	}
-	p.dispatched(1)
-	p.arrived(1)
-	p.dispatched(1)
-	p.dispatched(4)
+	p.dispatched(1, nil)
+	p.arrived(1, true)
+	p.dispatched(1, nil)
+	p.dispatched(4, nil)
 	distinct, total := p.participants()
 	if distinct != 2 || total != 3 {
 		t.Fatalf("participants %d/%d want 2/3", distinct, total)

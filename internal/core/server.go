@@ -40,6 +40,11 @@ type Result struct {
 	// since dispatch) of the updates merged in round t+1. Only the
 	// asynchronous runtime fills it; nil for Server.Run.
 	MeanStalenessByRound []float64
+	// DroppedUpdates counts in-flight updates lost to permanently
+	// dropped clients (the churn process's mass-dropout injector). Their
+	// training FLOPs still meter — the device burned them before dying —
+	// but nothing was merged.
+	DroppedUpdates int
 	// TargetAccuracy echoes the config; RoundsToTarget is the first round
 	// whose evaluation reached it (-1 if never reached).
 	TargetAccuracy float64
@@ -190,12 +195,17 @@ func (s *Server) selectClients() []*Client {
 // through the transport, train locally, ship the upload back. It is the
 // unit of work both runtimes dispatch onto the shard pool (distinct
 // clients own all their state; the engine is attached by the shard).
-func (s *Server) trainClient(c *Client, round int, global []float64) Update {
+// steps caps the local mini-batch steps and speed is the client's device
+// multiplier — both zero outside device-heterogeneity runs.
+func (s *Server) trainClient(c *Client, round int, global []float64, steps int, speed float64) Update {
 	cfg := &s.cfg
 	if cfg.Transport != nil {
 		global = cfg.Transport.Down(c.ID, round, global)
 	}
-	u := c.LocalTrain(round, global)
+	if speed > 0 {
+		c.SetScalar(ScalarDeviceSpeed, speed)
+	}
+	u := c.LocalTrainSteps(round, global, steps)
 	if cfg.Transport != nil {
 		enc := cfg.Transport.Up(c.ID, round, u.Params)
 		if len(enc) == len(u.Params) {

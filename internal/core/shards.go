@@ -30,6 +30,18 @@ type trainJob struct {
 	finish  float64 // virtual arrival time
 	seq     int     // dispatch order, tie-break for equal arrival times
 	heapIdx int     // slot in the event loop's jobHeap (-1 when not queued)
+
+	// Device-heterogeneity dispatch parameters (zero when no device
+	// fleet is configured): steps caps the client's local mini-batch
+	// steps this round, speed is its compute multiplier.
+	steps int
+	speed float64
+	// trained marks that the event loop already joined the done channel
+	// (device mode joins at dispatch to derive the arrival time from the
+	// metered FLOPs); dropped marks an in-flight update lost to a
+	// permanent client drop — its arrival is discarded, not merged.
+	trained bool
+	dropped bool
 }
 
 // shardPool runs client training on a bounded set of worker shards, one
@@ -90,7 +102,7 @@ func (sp *shardPool) submit(j *trainJob) {
 		}
 		eng.attach(j.c)
 		before := j.c.Counter.Total()
-		j.update = sp.s.trainClient(j.c, j.round, j.global)
+		j.update = sp.s.trainClient(j.c, j.round, j.global, j.steps, j.speed)
 		j.flops = j.c.Counter.Total() - before
 		eng.detach(j.c)
 		j.done <- struct{}{}

@@ -19,6 +19,7 @@ import (
 // convergence while cutting upload traffic ~4x versus float32, and
 // degrades gracefully at 4 bits.
 func runExtQuant(p Profile, logf Logf) ([]*Table, error) {
+	warnBespokeHarness(p, logf, "ext-quant")
 	clients := p.Clients
 	perClient, err := p.samplesPerClient(data.KindMNIST)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 // two inequalities: silhouette(global) > silhouette(local@final) >
 // silhouette(local@earlier).
 func runFig2(p Profile, logf Logf) ([]*Table, error) {
+	warnBespokeHarness(p, logf, "fig2")
 	clients := p.Clients
 	perClient, err := p.samplesPerClient(data.KindMNIST)
 	if err != nil {

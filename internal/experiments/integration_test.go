@@ -139,6 +139,57 @@ func TestTTATiny(t *testing.T) {
 			t.Fatalf("variant %q has %d rows, want 3 (got %v)", want, variants[want], variants)
 		}
 	}
+	// The policy sweep table: FedAsync alpha vs FedBuff K, plus the
+	// importance-weighted buffer and a server-LR schedule (the table
+	// coverage for ImportancePolicy and WithServerLR).
+	if len(tabs) != 2 {
+		t.Fatalf("tta should emit the comparison and the sweep, got %d tables", len(tabs))
+	}
+	sweep := tabs[1]
+	if len(sweep.Rows) != 8 {
+		t.Fatalf("tta sweep should have 8 policy rows, got %d", len(sweep.Rows))
+	}
+	labels := map[string]bool{}
+	for _, row := range sweep.Rows {
+		labels[row[0]] = true
+		if v, err := strconv.ParseFloat(strings.TrimPrefix(row[2], ">"), 64); err != nil || v <= 0 {
+			t.Fatalf("sweep row %v has no positive sim time", row)
+		}
+	}
+	for _, want := range []string{"fedasync a=0.6", "importance b=0.1 K=2", "fedbuff K=2, lr=invsqrt"} {
+		if !labels[want] {
+			t.Fatalf("sweep missing row %q (got %v)", want, labels)
+		}
+	}
+}
+
+// The hetero table: three methods under three FLOP-coupled device
+// fleets (uniform, tiered with adaptive steps, lognormal with Markov
+// churn and a max-staleness cutoff), update-budget-equalized on the
+// buffered async runtime.
+func TestHeteroTiny(t *testing.T) {
+	tabs := runTiny(t, "hetero")
+	tab := tabs[0]
+	if len(tab.Rows) != 9 {
+		t.Fatalf("hetero should have 3 methods x 3 fleets = 9 rows, got %d", len(tab.Rows))
+	}
+	fleets := map[string]int{}
+	for _, row := range tab.Rows {
+		fleets[row[1]]++
+		// Every fleet is priced in flop-derived simulated time.
+		v, err := strconv.ParseFloat(strings.TrimPrefix(row[4], ">"), 64)
+		if err != nil {
+			t.Fatalf("bad sim time cell %q", row[4])
+		}
+		if v <= 0 {
+			t.Fatalf("fleet %q reports no simulated time (row %v)", row[1], row)
+		}
+	}
+	for _, want := range []string{"uniform fleet", "tiered devices", "lognormal + churn"} {
+		if fleets[want] != 3 {
+			t.Fatalf("fleet %q has %d rows, want 3 (got %v)", want, fleets[want], fleets)
+		}
+	}
 }
 
 // A profile-level runtime override makes an ordinary experiment run

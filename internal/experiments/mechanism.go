@@ -26,6 +26,7 @@ import (
 // FedTrip keeps the first small (update consistency) while sustaining the
 // second (parameter-space exploration).
 func runFig3(p Profile, logf Logf) ([]*Table, error) {
+	warnBespokeHarness(p, logf, "fig3")
 	clients := p.Clients
 	perClient, err := p.samplesPerClient(data.KindMNIST)
 	if err != nil {
@@ -87,6 +88,7 @@ func runFig3(p Profile, logf Logf) ([]*Table, error) {
 // experiment simulates long selection sequences through the actual FedTrip
 // Xi code path and compares against the closed form.
 func runTheoryXi(p Profile, logf Logf) ([]*Table, error) {
+	warnBespokeHarness(p, logf, "theory-xi")
 	t := &Table{
 		ID:      "theory-xi",
 		Title:   "E[xi] vs participation rate (Theorem 1 coefficient p*ln(p)/(p-1))",

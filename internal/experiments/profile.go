@@ -68,6 +68,17 @@ type Profile struct {
 	ServerLR string
 	// Concurrency and Buffer are the async knobs (0 = K).
 	Concurrency, Buffer int
+	// Devices is the device-distribution spec (core.ParseDeviceDist) for
+	// the async/barrier runtimes; "" keeps a homogeneous fleet priced by
+	// Latency. With a fleet configured, dispatch latency derives from
+	// each client's metered FLOPs, so Latency must stay zero.
+	Devices string
+	// Churn is the availability spec (core.ParseChurn) for the buffered
+	// async runtime ("" = always available).
+	Churn string
+	// AdaptiveSteps scales each client's local step budget with its
+	// device speed (requires Devices).
+	AdaptiveSteps bool
 }
 
 // Fast is the default profile: small synthetic datasets and scaled-down

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 
 	"repro/internal/algos"
@@ -49,44 +50,70 @@ type Case struct {
 	ClipNorm float64
 	// Trial indexes repeated runs; it offsets every seed.
 	Trial int
-	// Runtime / Latency / Policy / ServerLR / Concurrency / Buffer
-	// override the profile's runtime selection when non-zero, so a single
-	// experiment can compare runtimes and aggregation policies side by
-	// side (see the time-to-accuracy table).
+	// Runtime / Latency / Policy / ServerLR / Concurrency / Buffer /
+	// Devices / Churn / AdaptiveSteps override the profile's runtime
+	// selection when non-zero, so a single experiment can compare
+	// runtimes, aggregation policies, and device fleets side by side
+	// (see the time-to-accuracy and hetero tables).
 	Runtime             core.Runtime
 	Latency             string
 	Policy              string
 	ServerLR            string
 	Concurrency, Buffer int
+	Devices             string
+	Churn               string
+	AdaptiveSteps       bool
+}
+
+// runSel is the resolved runtime selection for one case: profile
+// defaults with case overrides applied.
+type runSel struct {
+	rt                 core.Runtime
+	latency            string
+	policy             string
+	serverLR           string
+	conc, buf          int
+	devices, churnSpec string
+	adaptiveSteps      bool
 }
 
 // runtimeParams resolves the effective runtime selection for a case:
 // case overrides beat profile defaults.
-func (c Case) runtimeParams(p Profile) (rt core.Runtime, latency, policy, serverLR string, conc, buf int) {
-	rt, latency, policy, serverLR = p.Runtime, p.Latency, p.Policy, p.ServerLR
-	conc, buf = p.Concurrency, p.Buffer
+func (c Case) runtimeParams(p Profile) runSel {
+	s := runSel{
+		rt: p.Runtime, latency: p.Latency, policy: p.Policy, serverLR: p.ServerLR,
+		conc: p.Concurrency, buf: p.Buffer,
+		devices: p.Devices, churnSpec: p.Churn,
+		adaptiveSteps: p.AdaptiveSteps || c.AdaptiveSteps,
+	}
 	if c.Runtime != "" {
-		rt = c.Runtime
+		s.rt = c.Runtime
 	}
 	if c.Latency != "" {
-		latency = c.Latency
+		s.latency = c.Latency
 	}
 	if c.Policy != "" {
-		policy = c.Policy
+		s.policy = c.Policy
 	}
 	if c.ServerLR != "" {
-		serverLR = c.ServerLR
+		s.serverLR = c.ServerLR
 	}
 	if c.Concurrency > 0 {
-		conc = c.Concurrency
+		s.conc = c.Concurrency
 	}
 	if c.Buffer > 0 {
-		buf = c.Buffer
+		s.buf = c.Buffer
 	}
-	if rt == "" {
-		rt = core.RuntimeSync
+	if c.Devices != "" {
+		s.devices = c.Devices
 	}
-	return rt, latency, policy, serverLR, conc, buf
+	if c.Churn != "" {
+		s.churnSpec = c.Churn
+	}
+	if s.rt == "" {
+		s.rt = core.RuntimeSync
+	}
+	return s
 }
 
 // runSpec assembles the unified core.RunSpec for a case: the base Config
@@ -96,9 +123,9 @@ func (c Case) runtimeParams(p Profile) (rt core.Runtime, latency, policy, server
 // which joins every client before aggregating, so a whole-table runtime
 // override stays runnable for every paper method.
 func (c Case) runSpec(p Profile, cfg core.Config) (core.RunSpec, error) {
-	rt, latency, policy, serverLR, conc, buf := c.runtimeParams(p)
-	spec := core.RunSpec{Config: cfg, Runtime: rt}
-	if rt == core.RuntimeAsync {
+	sel := c.runtimeParams(p)
+	spec := core.RunSpec{Config: cfg, Runtime: sel.rt}
+	if sel.rt == core.RuntimeAsync {
 		_, isAgg := cfg.Algo.(core.Aggregator)
 		_, isPre := cfg.Algo.(core.PreRounder)
 		if isAgg || isPre {
@@ -109,24 +136,40 @@ func (c Case) runSpec(p Profile, cfg core.Config) (core.RunSpec, error) {
 	// RunSpec.Validate owns the "sync has no simulated clock" rejection,
 	// so a -latency given without -runtime errors loudly instead of
 	// rendering an unpriced table that looks latency-priced.
-	lat, err := core.ParseLatency(latency)
+	lat, err := core.ParseLatency(sel.latency)
 	if err != nil {
 		return core.RunSpec{}, err
 	}
 	spec.Latency = lat
 	if spec.Runtime != core.RuntimeSync {
-		spec.Concurrency = conc
-		spec.BufferSize = buf
+		spec.Concurrency = sel.conc
+		spec.BufferSize = sel.buf
 	}
-	if policy != "" {
-		pol, err := core.ParsePolicy(policy)
+	// Device and churn specs are likewise parsed and attached
+	// unconditionally: Validate owns the rejections (devices on sync,
+	// churn outside the buffered runtime, devices under an independent
+	// latency model, adaptive steps without a fleet), so a conflicting
+	// flag combination errors loudly instead of silently winning.
+	dev, err := core.ParseDeviceDist(sel.devices)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	spec.Devices = dev
+	spec.AdaptiveLocalSteps = sel.adaptiveSteps
+	churn, err := core.ParseChurn(sel.churnSpec)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	spec.Churn = churn
+	if sel.policy != "" {
+		pol, err := core.ParsePolicy(sel.policy)
 		if err != nil {
 			return core.RunSpec{}, err
 		}
 		spec.Policy = pol
 	}
-	if serverLR != "" {
-		sched, err := core.ParseLRSchedule(serverLR)
+	if sel.serverLR != "" {
+		sched, err := core.ParseLRSchedule(sel.serverLR)
 		if err != nil {
 			return core.RunSpec{}, err
 		}
@@ -143,15 +186,16 @@ func (c Case) key(p Profile) string {
 	if c.Factory != nil {
 		algoKey = "factory:" + c.FactoryKey
 	}
-	rt, latency, policy, serverLR, conc, buf := c.runtimeParams(p)
+	sel := c.runtimeParams(p)
 	rounds := p.Rounds
 	if c.Rounds > 0 {
 		rounds = c.Rounds
 	}
-	return fmt.Sprintf("%s|%s|%s|%s|%+v|%d|%d|%d|%v|%d|%s|%d|%d|%d|%v|%d|%s|%s|%s|%s|%d|%d",
+	return fmt.Sprintf("%s|%s|%s|%s|%+v|%d|%d|%d|%v|%d|%s|%d|%d|%d|%v|%d|%s|%s|%s|%s|%d|%d|%s|%s|%v",
 		p.Name, c.Kind, c.Arch, c.Scheme, c.Params, c.Clients, c.PerRound,
 		c.LocalEpochs, c.ClipNorm, c.Trial, algoKey, rounds, p.SamplesPerClient,
-		p.Batch, p.ConvScale, p.Seed, rt, latency, policy, serverLR, conc, buf)
+		p.Batch, p.ConvScale, p.Seed, sel.rt, sel.latency, sel.policy, sel.serverLR,
+		sel.conc, sel.buf, sel.devices, sel.churnSpec, sel.adaptiveSteps)
 }
 
 var (
@@ -422,6 +466,35 @@ func formatRounds(mean float64, reached bool) string {
 		return fmt.Sprintf(">%.0f", mean)
 	}
 	return fmt.Sprintf("%.0f", mean)
+}
+
+// warnBespokeHarness makes the bespoke measurement harnesses (fig2/fig3,
+// theory-xi/rho, ext-quant) say out loud that they ignore the
+// profile-level runtime selection: they still call core.Run directly
+// with hand-built configs (their trace collection and mid-run snapshot
+// hooks are not expressible through Case.runSpec yet — see ROADMAP), so
+// -runtime/-latency/-device-dist/-dropout do not reach them. Without the
+// warning a latency-priced invocation renders an unpriced table that
+// looks priced.
+func warnBespokeHarness(p Profile, logf Logf, id string) {
+	var ignored []string
+	if p.Runtime != "" && p.Runtime != core.RuntimeSync {
+		ignored = append(ignored, "-runtime "+string(p.Runtime))
+	}
+	if p.Latency != "" && p.Latency != "zero" {
+		ignored = append(ignored, "-latency "+p.Latency)
+	}
+	if p.Devices != "" && p.Devices != "none" {
+		ignored = append(ignored, "-device-dist "+p.Devices)
+	}
+	if p.Churn != "" && p.Churn != "none" {
+		ignored = append(ignored, "-dropout "+p.Churn)
+	}
+	if len(ignored) == 0 {
+		return
+	}
+	logf.printf("%s: warning: bespoke harness runs core.Run directly; ignoring %s (not yet ported to core.Start)",
+		id, strings.Join(ignored, ", "))
 }
 
 // speedupCell renders "rounds (ratio x)" relative to a reference method's

@@ -24,6 +24,7 @@ import (
 // reports rho for the paper's mu choices — positive rho is the paper's
 // sufficient condition for per-round objective decrease.
 func runTheoryRho(p Profile, logf Logf) ([]*Table, error) {
+	warnBespokeHarness(p, logf, "theory-rho")
 	clients := p.Clients
 	perClient, err := p.samplesPerClient(data.KindMNIST)
 	if err != nil {

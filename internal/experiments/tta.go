@@ -100,6 +100,10 @@ func runTTA(p Profile, logf Logf) ([]*Table, error) {
 		fmt.Sprintf("latency %s, buffer %d; adaptive target %.4f (0.97x FedAvg barrier final)", latency, buffer, target),
 		"speedup = barrier sim-time / variant sim-time for the same method (shown only when both reached the target; >marks: target not reached, full-run resources shown)",
 	)
+	sweep, err := runTTASweep(p, logf, latency, target, perRound)
+	if err != nil {
+		return nil, err
+	}
 	for _, method := range methods {
 		var barrierTime float64
 		barrierReached := false
@@ -144,5 +148,81 @@ func runTTA(p Profile, logf Logf) ([]*Table, error) {
 				speedup)
 		}
 	}
-	return []*Table{t}, nil
+	return []*Table{t, sweep}, nil
+}
+
+// runTTASweep is the aggregation-policy hyperparameter column of the tta
+// comparison: FedTrip alone, on the buffered async runtime under the
+// same straggler fleet and adaptive target, sweeping FedAsync's mixing
+// rate alpha against FedBuff's buffer size K — plus the
+// importance-weighted buffer and a server-LR schedule, so
+// ImportancePolicy and WithServerLR are exercised by a registered table
+// rather than unit tests alone. Budgets stay update-equalized: every row
+// trains the same total number of client updates.
+func runTTASweep(p Profile, logf Logf, latency string, target float64, perRound int) (*Table, error) {
+	type row struct {
+		label, policy, serverLR string
+		// updatesPerAgg is how many client updates one aggregation
+		// consumes (FedAsync merges every single arrival).
+		updatesPerAgg int
+	}
+	rows := []row{
+		{"fedbuff K=1", "fedbuff", "", 1},
+		{"fedbuff K=2", "fedbuff", "", 2},
+		{"fedbuff K=4", "fedbuff", "", 4},
+		{"fedasync a=0.3", "fedasync:0.3", "", 1},
+		{"fedasync a=0.6", "fedasync:0.6", "", 1},
+		{"fedasync a=0.9", "fedasync:0.9", "", 1},
+		{"importance b=0.1 K=2", "importance:0.1", "", 2},
+		{"fedbuff K=2, lr=invsqrt", "fedbuff", "invsqrt:1", 2},
+	}
+	t := &Table{
+		ID:      "tta-sweep",
+		Title:   "Policy sweep under stragglers (FedTrip): FedAsync alpha vs FedBuff K, importance weights, server-LR",
+		Headers: []string{"Policy", "Aggs to target", "Sim time (s)", "Final acc"},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("latency %s, update-budget-equalized; same adaptive target %.4f as the tta table", latency, target),
+		"importance = loss-weighted FedBuff buffer (beta 0.1); lr=invsqrt = server rate 1/sqrt(t) on merge",
+	)
+	totalUpdates := p.Rounds * perRound
+	for _, r := range rows {
+		c := Case{
+			Kind:     data.KindMNIST,
+			Arch:     nn.ArchMLP,
+			Scheme:   partition.Dirichlet(0.5),
+			Algo:     "fedtrip",
+			Params:   DefaultParams("fedtrip", nn.ArchMLP, data.KindMNIST),
+			Runtime:  core.RuntimeAsync,
+			Latency:  latency,
+			Policy:   r.policy,
+			ServerLR: r.serverLR,
+			Buffer:   r.updatesPerAgg,
+			Rounds:   (totalUpdates + r.updatesPerAgg - 1) / r.updatesPerAgg,
+		}
+		results, err := p.RunTrials(c, logf)
+		if err != nil {
+			return nil, err
+		}
+		var aggs, simTime, final []float64
+		reached := true
+		for _, res := range results {
+			rt, ok := roundsToTargetClamped(res, target)
+			if !ok {
+				reached = false
+			}
+			aggs = append(aggs, float64(rt))
+			simTime = append(simTime, res.SimTimeByRound[rt-1])
+			final = append(final, res.FinalAccuracy)
+		}
+		mark := ""
+		if !reached {
+			mark = ">"
+		}
+		t.AddRow(r.label,
+			mark+fmt.Sprintf("%.0f", stats.Mean(aggs)),
+			mark+fmt.Sprintf("%.1f", stats.Mean(simTime)),
+			fmt.Sprintf("%.4f", stats.Mean(final)))
+	}
+	return t, nil
 }
