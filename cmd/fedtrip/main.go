@@ -35,13 +35,30 @@
 //
 //	fedtrip -async -clients 10000 -samples 6 -concurrency 256 -buffer 64 \
 //	        -latency straggler:1,10,7 -rounds 30
+//
+// Long runs are serializable: -checkpoint arms graceful shutdown (SIGTERM
+// writes a run snapshot at the next round boundary), -snapshot-at writes
+// one mid-run, and -resume continues a snapshot bit-for-bit — the
+// resumed trajectory is identical to never having stopped (-digest
+// prints the fingerprint that proves it). -serve exposes the live run
+// over HTTP instead:
+//
+//	fedtrip -rounds 200 -checkpoint run.ckpt        # SIGTERM-safe
+//	fedtrip -rounds 200 -resume run.ckpt -checkpoint run.ckpt
+//	fedtrip -rounds 200 -serve :8080                # GET /status /metrics /trace /checkpoint
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/algos"
 	"repro/internal/comm"
@@ -49,6 +66,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/partition"
+	"repro/internal/runserver"
 	"repro/internal/trace"
 )
 
@@ -91,6 +109,11 @@ func main() {
 		flopRate  = flag.Float64("flop-rate", 0, "device mode: GFLOPs/s of a speed-1.0 device (0 = 1)")
 		dropout   = flag.String("dropout", "", "client availability churn (none|markov:UP,DOWN[+drop:AT,FRAC,DUR]...)")
 		adaptive  = flag.Bool("local-steps-adaptive", false, "device mode: scale each client's local step budget by its device speed")
+		serve     = flag.String("serve", "", "run behind an HTTP run-server on this address (GET /status /metrics /trace /checkpoint)")
+		resumeCk  = flag.String("resume", "", "resume the run snapshot at this path (flags must rebuild the same run)")
+		checkCk   = flag.String("checkpoint", "", "write a run snapshot to this path: on SIGTERM/SIGINT (graceful stop) and at -snapshot-at")
+		snapAt    = flag.Int("snapshot-at", 0, "write -checkpoint after this many completed rounds and keep going (0 = off)")
+		digest    = flag.Bool("digest", false, "print the run digest (bit-for-bit trajectory fingerprint; resume must reproduce it)")
 	)
 	flag.Parse()
 	if err := run(runOpts{
@@ -107,6 +130,8 @@ func main() {
 		policy: *policy, serverLR: *serverLR,
 		devDist: *devDist, flopRate: *flopRate,
 		dropout: *dropout, adaptive: *adaptive,
+		serve: *serve, resumeCk: *resumeCk, checkCk: *checkCk,
+		snapAt: *snapAt, digest: *digest,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "fedtrip:", err)
 		os.Exit(1)
@@ -133,6 +158,9 @@ type runOpts struct {
 	devDist, dropout                    string
 	flopRate                            float64
 	adaptive                            bool
+	serve, resumeCk, checkCk            string
+	snapAt                              int
+	digest                              bool
 }
 
 func run(o runOpts) error {
@@ -282,9 +310,13 @@ func run(o runOpts) error {
 		fmt.Printf("fedtrip: %s on %s/%s, %s, %s policy=%s buffer=%d conc=%d %s, %d aggregations\n",
 			algo.Name(), o.model, o.dataset, scheme, rt, rspec.Policy.Name(), rspec.BufferSize, rspec.Concurrency, pricing, o.rounds)
 	}
-	res, err := core.Start(rspec)
+	res, err := execute(o, rspec, collector)
 	if err != nil {
 		return err
+	}
+	if res == nil {
+		// Gracefully interrupted; the snapshot message has been printed.
+		return nil
 	}
 	commLabel := "analytic"
 	if cfg.Transport != nil {
@@ -344,5 +376,110 @@ func run(o runOpts) error {
 		}
 		fmt.Printf("  checkpoint      %s (%d params)\n", o.savePath, m.NumParams())
 	}
+	if o.digest {
+		fmt.Printf("  digest          %s\n", res.Digest())
+	}
 	return nil
+}
+
+// execute drives the run: plain stepping (with optional -snapshot-at and
+// graceful-stop checkpointing) or behind the HTTP run-server. A nil, nil
+// return means the run was interrupted and its snapshot written — there
+// is no Result to summarize.
+func execute(o runOpts, rspec core.RunSpec, collector *trace.Collector) (*core.Result, error) {
+	if o.snapAt > 0 && o.checkCk == "" {
+		return nil, fmt.Errorf("-snapshot-at needs -checkpoint PATH to write to")
+	}
+	if o.snapAt > 0 && o.serve != "" {
+		return nil, fmt.Errorf("-snapshot-at drives the plain runner; in -serve mode fetch GET /checkpoint instead")
+	}
+	var rs *core.RunState
+	if o.resumeCk != "" {
+		f, err := os.Open(o.resumeCk)
+		if err != nil {
+			return nil, err
+		}
+		rs, err = core.Resume(f, core.ResumeSpec{Spec: rspec})
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("resuming %s: %w", o.resumeCk, err)
+		}
+		fmt.Printf("fedtrip: resumed %s at round %d/%d\n", o.resumeCk, rs.Round(), rspec.Rounds)
+	} else {
+		var err error
+		rs, err = core.NewRunState(rspec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer rs.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if o.serve != "" {
+		ctrl := runserver.New(rs, collector)
+		ln, err := net.Listen("tcp", o.serve)
+		if err != nil {
+			return nil, err
+		}
+		hsrv := &http.Server{Handler: ctrl.Handler()}
+		fmt.Printf("fedtrip: serving run state on http://%s (/status /metrics /trace /checkpoint)\n", ln.Addr())
+		go hsrv.Serve(ln)
+		res, err := ctrl.Run(ctx)
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		hsrv.Shutdown(shutCtx)
+		cancel()
+		if err == context.Canceled {
+			return nil, interrupted(rs, o)
+		}
+		return res, err
+	}
+
+	for {
+		done, err := rs.Step()
+		if err != nil {
+			return nil, err
+		}
+		if o.snapAt > 0 && rs.Round() == o.snapAt {
+			if err := writeSnapshot(rs, o.checkCk); err != nil {
+				return nil, err
+			}
+			fmt.Printf("fedtrip: snapshot at round %d written to %s\n", rs.Round(), o.checkCk)
+		}
+		if done {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, interrupted(rs, o)
+		}
+	}
+	return rs.Finish(), nil
+}
+
+// interrupted handles a graceful stop at a round boundary: write the run
+// snapshot if a -checkpoint path was given, otherwise fail loudly so a
+// lost run never looks like a clean exit.
+func interrupted(rs *core.RunState, o runOpts) error {
+	if o.checkCk == "" {
+		return fmt.Errorf("interrupted at round %d with no -checkpoint path; run state lost", rs.Round())
+	}
+	if err := writeSnapshot(rs, o.checkCk); err != nil {
+		return err
+	}
+	fmt.Printf("fedtrip: interrupted at round %d; snapshot written to %s (continue with -resume %s)\n",
+		rs.Round(), o.checkCk, o.checkCk)
+	return nil
+}
+
+func writeSnapshot(rs *core.RunState, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rs.Snapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -39,8 +39,7 @@ import (
 	"fmt"
 	"math"
 
-	"math/rand"
-
+	"repro/internal/prng"
 	"repro/internal/tensor"
 )
 
@@ -127,7 +126,7 @@ func (c *AsyncConfig) Validate() error {
 type AsyncServer struct {
 	s      *Server
 	spec   RunSpec
-	latRng *rand.Rand
+	latRng *prng.Rand
 	now    float64
 	pop    *population
 	// Device-heterogeneity state (nil / unused without RunSpec.Devices):
@@ -182,7 +181,7 @@ func newAsyncServer(sp RunSpec) (*AsyncServer, error) {
 		// A dedicated latency source keeps the selection stream
 		// (s.rng) identical to the synchronous server's, which the
 		// barrier equivalence mode depends on.
-		latRng: rand.New(rand.NewSource(sp.Seed + 99991)),
+		latRng: seedStream(sp.Seed, streamLatency),
 		pop:    newPopulation(len(s.clients), sp.Latency),
 	}
 	if sp.Devices != nil {
@@ -274,189 +273,264 @@ func RunAsync(cfg AsyncConfig) (*Result, error) {
 
 // Run executes the configured number of aggregations.
 func (a *AsyncServer) Run() (*Result, error) {
+	var r runner
+	var err error
 	if a.spec.Runtime == RuntimeBarrier {
-		return a.runBarrier()
+		r, err = newBarrierRunner(a)
+	} else {
+		r, err = newBufferedRunner(a)
 	}
-	return a.runBuffered()
-}
-
-// runBarrier is lock-step with a simulated clock: the synchronous
-// trajectory priced under the latency model.
-func (a *AsyncServer) runBarrier() (*Result, error) {
-	s := a.s
-	cfg := &s.cfg
-	rec, err := newRecorder(s)
 	if err != nil {
 		return nil, err
 	}
-	// finalize is idempotent; deferring it keeps the evaluator goroutine
-	// from leaking even when a user callback or algorithm panics.
-	defer rec.finalize()
-	sp := newShardPool(s, cfg.Shards, cfg.ClientsPerRound)
-	defer sp.close()
-	res := rec.res
-	var flopsTotal int64
-	for t := 1; t <= cfg.Rounds; t++ {
-		selected := s.selectClients()
-		if pr, ok := cfg.Algo.(PreRounder); ok {
-			pr.PreRound(t, selected, s.global)
-		}
-		jobs := s.growJobs(len(selected))
-		for i, c := range selected {
-			j := jobs[i]
-			j.c, j.round, j.seq, j.global = c, t, i, s.global
-			j.steps, j.speed = 0, 0
-			a.armJob(j, c.ID)
-			if a.devSpeed == nil {
-				j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, c.ID, a.latRng)
-			}
-			a.pop.dispatched(c.ID, j)
-			// All jobs read the same pre-aggregation global; no writer
-			// until every one of them has joined below.
-			sp.submit(j)
-		}
-		roundEnd := a.now
-		updates := s.growUpdates(len(jobs))
-		weights := s.growWeights(len(jobs))
-		for i, j := range jobs {
-			<-j.done
-			if a.devSpeed != nil {
-				// Device-profiled fleet: the round time is the metered
-				// compute itself, not an independent latency draw.
-				j.finish = a.now + a.deviceDuration(j)
-			}
-			a.pop.arrived(j.c.ID, true)
-			if j.finish > roundEnd {
-				roundEnd = j.finish
-			}
-			updates[i] = j.update // staleness 0 by construction
-			j.update = Update{}
-			weights[i] = a.s.policy.Weight(updates[i])
-			flopsTotal += j.flops
-		}
-		a.now = roundEnd
-		if cfg.OnUpdates != nil {
-			cfg.OnUpdates(t, s.global, updates)
-		}
-		a.aggregate(t, weights, updates, a.s.policy.MergeRate(t, updates))
-		if !tensor.AllFinite(s.global) {
-			rec.finalize()
-			return res, fmt.Errorf("core: %s diverged at round %d (non-finite global model)", cfg.Algo.Name(), t)
-		}
-		acc := rec.record(t, cfg.Rounds, updates, flopsTotal)
-		recycleUpdates(updates)
-		res.SimTimeByRound = append(res.SimTimeByRound, a.now)
-		res.MeanStalenessByRound = append(res.MeanStalenessByRound, 0)
-		if cfg.Logf != nil {
-			cfg.Logf("round %3d/%d algo=%s acc=%.4f loss=%.4f t=%.1fs (barrier)", t, cfg.Rounds, cfg.Algo.Name(), acc, res.TrainLoss[t-1], a.now)
-		}
-		if cfg.OnRound != nil {
-			cfg.OnRound(t, s)
-		}
-		if cfg.StopAtTarget && res.RoundsToTarget > 0 {
-			break
-		}
-	}
-	return rec.finish(), nil
+	return runToCompletion(r)
 }
 
-// runBuffered is the event-driven asynchronous loop: keep Concurrency
-// clients in flight and let the aggregation policy decide when arrivals
-// merge (FedBuff merges every K, FedAsync every single one) and how each
-// buffered update is weighted.
-func (a *AsyncServer) runBuffered() (*Result, error) {
-	s := a.s
-	cfg := &s.cfg
-	rec, err := newRecorder(s)
+// barrierRunner is lock-step with a simulated clock in stepper form: the
+// synchronous trajectory priced under the latency model, one round per
+// step.
+type barrierRunner struct {
+	a          *AsyncServer
+	rec        *recorder
+	sp         *shardPool
+	t          int // completed rounds
+	flopsTotal int64
+}
+
+func newBarrierRunner(a *AsyncServer) (*barrierRunner, error) {
+	rec, err := newRecorder(a.s)
 	if err != nil {
 		return nil, err
 	}
-	// finalize is idempotent; deferring it keeps the evaluator goroutine
-	// from leaking even when a user callback or algorithm panics.
-	defer rec.finalize()
-	// Closing the pool joins every submitted job, so training goroutines
-	// never outlive Run: they hold client state and the transport.
-	sp := newShardPool(s, cfg.Shards, a.spec.Concurrency)
-	defer sp.close()
-	res := rec.res
+	return &barrierRunner{
+		a:   a,
+		rec: rec,
+		sp:  newShardPool(a.s, a.s.cfg.Shards, a.s.cfg.ClientsPerRound),
+	}, nil
+}
 
-	var inflight jobHeap
-	var buffer []*trainJob
-	var flopsTotal int64
-	seq := 0
-	aggs := 0
+func (r *barrierRunner) server() *Server     { return r.a.s }
+func (r *barrierRunner) recorder() *recorder { return r.rec }
 
-	// Availability callbacks. A drop pulls the client out of the idle
-	// set and, when it is mid-flight, defers the arrival past the rejoin
-	// (the device pauses and uploads late — which is how updates stale
-	// enough for a MaxStalenessPolicy cutoff arise) or voids it entirely
-	// on a permanent drop. A rejoin makes an idle client dispatchable
-	// again; an in-flight one returns through its (deferred) arrival.
-	onDrop := func(id int, at, rejoinAt float64) {
-		a.pop.idle.remove(id)
-		j := a.pop.inflight[id]
-		if j == nil {
-			return
-		}
-		if math.IsInf(rejoinAt, 1) {
-			j.dropped = true
-			return
-		}
-		if j.finish > at {
-			j.finish = rejoinAt + (j.finish - at)
-			inflight.fix(j.heapIdx)
-		}
+// quiesce is a no-op: the barrier joins every client inside step, so a
+// round boundary has nothing in flight.
+func (r *barrierRunner) quiesce() {}
+
+func (r *barrierRunner) close() {
+	r.sp.close()
+	r.rec.finalize()
+}
+
+func (r *barrierRunner) step() (bool, error) {
+	a, s := r.a, r.a.s
+	cfg := &s.cfg
+	res := r.rec.res
+	if r.t >= cfg.Rounds {
+		return true, nil
 	}
-	onRejoin := func(id int) {
-		if a.pop.inflight[id] == nil {
-			a.pop.idle.add(id)
-		}
+	t := r.t + 1
+	selected := s.selectClients()
+	if pr, ok := cfg.Algo.(PreRounder); ok {
+		pr.PreRound(t, selected, s.global)
 	}
-
-	dispatch := func() {
-		pending := a.joinScratch[:0]
-		for inflight.len()+len(pending) < a.spec.Concurrency {
-			id, ok := a.pickAvailable()
-			if !ok {
-				break
-			}
-			j := &trainJob{c: s.clients[id], round: aggs + 1, seq: seq, done: make(chan struct{}, 1)}
-			seq++
-			a.armJob(j, id)
-			// Snapshot: the global model mutates under in-flight jobs. The
-			// buffer comes from the pool and goes back on arrival, so
-			// steady-state dispatch is |w|-allocation-free.
-			j.global = paramsPool.getCopy(s.global)
-			a.pop.dispatched(id, j)
-			sp.submit(j)
-			if a.devSpeed == nil {
-				j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, id, a.latRng)
-				inflight.push(j)
-				continue
-			}
-			// Device-profiled fleet: the arrival time derives from the
-			// round's metered FLOPs, which exist only once training ran.
-			// Submit the whole burst first — the shards train it in
-			// parallel — then join in dispatch order below.
-			pending = append(pending, j)
+	jobs := s.growJobs(len(selected))
+	for i, c := range selected {
+		j := jobs[i]
+		j.c, j.round, j.seq, j.global = c, t, i, s.global
+		j.steps, j.speed = 0, 0
+		a.armJob(j, c.ID)
+		if a.devSpeed == nil {
+			j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, c.ID, a.latRng)
 		}
-		for _, j := range pending {
+		a.pop.dispatched(c.ID, j)
+		// All jobs read the same pre-aggregation global; no writer
+		// until every one of them has joined below.
+		r.sp.submit(j)
+	}
+	roundEnd := a.now
+	updates := s.growUpdates(len(jobs))
+	weights := s.growWeights(len(jobs))
+	for i, j := range jobs {
+		<-j.done
+		if a.devSpeed != nil {
+			// Device-profiled fleet: the round time is the metered
+			// compute itself, not an independent latency draw.
+			j.finish = a.now + a.deviceDuration(j)
+		}
+		a.pop.arrived(j.c.ID, true)
+		if j.finish > roundEnd {
+			roundEnd = j.finish
+		}
+		updates[i] = j.update // staleness 0 by construction
+		j.update = Update{}
+		weights[i] = a.s.policy.Weight(updates[i])
+		r.flopsTotal += j.flops
+	}
+	a.now = roundEnd
+	if cfg.OnUpdates != nil {
+		cfg.OnUpdates(t, s.global, updates)
+	}
+	a.aggregate(t, weights, updates, a.s.policy.MergeRate(t, updates))
+	if !tensor.AllFinite(s.global) {
+		return true, fmt.Errorf("core: %s diverged at round %d (non-finite global model)", cfg.Algo.Name(), t)
+	}
+	acc := r.rec.record(t, cfg.Rounds, updates, r.flopsTotal)
+	recycleUpdates(updates)
+	res.SimTimeByRound = append(res.SimTimeByRound, a.now)
+	res.MeanStalenessByRound = append(res.MeanStalenessByRound, 0)
+	if cfg.Logf != nil {
+		cfg.Logf("round %3d/%d algo=%s acc=%.4f loss=%.4f t=%.1fs (barrier)", t, cfg.Rounds, cfg.Algo.Name(), acc, res.TrainLoss[t-1], a.now)
+	}
+	if cfg.OnRound != nil {
+		cfg.OnRound(t, s)
+	}
+	r.t = t
+	if cfg.StopAtTarget && res.RoundsToTarget > 0 {
+		return true, nil
+	}
+	return t >= cfg.Rounds, nil
+}
+
+// bufferedRunner is the event-driven asynchronous loop in stepper form:
+// keep Concurrency clients in flight and let the aggregation policy
+// decide when arrivals merge (FedBuff merges every K, FedAsync every
+// single one) and how each buffered update is weighted. One step = the
+// event-loop iterations up to and including the next aggregation, so
+// between steps the run is at an aggregation boundary: the policy buffer
+// is exactly the not-yet-merged arrivals and every in-flight job is
+// either still training (joinable) or priced and queued in the event
+// heap — precisely the state Snapshot serializes.
+type bufferedRunner struct {
+	a   *AsyncServer
+	rec *recorder
+	sp  *shardPool
+	// The formerly loop-local event state, promoted to fields so a step
+	// can return mid-run and a snapshot can serialize the loop.
+	inflight   jobHeap
+	buffer     []*trainJob
+	flopsTotal int64
+	seq        int // dispatch sequence (total dispatches so far)
+	aggs       int // completed aggregations
+}
+
+func newBufferedRunner(a *AsyncServer) (*bufferedRunner, error) {
+	rec, err := newRecorder(a.s)
+	if err != nil {
+		return nil, err
+	}
+	return &bufferedRunner{
+		a:   a,
+		rec: rec,
+		// Closing the pool joins every submitted job, so training
+		// goroutines never outlive the run: they hold client state and
+		// the transport.
+		sp: newShardPool(a.s, a.s.cfg.Shards, a.spec.Concurrency),
+	}, nil
+}
+
+func (r *bufferedRunner) server() *Server     { return r.a.s }
+func (r *bufferedRunner) recorder() *recorder { return r.rec }
+
+// quiesce joins every in-flight job whose local training has not been
+// waited on yet. Training physically completes before its virtual
+// arrival is processed in any case, so joining early never changes a
+// trajectory — it only makes the per-client state (Hist, RNG position,
+// FLOP counters) and the job's update serializable at this boundary.
+func (r *bufferedRunner) quiesce() {
+	for _, j := range r.inflight.js {
+		if !j.trained {
 			<-j.done
 			j.trained = true
-			j.finish = a.now + a.deviceDuration(j)
-			inflight.push(j)
 		}
-		a.joinScratch = pending[:0]
 	}
+}
 
-	for aggs < cfg.Rounds {
+func (r *bufferedRunner) close() {
+	r.sp.close()
+	r.rec.finalize()
+}
+
+// Availability callbacks. A drop pulls the client out of the idle
+// set and, when it is mid-flight, defers the arrival past the rejoin
+// (the device pauses and uploads late — which is how updates stale
+// enough for a MaxStalenessPolicy cutoff arise) or voids it entirely
+// on a permanent drop. A rejoin makes an idle client dispatchable
+// again; an in-flight one returns through its (deferred) arrival.
+func (r *bufferedRunner) onDrop(id int, at, rejoinAt float64) {
+	a := r.a
+	a.pop.idle.remove(id)
+	j := a.pop.inflight[id]
+	if j == nil {
+		return
+	}
+	if math.IsInf(rejoinAt, 1) {
+		j.dropped = true
+		return
+	}
+	if j.finish > at {
+		j.finish = rejoinAt + (j.finish - at)
+		r.inflight.fix(j.heapIdx)
+	}
+}
+
+func (r *bufferedRunner) onRejoin(id int) {
+	if r.a.pop.inflight[id] == nil {
+		r.a.pop.idle.add(id)
+	}
+}
+
+func (r *bufferedRunner) dispatch() {
+	a, s := r.a, r.a.s
+	pending := a.joinScratch[:0]
+	for r.inflight.len()+len(pending) < a.spec.Concurrency {
+		id, ok := a.pickAvailable()
+		if !ok {
+			break
+		}
+		j := &trainJob{c: s.clients[id], round: r.aggs + 1, seq: r.seq, done: make(chan struct{}, 1)}
+		r.seq++
+		a.armJob(j, id)
+		// Snapshot: the global model mutates under in-flight jobs. The
+		// buffer comes from the pool and goes back on arrival, so
+		// steady-state dispatch is |w|-allocation-free.
+		j.global = paramsPool.getCopy(s.global)
+		a.pop.dispatched(id, j)
+		r.sp.submit(j)
+		if a.devSpeed == nil {
+			j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, id, a.latRng)
+			r.inflight.push(j)
+			continue
+		}
+		// Device-profiled fleet: the arrival time derives from the
+		// round's metered FLOPs, which exist only once training ran.
+		// Submit the whole burst first — the shards train it in
+		// parallel — then join in dispatch order below.
+		pending = append(pending, j)
+	}
+	for _, j := range pending {
+		<-j.done
+		j.trained = true
+		j.finish = a.now + a.deviceDuration(j)
+		r.inflight.push(j)
+	}
+	a.joinScratch = pending[:0]
+}
+
+func (r *bufferedRunner) step() (bool, error) {
+	a, s := r.a, r.a.s
+	cfg := &s.cfg
+	res := r.rec.res
+	if r.aggs >= cfg.Rounds {
+		return true, nil
+	}
+	for {
 		// Availability first: every drop/rejoin up to the current clock
 		// must land before this instant's dispatch decisions.
 		if a.churn != nil {
-			a.churn.advance(a.now, onDrop, onRejoin)
+			a.churn.advance(a.now, r.onDrop, r.onRejoin)
 		}
-		dispatch()
-		j := inflight.peek()
+		r.dispatch()
+		j := r.inflight.peek()
 		if a.churn != nil {
 			// The next event is the earlier of the next arrival and the
 			// next availability change; an exact tie processes the
@@ -472,10 +546,9 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 			}
 		}
 		if j == nil {
-			rec.finalize()
-			return res, fmt.Errorf("core: async runtime stalled: no client in flight and none dispatchable (offline clients with no rejoin scheduled cannot return)")
+			return true, fmt.Errorf("core: async runtime stalled: no client in flight and none dispatchable (offline clients with no rejoin scheduled cannot return)")
 		}
-		inflight.pop()
+		r.inflight.pop()
 		if j.finish > a.now {
 			a.now = j.finish
 		}
@@ -483,7 +556,7 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 			<-j.done
 		}
 		a.pop.arrived(j.c.ID, a.churn == nil || a.churn.online(j.c.ID))
-		flopsTotal += j.flops
+		r.flopsTotal += j.flops
 		// Training is over for this job; its global snapshot has been
 		// consumed and can serve the next dispatch.
 		paramsPool.put(j.global)
@@ -499,16 +572,16 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 			res.DroppedUpdates++
 			continue
 		}
-		buffer = append(buffer, j)
-		if !a.s.policy.ReadyToMerge(len(buffer)) {
+		r.buffer = append(r.buffer, j)
+		if !a.s.policy.ReadyToMerge(len(r.buffer)) {
 			continue
 		}
 
-		t := aggs + 1
-		updates := s.growUpdates(len(buffer))
-		weights := s.growWeights(len(buffer))
+		t := r.aggs + 1
+		updates := s.growUpdates(len(r.buffer))
+		weights := s.growWeights(len(r.buffer))
 		var staleSum float64
-		for i, bj := range buffer {
+		for i, bj := range r.buffer {
 			u := bj.update
 			bj.update = Update{}
 			u.Staleness = t - bj.round
@@ -519,16 +592,15 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 			weights[i] = a.s.policy.Weight(u)
 			staleSum += float64(u.Staleness)
 		}
-		buffer = buffer[:0]
+		r.buffer = r.buffer[:0]
 		if cfg.OnUpdates != nil {
 			cfg.OnUpdates(t, s.global, updates)
 		}
 		a.aggregate(t, weights, updates, a.s.policy.MergeRate(t, updates))
 		if !tensor.AllFinite(s.global) {
-			rec.finalize()
-			return res, fmt.Errorf("core: %s diverged at aggregation %d (non-finite global model)", cfg.Algo.Name(), t)
+			return true, fmt.Errorf("core: %s diverged at aggregation %d (non-finite global model)", cfg.Algo.Name(), t)
 		}
-		acc := rec.record(t, cfg.Rounds, updates, flopsTotal)
+		acc := r.rec.record(t, cfg.Rounds, updates, r.flopsTotal)
 		recycleUpdates(updates)
 		res.SimTimeByRound = append(res.SimTimeByRound, a.now)
 		res.MeanStalenessByRound = append(res.MeanStalenessByRound, staleSum/float64(len(updates)))
@@ -538,12 +610,12 @@ func (a *AsyncServer) runBuffered() (*Result, error) {
 		if cfg.OnRound != nil {
 			cfg.OnRound(t, s)
 		}
-		aggs = t
+		r.aggs = t
 		if cfg.StopAtTarget && res.RoundsToTarget > 0 {
-			break
+			return true, nil
 		}
+		return r.aggs >= cfg.Rounds, nil
 	}
-	return rec.finish(), nil
 }
 
 // aggregate merges a buffer. An Algorithm's Aggregator override wins (it

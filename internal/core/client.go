@@ -2,10 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
-
 	"repro/internal/flops"
 	"repro/internal/nn"
+	"repro/internal/prng"
 	"repro/internal/tensor"
 )
 
@@ -42,7 +41,7 @@ type Client struct {
 	seed int64
 	// rng is built on first use: a 10k-client fleet where most clients
 	// never participate should not pay for 10k PRNG states up front.
-	rng *rand.Rand
+	rng *prng.Rand
 	// numParams caches |w| (filled by the server at construction, or from
 	// the engine on first demand).
 	numParams int
@@ -175,9 +174,9 @@ func (c *Client) Config() *Config { return c.cfg }
 // shuffling, dropout, method-specific sampling). The stream is keyed to
 // the client, not to the worker that happens to train it, which is why
 // trajectories do not depend on the shard count.
-func (c *Client) RNG() *rand.Rand {
+func (c *Client) RNG() *prng.Rand {
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(c.seed))
+		c.rng = prng.New(c.seed)
 	}
 	return c.rng
 }

@@ -29,8 +29,8 @@
 //     stale updates (the MaxStalenessPolicy regime) arise. Permanently
 //     dropped clients lose their in-flight update entirely.
 //
-// Both processes draw from dedicated seed streams (deviceSeedOffset,
-// churnSeedOffset), so enabling them never perturbs the selection or
+// Both processes draw from dedicated named seed streams (streamDevice,
+// streamChurn in seeds.go), so enabling them never perturbs the selection or
 // latency streams — and a zero-heterogeneity fleet with no churn
 // reproduces the plain async trajectory bit-for-bit (pinned by
 // TestDeviceUniformFleetMatchesConstLatency).
@@ -39,16 +39,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"strings"
-)
 
-// deviceSeedOffset and churnSeedOffset separate the device-sampling and
-// churn streams from every other seed stream in the runtime (selection:
-// cfg.Seed, clients: +1000+k, engines: +500000, latency: +99991).
-const (
-	deviceSeedOffset = 700_000
-	churnSeedOffset  = 800_000
+	"repro/internal/prng"
 )
 
 // Speed multipliers are clamped into [minDeviceSpeed, maxDeviceSpeed] at
@@ -65,7 +58,7 @@ const (
 // supplied rng; the runtime samples every client once at construction
 // from a dedicated seed stream, in client-ID order.
 type DeviceDistribution interface {
-	SampleSpeed(clientID int, rng *rand.Rand) float64
+	SampleSpeed(clientID int, rng *prng.Rand) float64
 	String() string
 }
 
@@ -73,7 +66,7 @@ type DeviceDistribution interface {
 // the homogeneous reference fleet.
 type UniformDevices struct{ Min, Max float64 }
 
-func (d UniformDevices) SampleSpeed(_ int, rng *rand.Rand) float64 {
+func (d UniformDevices) SampleSpeed(_ int, rng *prng.Rand) float64 {
 	return d.Min + rng.Float64()*(d.Max-d.Min)
 }
 func (d UniformDevices) String() string { return fmt.Sprintf("uniform:%g,%g", d.Min, d.Max) }
@@ -83,7 +76,7 @@ func (d UniformDevices) String() string { return fmt.Sprintf("uniform:%g,%g", d.
 // fraction of devices is dramatically slower.
 type LognormalDevices struct{ Mu, Sigma float64 }
 
-func (d LognormalDevices) SampleSpeed(_ int, rng *rand.Rand) float64 {
+func (d LognormalDevices) SampleSpeed(_ int, rng *prng.Rand) float64 {
 	return math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
 }
 func (d LognormalDevices) String() string { return fmt.Sprintf("lognormal:%g,%g", d.Mu, d.Sigma) }
@@ -103,7 +96,7 @@ func DefaultTiers() TieredDevices {
 	return TieredDevices{Tiers: []DeviceTier{{0.25, 0.3}, {1, 0.6}, {4, 0.1}}}
 }
 
-func (d TieredDevices) SampleSpeed(_ int, rng *rand.Rand) float64 {
+func (d TieredDevices) SampleSpeed(_ int, rng *prng.Rand) float64 {
 	var total float64
 	for _, t := range d.Tiers {
 		total += t.Frac
@@ -187,7 +180,7 @@ func ParseDeviceDist(spec string) (DeviceDistribution, error) {
 // sampleDeviceSpeeds resolves the fleet's per-client speed multipliers
 // from a dedicated seed stream, clamped into the representable range.
 func sampleDeviceSpeeds(n int, dist DeviceDistribution, seed int64) []float64 {
-	rng := rand.New(rand.NewSource(seed + deviceSeedOffset))
+	rng := seedStream(seed, streamDevice)
 	speeds := make([]float64, n)
 	for id := 0; id < n; id++ {
 		s := dist.SampleSpeed(id, rng)
@@ -380,7 +373,7 @@ func (h *churnHeap) pop() churnEvent {
 // is discarded on pop if the generation has moved on.
 type churn struct {
 	model   ChurnModel
-	rng     *rand.Rand
+	rng     *prng.Rand
 	offline []bool
 	dead    []bool
 	gen     []int32
@@ -397,7 +390,7 @@ type churn struct {
 func newChurn(n int, m *ChurnModel, seed int64) *churn {
 	c := &churn{
 		model:   *m,
-		rng:     rand.New(rand.NewSource(seed + churnSeedOffset)),
+		rng:     seedStream(seed, streamChurn),
 		offline: make([]bool, n),
 		dead:    make([]bool, n),
 		gen:     make([]int32, n),

@@ -2,11 +2,10 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
-
 	"repro/internal/flops"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/prng"
 	"repro/internal/tensor"
 )
 
@@ -33,7 +32,7 @@ type engine struct {
 	// parameters are always overwritten before use, so these draws never
 	// influence a trajectory; a per-engine stream merely keeps construction
 	// deterministic without touching any client's RNG.
-	seedRng            *rand.Rand
+	seedRng            *prng.Rand
 	scratchA, scratchB *nn.Model
 	// counter is the attached client's FLOP counter (nil when detached);
 	// lazily built scratch models pick it up at construction time.
@@ -69,7 +68,7 @@ func newEngine(cfg *Config, seed int64) (*engine, error) {
 	e := &engine{
 		cfg:     cfg,
 		model:   m,
-		seedRng: rand.New(rand.NewSource(seed + 1)),
+		seedRng: seedStream(seed, streamScratch),
 	}
 	if oc, ok := cfg.Algo.(OptimizerChooser); ok {
 		e.opt = oc.NewOptimizer(cfg.LR, cfg.Momentum)
@@ -165,7 +164,7 @@ type engineLoaner struct {
 // already released) is left alone.
 func (l *engineLoaner) borrow(c *Client) *engine {
 	if l.eng == nil {
-		e, err := newEngine(l.cfg, l.cfg.Seed+engineSeedOffset-1)
+		e, err := newEngine(l.cfg, streamSeed(l.cfg.Seed, streamLoaner, 0))
 		if err != nil {
 			panic(fmt.Sprintf("core: loaner engine: %v", err))
 		}

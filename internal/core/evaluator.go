@@ -42,7 +42,7 @@ type evalDataset interface {
 func newEvaluator(cfg *Config) (*evaluator, error) {
 	// A dedicated model instance: Server.EvaluateGlobal stays usable from
 	// OnRound hooks while the evaluator is mid-batch.
-	m, err := cfg.Model.Build(cfg.Seed)
+	m, err := cfg.Model.Build(streamSeed(cfg.Seed, streamModel, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -102,4 +102,30 @@ func (e *evaluator) take(round int) (float64, bool) {
 	defer e.mu.Unlock()
 	acc, ok := e.accs[round]
 	return acc, ok
+}
+
+// exportAccs returns a copy of every published accuracy. Snapshot calls
+// it after recorder.syncEvals, so the map is complete through the last
+// submitted round; unlike drain it leaves the goroutine running and the
+// run resumable.
+func (e *evaluator) exportAccs() map[int]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[int]float64, len(e.accs))
+	for r, a := range e.accs {
+		out[r] = a
+	}
+	return out
+}
+
+// preload publishes previously computed accuracies into a fresh
+// evaluator — Resume's path for the rounds evaluated before the
+// snapshot, which finalize folds into the accuracy series exactly as if
+// this process had computed them.
+func (e *evaluator) preload(accs map[int]float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for r, a := range accs {
+		e.accs[r] = a
+	}
 }

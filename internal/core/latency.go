@@ -3,9 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"strconv"
 	"strings"
+
+	"repro/internal/prng"
 )
 
 // LatencyModel assigns each client dispatch a simulated wall-clock
@@ -18,7 +19,7 @@ import (
 // dedicated latency source) and must be safe to call from a single
 // goroutine; the runtime samples at dispatch time on the event loop.
 type LatencyModel interface {
-	Sample(clientID int, rng *rand.Rand) float64
+	Sample(clientID int, rng *prng.Rand) float64
 	String() string
 }
 
@@ -35,7 +36,7 @@ type PerClientLatency interface {
 	// ClientBase returns the client's systematic duration in seconds.
 	ClientBase(clientID int) float64
 	// JitterOn turns a base duration into one sampled dispatch duration.
-	JitterOn(base float64, rng *rand.Rand) float64
+	JitterOn(base float64, rng *prng.Rand) float64
 }
 
 // ZeroLatency makes every dispatch complete instantly. It draws nothing
@@ -43,23 +44,23 @@ type PerClientLatency interface {
 // mode.
 type ZeroLatency struct{}
 
-func (ZeroLatency) Sample(int, *rand.Rand) float64              { return 0 }
+func (ZeroLatency) Sample(int, *prng.Rand) float64              { return 0 }
 func (ZeroLatency) String() string                              { return "zero" }
 func (ZeroLatency) ClientBase(int) float64                      { return 0 }
-func (ZeroLatency) JitterOn(base float64, _ *rand.Rand) float64 { return base }
+func (ZeroLatency) JitterOn(base float64, _ *prng.Rand) float64 { return base }
 
 // ConstantLatency gives every client the same fixed duration.
 type ConstantLatency struct{ D float64 }
 
-func (l ConstantLatency) Sample(int, *rand.Rand) float64              { return l.D }
+func (l ConstantLatency) Sample(int, *prng.Rand) float64              { return l.D }
 func (l ConstantLatency) String() string                              { return fmt.Sprintf("const:%g", l.D) }
 func (l ConstantLatency) ClientBase(int) float64                      { return l.D }
-func (l ConstantLatency) JitterOn(base float64, _ *rand.Rand) float64 { return base }
+func (l ConstantLatency) JitterOn(base float64, _ *prng.Rand) float64 { return base }
 
 // UniformLatency draws uniformly from [Min, Max].
 type UniformLatency struct{ Min, Max float64 }
 
-func (l UniformLatency) Sample(_ int, rng *rand.Rand) float64 {
+func (l UniformLatency) Sample(_ int, rng *prng.Rand) float64 {
 	return l.Min + rng.Float64()*(l.Max-l.Min)
 }
 func (l UniformLatency) String() string { return fmt.Sprintf("uniform:%g,%g", l.Min, l.Max) }
@@ -68,7 +69,7 @@ func (l UniformLatency) String() string { return fmt.Sprintf("uniform:%g,%g", l.
 // given mean — the classic memoryless arrival model.
 type ExponentialLatency struct{ Mean float64 }
 
-func (l ExponentialLatency) Sample(_ int, rng *rand.Rand) float64 {
+func (l ExponentialLatency) Sample(_ int, rng *prng.Rand) float64 {
 	return l.Mean * rng.ExpFloat64()
 }
 func (l ExponentialLatency) String() string { return fmt.Sprintf("exp:%g", l.Mean) }
@@ -78,7 +79,7 @@ func (l ExponentialLatency) String() string { return fmt.Sprintf("exp:%g", l.Mea
 // small fraction of devices is dramatically slower.
 type LognormalLatency struct{ Mu, Sigma float64 }
 
-func (l LognormalLatency) Sample(_ int, rng *rand.Rand) float64 {
+func (l LognormalLatency) Sample(_ int, rng *prng.Rand) float64 {
 	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
 }
 func (l LognormalLatency) String() string { return fmt.Sprintf("lognormal:%g,%g", l.Mu, l.Sigma) }
@@ -92,7 +93,7 @@ type StragglerLatency struct {
 	SlowEvery  int
 }
 
-func (l StragglerLatency) Sample(clientID int, rng *rand.Rand) float64 {
+func (l StragglerLatency) Sample(clientID int, rng *prng.Rand) float64 {
 	return l.JitterOn(l.ClientBase(clientID), rng)
 }
 
@@ -105,7 +106,7 @@ func (l StragglerLatency) ClientBase(clientID int) float64 {
 }
 
 // JitterOn implements PerClientLatency: ±10% uniform jitter on the tier.
-func (l StragglerLatency) JitterOn(base float64, rng *rand.Rand) float64 {
+func (l StragglerLatency) JitterOn(base float64, rng *prng.Rand) float64 {
 	return base * (0.9 + 0.2*rng.Float64())
 }
 func (l StragglerLatency) String() string {

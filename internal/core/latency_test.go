@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"math/rand"
+	"repro/internal/prng"
 	"testing"
 )
 
@@ -25,7 +25,7 @@ func TestParseLatencyForms(t *testing.T) {
 		{"straggler:2,2,1", "straggler:2,2,1"}, // slow == fast degenerates cleanly
 		{"const: 2", "const:2"},                // whitespace around args is trimmed
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := prng.New(1)
 	for _, g := range good {
 		m, err := ParseLatency(g.spec)
 		if err != nil {
@@ -76,7 +76,7 @@ func TestParseLatencyMalformed(t *testing.T) {
 // Parsed models must carry their parameters: spot-check each form's
 // sampling behaviour, not just its name.
 func TestParseLatencySampling(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := prng.New(2)
 	sample := func(spec string) LatencyModel {
 		t.Helper()
 		m, err := ParseLatency(spec)
@@ -140,8 +140,8 @@ func TestPerClientLatencyCacheContract(t *testing.T) {
 		if !ok {
 			t.Fatalf("%q does not implement PerClientLatency", spec)
 		}
-		direct := rand.New(rand.NewSource(9))
-		cached := rand.New(rand.NewSource(9))
+		direct := prng.New(9)
+		cached := prng.New(9)
 		for id := 0; id < 20; id++ {
 			want := m.Sample(id, direct)
 			got := pc.JitterOn(pc.ClientBase(id), cached)

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"math/rand"
 	"sync"
+
+	"repro/internal/prng"
 )
 
 // vecPool is a size-keyed free list for |w|-sized parameter vectors: the
@@ -75,7 +76,7 @@ func recycleUpdates(updates []Update) {
 // exactly like rand.Perm does (same algorithm, same number of Intn calls),
 // so replacing rand.Perm with it never shifts a trajectory — it only
 // removes the per-call allocation.
-func randPermInto(rng *rand.Rand, buf []int, n int) []int {
+func randPermInto(rng *prng.Rand, buf []int, n int) []int {
 	if cap(buf) < n {
 		buf = make([]int, n)
 	}

@@ -1,6 +1,6 @@
 package core
 
-import "math/rand"
+import "repro/internal/prng"
 
 // population is the scheduler-facing registry of the client fleet. The
 // asynchronous event loop only ever needs a few words per client — is it
@@ -47,7 +47,7 @@ func newPopulation(n int, lat LatencyModel) *population {
 // sampleLatency draws client id's dispatch duration, through the cached
 // per-client base when the model supports it. Both paths consume the same
 // rng draws, so caching never changes a trajectory.
-func (p *population) sampleLatency(lat LatencyModel, id int, rng *rand.Rand) float64 {
+func (p *population) sampleLatency(lat LatencyModel, id int, rng *prng.Rand) float64 {
 	if p.latBase != nil {
 		return p.jitter.JitterOn(p.latBase[id], rng)
 	}
@@ -110,7 +110,7 @@ func (s *idleSet) size() int { return len(s.ids) }
 // (0, false) when everyone is busy. It consumes exactly one rng draw, so
 // the dispatch stream stays aligned across refactors of the set's
 // internals.
-func (s *idleSet) pick(rng *rand.Rand) (int, bool) {
+func (s *idleSet) pick(rng *prng.Rand) (int, bool) {
 	if len(s.ids) == 0 {
 		return 0, false
 	}

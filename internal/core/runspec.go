@@ -279,25 +279,14 @@ func (sp *RunSpec) resolvePolicy() error {
 
 // Start validates the spec and executes the run on the selected runtime.
 // It is the one entrypoint every runtime and policy combination goes
-// through; a zero-latency barrier spec reproduces the synchronous loop
-// bit-for-bit on the same seed.
+// through — literally NewRunState + Run; a zero-latency barrier spec
+// reproduces the synchronous loop bit-for-bit on the same seed. Callers
+// that need round-at-a-time control, checkpointing, or resume use
+// RunState directly.
 func Start(spec RunSpec) (*Result, error) {
-	if err := spec.Validate(); err != nil {
+	rs, err := NewRunState(spec)
+	if err != nil {
 		return nil, err
 	}
-	switch spec.Runtime {
-	case RuntimeSync:
-		s, err := NewServer(spec.Config)
-		if err != nil {
-			return nil, err
-		}
-		s.policy = spec.Policy
-		return s.Run()
-	default:
-		a, err := newAsyncServer(spec)
-		if err != nil {
-			return nil, err
-		}
-		return a.Run()
-	}
+	return rs.Run()
 }

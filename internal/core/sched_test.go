@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math/rand"
+	"repro/internal/prng"
 	"sort"
 	"testing"
 )
@@ -52,7 +52,7 @@ func TestJobHeapTieBreakByClientIndex(t *testing.T) {
 // against an exact mirror: every pop must return the jobLess-minimum of
 // everything currently queued.
 func TestJobHeapInterleaved(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := prng.New(8)
 	var h jobHeap
 	var mirror []*trainJob
 	seq := 0
@@ -93,7 +93,7 @@ func TestJobHeapInterleaved(t *testing.T) {
 func TestIdleSetPickRemoveAdd(t *testing.T) {
 	const n = 10
 	s := newIdleSet(n)
-	rng := rand.New(rand.NewSource(3))
+	rng := prng.New(3)
 	if s.size() != n {
 		t.Fatalf("size %d", s.size())
 	}
@@ -142,7 +142,7 @@ func TestIdleSetPickRemoveAdd(t *testing.T) {
 func TestIdleSetCoversAllIdle(t *testing.T) {
 	const n = 32
 	s := newIdleSet(n)
-	rng := rand.New(rand.NewSource(5))
+	rng := prng.New(5)
 	busy := map[int]bool{}
 	for id := 0; id < n; id += 3 {
 		s.remove(id)
@@ -238,8 +238,8 @@ func TestPopulationParticipationStats(t *testing.T) {
 	if q.latBase != nil {
 		t.Fatal("uniform model must not pretend to have per-client bases")
 	}
-	r1 := rand.New(rand.NewSource(9))
-	r2 := rand.New(rand.NewSource(9))
+	r1 := prng.New(9)
+	r2 := prng.New(9)
 	for i := 0; i < 20; i++ {
 		if q.sampleLatency(UniformLatency{Min: 1, Max: 2}, i%5, r1) != (UniformLatency{Min: 1, Max: 2}).Sample(i%5, r2) {
 			t.Fatal("sampleLatency fallback diverged from Sample")
@@ -305,8 +305,8 @@ func TestServerClientsShareLoanerEngine(t *testing.T) {
 func TestPopulationLatencyCacheMatchesSample(t *testing.T) {
 	lat := StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 3}
 	p := newPopulation(6, lat)
-	r1 := rand.New(rand.NewSource(17))
-	r2 := rand.New(rand.NewSource(17))
+	r1 := prng.New(17)
+	r2 := prng.New(17)
 	for i := 0; i < 100; i++ {
 		id := i % 6
 		if got, want := p.sampleLatency(lat, id, r1), lat.Sample(id, r2); got != want {

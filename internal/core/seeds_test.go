@@ -1,0 +1,62 @@
+package core
+
+import "testing"
+
+// TestSeedStreamsCollisionFree pins the registry's independence guarantee:
+// under one run seed, every named stream — including large per-client and
+// per-shard index ranges — gets a distinct derived seed, and nearby run
+// seeds (the sweep harness uses seed, seed+100000, ...) never alias each
+// other's streams.
+func TestSeedStreamsCollisionFree(t *testing.T) {
+	type stream struct {
+		name string
+		ks   int // number of indexed instances to check (1 = unindexed)
+	}
+	streams := []stream{
+		{streamSelection, 1},
+		{streamLatency, 1},
+		{streamModel, 1},
+		{streamLoaner, 1},
+		{streamScratch, 1},
+		{streamDevice, 1},
+		{streamChurn, 1},
+		{streamClient, 20000},
+		{streamEngine, 1024},
+	}
+	runSeeds := []int64{0, 1, 7, 42, 100001, 200001, -3}
+	seen := make(map[int64]string, 1<<16)
+	for _, runSeed := range runSeeds {
+		for _, st := range streams {
+			for k := 0; k < st.ks; k++ {
+				s := streamSeed(runSeed, st.name, k)
+				if prev, ok := seen[s]; ok {
+					t.Fatalf("seed collision: stream %s/%d under run seed %d collides with %s (derived seed %d)",
+						st.name, k, runSeed, prev, s)
+				}
+				seen[s] = st.name
+			}
+		}
+	}
+}
+
+// TestSeedStreamsDeterministic: the same (runSeed, name, k) always derives
+// the same seed — the property resume depends on to rebuild unmaterialized
+// client streams.
+func TestSeedStreamsDeterministic(t *testing.T) {
+	if streamSeed(42, streamClient, 7) != streamSeed(42, streamClient, 7) {
+		t.Fatal("streamSeed is not a pure function")
+	}
+	if streamSeed(42, streamClient, 7) == streamSeed(43, streamClient, 7) {
+		t.Fatal("run seed does not separate streams")
+	}
+	if streamSeed(42, streamClient, 7) == streamSeed(42, streamClient, 8) {
+		t.Fatal("index does not separate streams")
+	}
+	if streamSeed(42, streamClient, 0) == streamSeed(42, streamEngine, 0) {
+		t.Fatal("name does not separate streams")
+	}
+	// The registry helpers agree with direct derivation.
+	if seedStream(42, streamSelection).Uint64() != seedStreamN(42, streamSelection, 0).Uint64() {
+		t.Fatal("seedStream and seedStreamN disagree")
+	}
+}

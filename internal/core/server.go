@@ -1,10 +1,13 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
-	"math/rand"
+	"hash/fnv"
+	"math"
 
 	"repro/internal/nn"
+	"repro/internal/prng"
 	"repro/internal/tensor"
 )
 
@@ -88,6 +91,34 @@ func (r *Result) CommBytesToTarget() int64 {
 	return r.CommBytesByRound[len(r.CommBytesByRound)-1]
 }
 
+// Digest returns a short hex fingerprint over every metric series at
+// full bit precision (FNV-1a over the float64 bit patterns). Two runs
+// have equal digests exactly when their trajectories are bit-for-bit
+// identical — the CI kill/resume smoke test compares an uninterrupted
+// run against snapshot+resume with it.
+func (r *Result) Digest() string {
+	h := fnv.New64a()
+	var b [8]byte
+	u64 := func(v uint64) { binary.LittleEndian.PutUint64(b[:], v); h.Write(b[:]) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(uint64(r.Rounds))
+	u64(uint64(r.DroppedUpdates))
+	u64(uint64(int64(r.RoundsToTarget)))
+	f64(r.BestAccuracy)
+	f64(r.FinalAccuracy)
+	for _, s := range [][]float64{r.Accuracy, r.TrainLoss, r.GFLOPsByRound, r.SimTimeByRound, r.MeanStalenessByRound} {
+		u64(uint64(len(s)))
+		for _, v := range s {
+			f64(v)
+		}
+	}
+	u64(uint64(len(r.CommBytesByRound)))
+	for _, v := range r.CommBytesByRound {
+		u64(uint64(v))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // TimeToTarget returns the simulated wall-clock time at which the target
 // accuracy was reached, or the full-run time if it never was (0 when the
 // run has no simulated clock).
@@ -107,7 +138,7 @@ type Server struct {
 	clients   []*Client
 	global    []float64
 	evalModel *nn.Model
-	rng       *rand.Rand
+	rng       *prng.Rand
 	// policy is the aggregation policy Start resolved for this run; nil
 	// (the legacy Run/NewServer path) behaves as FedAvgPolicy.
 	policy AggregationPolicy
@@ -138,11 +169,11 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	global, err := cfg.Model.Build(cfg.Seed)
+	global, err := cfg.Model.Build(streamSeed(cfg.Seed, streamModel, 0))
 	if err != nil {
 		return nil, err
 	}
-	evalModel, err := cfg.Model.Build(cfg.Seed)
+	evalModel, err := cfg.Model.Build(streamSeed(cfg.Seed, streamModel, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -150,12 +181,12 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		global:    global.ParamsCopy(),
 		evalModel: evalModel,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		rng:       seedStream(cfg.Seed, streamSelection),
 	}
 	numParams := global.NumParams()
 	loaner := &engineLoaner{cfg: &s.cfg}
 	for k, part := range cfg.Parts {
-		c := newClient(&s.cfg, k, part, cfg.Seed+1000+int64(k))
+		c := newClient(&s.cfg, k, part, streamSeed(cfg.Seed, streamClient, k))
 		c.numParams = numParams
 		c.loan = loaner
 		s.clients = append(s.clients, c)
@@ -398,6 +429,7 @@ type recorder struct {
 	ev            *evaluator
 	blocking      bool
 	prevEval      int     // newest round submitted for evaluation before this one
+	lastSubmitted int     // newest round ever submitted for evaluation
 	lastAcc       float64 // latest known accuracy (exact when blocking)
 	finalized     bool
 }
@@ -463,6 +495,7 @@ func (r *recorder) record(t, totalRounds int, updates []Update, flopsTotal int64
 		// Snapshot from the shared pool; the evaluator recycles it once
 		// the accuracy is computed.
 		r.ev.submit(t, paramsPool.getCopy(r.s.global))
+		r.lastSubmitted = t
 		if r.blocking {
 			acc := r.ev.wait(t)
 			r.lastAcc = acc
@@ -533,6 +566,18 @@ func (r *recorder) finish() *Result {
 	return r.res
 }
 
+// syncEvals joins every evaluation submitted so far without stopping the
+// evaluator goroutine (unlike finalize/drain, after which no further
+// round can evaluate). The evaluator consumes submissions in FIFO order
+// and publishes each before taking the next, so once the newest
+// submitted round is present every earlier one is too. Snapshot uses
+// this to make the published accuracy map complete at a round boundary.
+func (r *recorder) syncEvals() {
+	if r.lastSubmitted > 0 {
+		r.ev.wait(r.lastSubmitted)
+	}
+}
+
 // clientFlopsTotal sums every client's cumulative FLOP counter. Only
 // valid when no client is mid-training (the synchronous barrier); the
 // async runtime accumulates per-arrival deltas instead.
@@ -555,47 +600,13 @@ func Run(cfg Config) (*Result, error) {
 	return s.Run()
 }
 
-// Run executes the configured number of communication rounds.
+// Run executes the configured number of communication rounds by driving
+// the stepper runner to completion (see runstate.go; RunState exposes the
+// same loop one round at a time).
 func (s *Server) Run() (*Result, error) {
-	cfg := &s.cfg
-	rec, err := newRecorder(s)
+	r, err := newSyncRunner(s)
 	if err != nil {
 		return nil, err
 	}
-	// finalize is idempotent; deferring it keeps the evaluator goroutine
-	// from leaking even when a user callback or algorithm panics.
-	defer rec.finalize()
-	sp := newShardPool(s, cfg.Shards, cfg.ClientsPerRound)
-	defer sp.close()
-	res := rec.res
-	for t := 1; t <= cfg.Rounds; t++ {
-		selected := s.selectClients()
-		if pr, ok := cfg.Algo.(PreRounder); ok {
-			pr.PreRound(t, selected, s.global)
-		}
-		updates := s.trainSelected(t, selected, sp)
-		if cfg.OnUpdates != nil {
-			cfg.OnUpdates(t, s.global, updates)
-		}
-		s.aggregate(t, updates)
-		if !tensor.AllFinite(s.global) {
-			rec.finalize()
-			return res, fmt.Errorf("core: %s diverged at round %d (non-finite global model)", cfg.Algo.Name(), t)
-		}
-
-		acc := rec.record(t, cfg.Rounds, updates, s.clientFlopsTotal())
-		// The merge and metrics have consumed this round's uploads; their
-		// buffers go back to the pool for the next round's checkouts.
-		recycleUpdates(updates)
-		if cfg.Logf != nil {
-			cfg.Logf("round %3d/%d algo=%s acc=%.4f loss=%.4f gflops=%.2f", t, cfg.Rounds, cfg.Algo.Name(), acc, res.TrainLoss[t-1], res.GFLOPsByRound[t-1])
-		}
-		if cfg.OnRound != nil {
-			cfg.OnRound(t, s)
-		}
-		if cfg.StopAtTarget && res.RoundsToTarget > 0 {
-			break
-		}
-	}
-	return rec.finish(), nil
+	return runToCompletion(r)
 }

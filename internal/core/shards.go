@@ -6,13 +6,6 @@ import (
 	"repro/internal/parallel"
 )
 
-// engineSeedOffset separates the per-shard engine seed stream from the
-// server's selection stream (cfg.Seed) and the clients' data streams
-// (cfg.Seed+1000+k). Engine seeds never influence a trajectory — engine
-// model parameters are overwritten at the start of every round — but a
-// dedicated stream keeps construction deterministic per (seed, shard).
-const engineSeedOffset = 500_000
-
 // trainJob is one dispatched client round: which client, which round, and
 // which global snapshot to start from. The shard worker fills update and
 // flops, then signals done (buffered, one token per dispatch — signalled
@@ -90,7 +83,7 @@ func (sp *shardPool) submit(j *trainJob) {
 	sp.pool.Submit(func(w int) {
 		eng := sp.engines[w]
 		if eng == nil {
-			e, err := newEngine(&sp.s.cfg, sp.s.cfg.Seed+engineSeedOffset+int64(w))
+			e, err := newEngine(&sp.s.cfg, streamSeed(sp.s.cfg.Seed, streamEngine, w))
 			if err != nil {
 				// The same spec already built the server's global and eval
 				// models, so this is unreachable short of config mutation

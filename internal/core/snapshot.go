@@ -1,0 +1,828 @@
+// Deterministic run snapshots: serialize a RunState at a round boundary
+// and reconstruct it bit-for-bit in a fresh process.
+//
+// The format is a versioned, magic-headered binary stream:
+//
+//	"FTRS" | version u8 | fingerprint string | common section | runner section
+//
+// The fingerprint is a canonical string of everything that determines the
+// run's trajectory (runtime, method, policy, hyperparameters, seed,
+// latency/device/churn models, dataset sizes, a hash of the partition).
+// Resume recomputes it from the spec the caller provides and refuses a
+// snapshot whose fingerprint differs — a snapshot only carries the *live*
+// state (model, RNG positions, event heap, metrics); everything
+// re-derivable from the spec (datasets, partitions, device speeds,
+// engines) is rebuilt, which keeps snapshots |w|-sized instead of
+// dataset-sized.
+//
+// What makes the resumed run bit-identical to an uninterrupted one:
+//
+//   - Every RNG is a named splitmix64 stream whose position serializes in
+//     17 bytes (internal/prng). Unmaterialized client streams re-derive
+//     from the seed registry.
+//   - Snapshot quiesces: every in-flight job's local training is joined
+//     first. Training physically completes before its virtual arrival in
+//     any run, so joining early changes nothing — and afterwards the
+//     per-client state and the job's finished update are plain data.
+//   - Order-sensitive scheduler state serializes verbatim: the idle set's
+//     ids array (a uniform pick indexes into it, so its order is part of
+//     the trajectory), the event heap's array layout, the churn heap.
+//   - Optimizer state needs no section: every local round begins with
+//     opt.Reset() (pinned by the optim package's tests), so there is no
+//     cross-round optimizer state to save.
+//
+// Not snapshottable: methods with server-side aggregation state outside
+// RunState (Aggregator/PreRounder implementors — SlowMo's momentum,
+// SCAFFOLD's c, ...). Snapshot refuses them with a precise error rather
+// than silently resuming a half-restored method.
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/prng"
+)
+
+const (
+	snapMagic   = "FTRS"
+	snapVersion = 1
+	// snapMaxLen bounds every deserialized collection length: corrupt or
+	// adversarial length prefixes must not drive allocation.
+	snapMaxLen = 1 << 30
+)
+
+// snapWriter is a little-endian binary writer with sticky-error
+// accumulation: call sites stay linear and flush reports the first
+// failure.
+type snapWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func newSnapWriter(w io.Writer) *snapWriter { return &snapWriter{w: bufio.NewWriter(w)} }
+
+func (s *snapWriter) flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+func (s *snapWriter) raw(b []byte) {
+	if s.err == nil {
+		_, s.err = s.w.Write(b)
+	}
+}
+
+func (s *snapWriter) u8(v uint8) { s.raw([]byte{v}) }
+
+func (s *snapWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.raw(b[:])
+}
+
+func (s *snapWriter) i64(v int64)   { s.u64(uint64(v)) }
+func (s *snapWriter) num(v int)     { s.i64(int64(v)) }
+func (s *snapWriter) f64(v float64) { s.u64(math.Float64bits(v)) }
+
+func (s *snapWriter) boolv(v bool) {
+	if v {
+		s.u8(1)
+	} else {
+		s.u8(0)
+	}
+}
+
+func (s *snapWriter) str(v string) {
+	s.num(len(v))
+	s.raw([]byte(v))
+}
+
+func (s *snapWriter) floats(v []float64) {
+	s.num(len(v))
+	for _, x := range v {
+		s.f64(x)
+	}
+}
+
+func (s *snapWriter) i64s(v []int64) {
+	s.num(len(v))
+	for _, x := range v {
+		s.i64(x)
+	}
+}
+
+func (s *snapWriter) i32s(v []int32) {
+	s.num(len(v))
+	for _, x := range v {
+		s.i64(int64(x))
+	}
+}
+
+func (s *snapWriter) bools(v []bool) {
+	s.num(len(v))
+	for _, x := range v {
+		s.boolv(x)
+	}
+}
+
+func (s *snapWriter) rngState(st prng.State) {
+	s.u64(st.S)
+	s.f64(st.Spare)
+	s.boolv(st.HasSpare)
+}
+
+// snapReader mirrors snapWriter: little-endian reads with a sticky
+// error. Truncation surfaces as a precise "truncated snapshot" error,
+// not a zero value silently flowing into the run.
+type snapReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func newSnapReader(r io.Reader) *snapReader { return &snapReader{r: bufio.NewReader(r)} }
+
+// fail records the first error.
+func (s *snapReader) fail(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (s *snapReader) raw(b []byte) {
+	if s.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(s.r, b); err != nil {
+		s.err = fmt.Errorf("core: truncated snapshot: %w", err)
+	}
+}
+
+func (s *snapReader) u8() uint8 {
+	var b [1]byte
+	s.raw(b[:])
+	return b[0]
+}
+
+func (s *snapReader) u64() uint64 {
+	var b [8]byte
+	s.raw(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (s *snapReader) i64() int64   { return int64(s.u64()) }
+func (s *snapReader) f64() float64 { return math.Float64frombits(s.u64()) }
+
+func (s *snapReader) boolv() bool {
+	switch v := s.u8(); v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		s.fail("core: corrupt snapshot: bool byte %d", v)
+		return false
+	}
+}
+
+// length reads a collection length and bounds it.
+func (s *snapReader) length(what string, max int) int {
+	n := s.i64()
+	if s.err != nil {
+		return 0
+	}
+	if n < 0 || n > int64(max) {
+		s.fail("core: corrupt snapshot: %s length %d outside [0,%d]", what, n, max)
+		return 0
+	}
+	return int(n)
+}
+
+func (s *snapReader) num(what string) int {
+	n := s.i64()
+	if n < math.MinInt32 || n > math.MaxInt32 {
+		s.fail("core: corrupt snapshot: %s value %d out of range", what, n)
+		return 0
+	}
+	return int(n)
+}
+
+func (s *snapReader) str(what string) string {
+	n := s.length(what, snapMaxLen)
+	if s.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	s.raw(b)
+	return string(b)
+}
+
+func (s *snapReader) floats(what string) []float64 {
+	n := s.length(what, snapMaxLen)
+	if s.err != nil {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = s.f64()
+	}
+	return v
+}
+
+func (s *snapReader) i64s(what string) []int64 {
+	n := s.length(what, snapMaxLen)
+	if s.err != nil {
+		return nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = s.i64()
+	}
+	return v
+}
+
+func (s *snapReader) i32s(what string) []int32 {
+	n := s.length(what, snapMaxLen)
+	if s.err != nil {
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		x := s.i64()
+		if x < math.MinInt32 || x > math.MaxInt32 {
+			s.fail("core: corrupt snapshot: %s[%d] value %d out of range", what, i, x)
+			return nil
+		}
+		v[i] = int32(x)
+	}
+	return v
+}
+
+func (s *snapReader) bools(what string) []bool {
+	n := s.length(what, snapMaxLen)
+	if s.err != nil {
+		return nil
+	}
+	v := make([]bool, n)
+	for i := range v {
+		v[i] = s.boolv()
+	}
+	return v
+}
+
+func (s *snapReader) rngState() prng.State {
+	var st prng.State
+	st.S = s.u64()
+	st.Spare = s.f64()
+	st.HasSpare = s.boolv()
+	return st
+}
+
+// fingerprint canonically renders everything that determines the run's
+// trajectory. Resume compares it string-to-string, so a mismatch error
+// names exactly what the caller changed. Function-valued fields (hooks,
+// a custom Discount) and Shards cannot be fingerprinted — Shards never
+// affects a trajectory by construction, and the resolved policy name
+// covers the built-in discount chain; a bespoke Discount function is the
+// caller's responsibility to keep identical across resume.
+func (sp *RunSpec) fingerprint(numParams int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime=%s algo=%s policy=%s", sp.Runtime, sp.Algo.Name(), sp.Policy.Name())
+	fmt.Fprintf(&b, " rounds=%d n=%d k=%d batch=%d epochs=%d", sp.Rounds, len(sp.Parts), sp.ClientsPerRound, sp.BatchSize, sp.LocalEpochs)
+	fmt.Fprintf(&b, " lr=%g mom=%g clip=%g seed=%d evalevery=%d", sp.LR, sp.Momentum, sp.ClipNorm, sp.Seed, sp.EvalEvery)
+	fmt.Fprintf(&b, " conc=%d buf=%d", sp.Concurrency, sp.BufferSize)
+	lat, dev, ch := "none", "none", "none"
+	if sp.Latency != nil {
+		lat = sp.Latency.String()
+	}
+	if sp.Devices != nil {
+		dev = sp.Devices.String()
+	}
+	if sp.Churn != nil {
+		ch = sp.Churn.String()
+	}
+	fmt.Fprintf(&b, " latency=%s devices=%s floprate=%g adaptive=%t churn=%s", lat, dev, sp.FlopRate, sp.AdaptiveLocalSteps, ch)
+	fmt.Fprintf(&b, " target=%g stop=%t transport=%t", sp.TargetAccuracy, sp.StopAtTarget, sp.Transport != nil)
+	// The partition is re-derived by the caller; an FNV-1a hash over the
+	// per-client sizes catches the common mistake (different -alpha or
+	// client count) without embedding N index slices in every header.
+	h := uint64(14695981039346656037)
+	for _, p := range sp.Parts {
+		h = (h ^ uint64(len(p))) * 1099511628211
+	}
+	fmt.Fprintf(&b, " params=%d train=%d test=%d parts=%016x", numParams, sp.Train.Len(), sp.Test.Len(), h)
+	return b.String()
+}
+
+// Snapshot serializes the run's complete live state at the current round
+// boundary. The run stays usable afterwards: Snapshot quiesces in-flight
+// training (a pure reordering of work that was about to happen anyway)
+// but drops nothing, so snapshot-and-continue and snapshot-and-exit both
+// work. Returns an error for methods whose aggregation state lives
+// outside the runtime (Aggregator/PreRounder implementors).
+func (rs *RunState) Snapshot(w io.Writer) error {
+	s := rs.run.server()
+	if _, ok := s.cfg.Algo.(Aggregator); ok {
+		return fmt.Errorf("core: cannot snapshot a %s run: the method keeps server-side aggregation state the runtime cannot serialize", s.cfg.Algo.Name())
+	}
+	if _, ok := s.cfg.Algo.(PreRounder); ok {
+		return fmt.Errorf("core: cannot snapshot a %s run: the method keeps pre-round server state the runtime cannot serialize", s.cfg.Algo.Name())
+	}
+	rs.run.quiesce()
+	rec := rs.run.recorder()
+	rec.syncEvals()
+
+	sw := newSnapWriter(w)
+	sw.raw([]byte(snapMagic))
+	sw.u8(snapVersion)
+	sw.str(rs.spec.fingerprint(len(s.global)))
+	rs.snapshotCommon(sw)
+	rs.run.snapshotBody(sw)
+	return sw.flush()
+}
+
+// snapshotCommon serializes the state shared by every runtime: the
+// global model, the selection stream, the client population, and the
+// recorder (metric series plus the published accuracies).
+func (rs *RunState) snapshotCommon(sw *snapWriter) {
+	s := rs.run.server()
+	sw.floats(s.global)
+	sw.rngState(s.rng.State())
+
+	sw.num(len(s.clients))
+	for _, c := range s.clients {
+		sw.boolv(c.Hist != nil)
+		if c.Hist != nil {
+			sw.floats(c.Hist)
+		}
+		sw.num(c.LastRound)
+		sw.boolv(c.rng != nil)
+		if c.rng != nil {
+			sw.rngState(c.rng.State())
+		}
+		sw.i64(c.Counter.Total())
+		writeScalarMap(sw, c.scalars)
+		writeVecMap(sw, c.state)
+	}
+
+	rec := rs.run.recorder()
+	res := rec.res
+	sw.num(res.Rounds)
+	sw.floats(res.TrainLoss)
+	sw.i64s(res.CommBytesByRound)
+	sw.floats(res.GFLOPsByRound)
+	sw.floats(res.SimTimeByRound)
+	sw.floats(res.MeanStalenessByRound)
+	sw.num(res.DroppedUpdates)
+	sw.num(res.RoundsToTarget)
+	sw.i64(rec.cumComm)
+	sw.num(rec.prevEval)
+	sw.num(rec.lastSubmitted)
+	sw.f64(rec.lastAcc)
+	accs := rec.ev.exportAccs()
+	rounds := make([]int, 0, len(accs))
+	for r := range accs {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	sw.num(len(rounds))
+	for _, r := range rounds {
+		sw.num(r)
+		sw.f64(accs[r])
+	}
+}
+
+// restoreCommon is snapshotCommon's inverse, with structural validation
+// against the freshly built run.
+func (rs *RunState) restoreCommon(sr *snapReader) {
+	s := rs.run.server()
+	global := sr.floats("global model")
+	if sr.err == nil && len(global) != len(s.global) {
+		sr.fail("core: corrupt snapshot: global model has %d parameters, the spec builds %d", len(global), len(s.global))
+	}
+	if sr.err != nil {
+		return
+	}
+	copy(s.global, global)
+	s.rng.SetState(sr.rngState())
+
+	n := sr.num("client count")
+	if sr.err == nil && n != len(s.clients) {
+		sr.fail("core: corrupt snapshot: %d clients, the spec builds %d", n, len(s.clients))
+	}
+	for i := 0; i < n && sr.err == nil; i++ {
+		c := s.clients[i]
+		if sr.boolv() {
+			hist := sr.floats("client historical model")
+			if sr.err == nil && len(hist) != len(s.global) {
+				sr.fail("core: corrupt snapshot: client %d historical model has %d parameters, want %d", i, len(hist), len(s.global))
+			}
+			c.Hist = hist
+		} else {
+			c.Hist = nil
+		}
+		c.LastRound = sr.num("client last round")
+		if sr.boolv() {
+			if c.rng == nil {
+				c.rng = prng.New(0)
+			}
+			c.rng.SetState(sr.rngState())
+		} else {
+			c.rng = nil
+		}
+		total := sr.i64()
+		c.Counter.Reset()
+		c.Counter.Add(total)
+		c.scalars = readScalarMap(sr)
+		c.state = readVecMap(sr, len(s.global))
+	}
+
+	rec := rs.run.recorder()
+	res := rec.res
+	res.Rounds = sr.num("rounds")
+	res.TrainLoss = sr.floats("train-loss series")
+	res.CommBytesByRound = sr.i64s("comm-bytes series")
+	res.GFLOPsByRound = sr.floats("gflops series")
+	res.SimTimeByRound = sr.floats("sim-time series")
+	res.MeanStalenessByRound = sr.floats("staleness series")
+	res.DroppedUpdates = sr.num("dropped updates")
+	res.RoundsToTarget = sr.num("rounds to target")
+	rec.cumComm = sr.i64()
+	rec.prevEval = sr.num("previous evaluation round")
+	rec.lastSubmitted = sr.num("last submitted evaluation round")
+	rec.lastAcc = sr.f64()
+	nAccs := sr.length("accuracy map", snapMaxLen)
+	accs := make(map[int]float64, nAccs)
+	for i := 0; i < nAccs && sr.err == nil; i++ {
+		r := sr.num("accuracy round")
+		accs[r] = sr.f64()
+	}
+	if sr.err == nil {
+		rec.ev.preload(accs)
+	}
+	if sr.err == nil && (len(res.TrainLoss) != res.Rounds || len(res.CommBytesByRound) != res.Rounds || len(res.GFLOPsByRound) != res.Rounds) {
+		sr.fail("core: corrupt snapshot: metric series lengths (%d/%d/%d) disagree with %d recorded rounds",
+			len(res.TrainLoss), len(res.CommBytesByRound), len(res.GFLOPsByRound), res.Rounds)
+	}
+}
+
+func writeScalarMap(sw *snapWriter, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sw.num(len(keys))
+	for _, k := range keys {
+		sw.str(k)
+		sw.f64(m[k])
+	}
+}
+
+func readScalarMap(sr *snapReader) map[string]float64 {
+	n := sr.length("scalar map", snapMaxLen)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]float64, n)
+	for i := 0; i < n && sr.err == nil; i++ {
+		k := sr.str("scalar name")
+		m[k] = sr.f64()
+	}
+	return m
+}
+
+func writeVecMap(sw *snapWriter, m map[string][]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sw.num(len(keys))
+	for _, k := range keys {
+		sw.str(k)
+		sw.floats(m[k])
+	}
+}
+
+func readVecMap(sr *snapReader, numParams int) map[string][]float64 {
+	n := sr.length("state-vector map", snapMaxLen)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string][]float64, n)
+	for i := 0; i < n && sr.err == nil; i++ {
+		k := sr.str("state-vector name")
+		v := sr.floats("state vector")
+		if sr.err == nil && len(v) != numParams {
+			sr.fail("core: corrupt snapshot: state vector %q has %d elements, want %d", k, len(v), numParams)
+			return nil
+		}
+		m[k] = v
+	}
+	return m
+}
+
+// writeJob serializes one quiesced in-flight (or buffered) job: its
+// scheduling key, dispatch parameters, and the finished update. The
+// global-model snapshot the client trained from is NOT serialized — the
+// training already consumed it.
+func writeJob(sw *snapWriter, j *trainJob) {
+	sw.num(j.c.ID)
+	sw.num(j.round)
+	sw.f64(j.finish)
+	sw.num(j.seq)
+	sw.num(j.steps)
+	sw.f64(j.speed)
+	sw.boolv(j.dropped)
+	sw.i64(j.flops)
+	sw.num(j.update.ClientID)
+	sw.floats(j.update.Params)
+	sw.num(j.update.NumSamples)
+	sw.f64(j.update.TrainLoss)
+}
+
+// readJob reconstructs a quiesced job. The done channel carries no token
+// and trained is true: the arrival path must not (and will not) join it
+// again; paramsPool.put(nil) on the absent global snapshot is a no-op.
+func readJob(sr *snapReader, s *Server) *trainJob {
+	id := sr.num("job client")
+	if sr.err == nil && (id < 0 || id >= len(s.clients)) {
+		sr.fail("core: corrupt snapshot: job client %d outside population of %d", id, len(s.clients))
+	}
+	if sr.err != nil {
+		return nil
+	}
+	j := &trainJob{
+		c:       s.clients[id],
+		done:    make(chan struct{}, 1),
+		trained: true,
+		heapIdx: -1,
+	}
+	j.round = sr.num("job round")
+	j.finish = sr.f64()
+	j.seq = sr.num("job sequence")
+	j.steps = sr.num("job steps")
+	j.speed = sr.f64()
+	j.dropped = sr.boolv()
+	j.flops = sr.i64()
+	j.update.ClientID = sr.num("update client")
+	j.update.Params = sr.floats("update params")
+	j.update.NumSamples = sr.num("update samples")
+	j.update.TrainLoss = sr.f64()
+	j.update.pooled = true
+	if sr.err == nil && len(j.update.Params) != len(s.global) {
+		sr.fail("core: corrupt snapshot: job update has %d parameters, want %d", len(j.update.Params), len(s.global))
+		return nil
+	}
+	return j
+}
+
+// writePopulation serializes the scheduler-facing fleet state. The idle
+// set's ids array is order-sensitive — a uniform pick indexes into it —
+// so it serializes verbatim, not as a set.
+func writePopulation(sw *snapWriter, p *population) {
+	sw.i32s(p.dispatches)
+	sw.i32s(p.idle.ids)
+}
+
+func readPopulation(sr *snapReader, p *population) {
+	n := len(p.dispatches)
+	dispatches := sr.i32s("dispatch counts")
+	ids := sr.i32s("idle set")
+	if sr.err != nil {
+		return
+	}
+	if len(dispatches) != n || len(ids) > n {
+		sr.fail("core: corrupt snapshot: fleet state sized %d/%d, population is %d", len(dispatches), len(ids), n)
+		return
+	}
+	copy(p.dispatches, dispatches)
+	p.idle.ids = p.idle.ids[:0]
+	for i := range p.idle.pos {
+		p.idle.pos[i] = -1
+	}
+	for i, id := range ids {
+		if id < 0 || int(id) >= n {
+			sr.fail("core: corrupt snapshot: idle client %d outside population of %d", id, n)
+			return
+		}
+		p.idle.ids = append(p.idle.ids, id)
+		p.idle.pos[id] = int32(i)
+	}
+}
+
+// writeChurn serializes the availability process verbatim: per-client
+// phase arrays, the generation counters that lazily invalidate stale
+// events, and the event heap in array order.
+func writeChurn(sw *snapWriter, c *churn) {
+	sw.bools(c.offline)
+	sw.bools(c.dead)
+	sw.i32s(c.gen)
+	sw.num(c.nOffline)
+	sw.i64(c.seq)
+	sw.rngState(c.rng.State())
+	sw.num(len(c.h.es))
+	for _, e := range c.h.es {
+		sw.f64(e.at)
+		sw.i64(e.seq)
+		sw.i64(int64(e.id))
+		sw.i64(int64(e.gen))
+		sw.u8(uint8(e.kind))
+	}
+}
+
+func readChurn(sr *snapReader, c *churn) {
+	n := len(c.offline)
+	offline := sr.bools("churn offline")
+	dead := sr.bools("churn dead")
+	gen := sr.i32s("churn generations")
+	if sr.err == nil && (len(offline) != n || len(dead) != n || len(gen) != n) {
+		sr.fail("core: corrupt snapshot: churn state sized %d/%d/%d, population is %d", len(offline), len(dead), len(gen), n)
+	}
+	if sr.err != nil {
+		return
+	}
+	copy(c.offline, offline)
+	copy(c.dead, dead)
+	copy(c.gen, gen)
+	c.nOffline = sr.num("churn offline count")
+	c.seq = sr.i64()
+	c.rng.SetState(sr.rngState())
+	nEvents := sr.length("churn event heap", snapMaxLen)
+	c.h.es = c.h.es[:0]
+	for i := 0; i < nEvents && sr.err == nil; i++ {
+		var e churnEvent
+		e.at = sr.f64()
+		e.seq = sr.i64()
+		e.id = int32(sr.num("churn event client"))
+		e.gen = int32(sr.num("churn event generation"))
+		e.kind = churnEventKind(sr.u8())
+		if sr.err == nil && e.kind > churnMass {
+			sr.fail("core: corrupt snapshot: churn event kind %d", e.kind)
+			return
+		}
+		c.h.es = append(c.h.es, e)
+	}
+}
+
+// --- per-runner bodies ---
+
+func (r *syncRunner) snapshotBody(sw *snapWriter) {
+	sw.num(r.t)
+}
+
+func (r *syncRunner) restoreBody(sr *snapReader) error {
+	r.t = sr.num("completed rounds")
+	return sr.err
+}
+
+func (r *barrierRunner) snapshotBody(sw *snapWriter) {
+	sw.num(r.t)
+	sw.i64(r.flopsTotal)
+	sw.f64(r.a.now)
+	sw.rngState(r.a.latRng.State())
+	writePopulation(sw, r.a.pop)
+}
+
+func (r *barrierRunner) restoreBody(sr *snapReader) error {
+	r.t = sr.num("completed rounds")
+	r.flopsTotal = sr.i64()
+	r.a.now = sr.f64()
+	r.a.latRng.SetState(sr.rngState())
+	readPopulation(sr, r.a.pop)
+	return sr.err
+}
+
+func (r *bufferedRunner) snapshotBody(sw *snapWriter) {
+	a := r.a
+	sw.num(r.aggs)
+	sw.num(r.seq)
+	sw.i64(r.flopsTotal)
+	sw.f64(a.now)
+	sw.rngState(a.latRng.State())
+	writePopulation(sw, a.pop)
+	// The event heap in array order: restoring verbatim (heapIdx = slot)
+	// preserves both the heap invariant and the exact layout, so a
+	// resumed run's pops and sift paths replay identically.
+	sw.num(len(r.inflight.js))
+	for _, j := range r.inflight.js {
+		writeJob(sw, j)
+	}
+	sw.num(len(r.buffer))
+	for _, j := range r.buffer {
+		writeJob(sw, j)
+	}
+	sw.boolv(a.churn != nil)
+	if a.churn != nil {
+		writeChurn(sw, a.churn)
+	}
+}
+
+func (r *bufferedRunner) restoreBody(sr *snapReader) error {
+	a, s := r.a, r.a.s
+	r.aggs = sr.num("completed aggregations")
+	r.seq = sr.num("dispatch sequence")
+	r.flopsTotal = sr.i64()
+	a.now = sr.f64()
+	a.latRng.SetState(sr.rngState())
+	readPopulation(sr, a.pop)
+	nInflight := sr.length("in-flight jobs", snapMaxLen)
+	r.inflight.js = r.inflight.js[:0]
+	for i := 0; i < nInflight && sr.err == nil; i++ {
+		j := readJob(sr, s)
+		if j == nil {
+			break
+		}
+		j.heapIdx = i
+		r.inflight.js = append(r.inflight.js, j)
+		a.pop.inflight[j.c.ID] = j
+	}
+	nBuffer := sr.length("buffered jobs", snapMaxLen)
+	r.buffer = r.buffer[:0]
+	for i := 0; i < nBuffer && sr.err == nil; i++ {
+		j := readJob(sr, s)
+		if j == nil {
+			break
+		}
+		r.buffer = append(r.buffer, j)
+	}
+	hasChurn := sr.boolv()
+	if sr.err == nil && hasChurn != (a.churn != nil) {
+		sr.fail("core: corrupt snapshot: churn section present=%t, spec churn present=%t", hasChurn, a.churn != nil)
+	}
+	if sr.err == nil && hasChurn {
+		readChurn(sr, a.churn)
+	}
+	return sr.err
+}
+
+// ResumeSpec describes how to reconstruct a snapshotted run. Spec must
+// rebuild the same run the snapshot was taken from: same method, policy,
+// hyperparameters, seed, datasets, and partition — Resume verifies this
+// against the snapshot's fingerprint and reports exactly what differs.
+// Function-valued fields (Logf, OnRound, OnUpdates, a fresh Transport)
+// may differ freely; they are not part of the trajectory fingerprint.
+type ResumeSpec struct {
+	Spec RunSpec
+}
+
+// Resume reconstructs a run from a Snapshot stream and returns it
+// positioned at the snapshotted round boundary, ready to Step (or Run)
+// onward. The continuation is bit-for-bit identical to the original run
+// having never stopped: same model trajectory, same metric series, same
+// RNG draws. (One caveat: a MeteredTransport's wire-byte counters start
+// from zero in the new process, exactly like the fresh counters of the
+// uninterrupted run's first rounds — analytic comm accounting, the
+// default, is unaffected.)
+func Resume(r io.Reader, rspec ResumeSpec) (*RunState, error) {
+	spec := rspec.Spec
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rs, err := newRunState(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := rs.restore(r); err != nil {
+		rs.Close()
+		return nil, err
+	}
+	return rs, nil
+}
+
+// restore reads a snapshot stream into the freshly built run.
+func (rs *RunState) restore(r io.Reader) error {
+	sr := newSnapReader(r)
+	var magic [4]byte
+	sr.raw(magic[:])
+	if sr.err != nil {
+		return sr.err
+	}
+	if string(magic[:]) != snapMagic {
+		return fmt.Errorf("core: not a run snapshot (magic %q, want %q)", magic[:], snapMagic)
+	}
+	if v := sr.u8(); sr.err == nil && v != snapVersion {
+		return fmt.Errorf("core: run snapshot version %d, this build reads version %d", v, snapVersion)
+	}
+	theirs := sr.str("fingerprint")
+	if sr.err != nil {
+		return sr.err
+	}
+	ours := rs.spec.fingerprint(len(rs.run.server().global))
+	if theirs != ours {
+		return fmt.Errorf("core: snapshot was taken from a different run:\n  snapshot: %s\n  spec:     %s", theirs, ours)
+	}
+	rs.restoreCommon(sr)
+	if sr.err != nil {
+		return sr.err
+	}
+	return rs.run.restoreBody(sr)
+}

@@ -19,7 +19,6 @@ import (
 // convergence while cutting upload traffic ~4x versus float32, and
 // degrades gracefully at 4 bits.
 func runExtQuant(p Profile, logf Logf) ([]*Table, error) {
-	warnBespokeHarness(p, logf, "ext-quant")
 	clients := p.Clients
 	perClient, err := p.samplesPerClient(data.KindMNIST)
 	if err != nil {
@@ -47,14 +46,26 @@ func runExtQuant(p Profile, logf Logf) ([]*Table, error) {
 			Algo: core.NewFedTrip(0.4), Seed: p.Seed,
 		}
 	}
+	// Every variant goes through Case.runSpec + core.Start, so the
+	// profile's runtime selection (-runtime/-latency/-device-dist/
+	// -dropout) reaches this experiment like any table-driven one; only
+	// the uplink transport varies per row.
+	c := Case{Kind: data.KindMNIST, Arch: nn.ArchCNN, Scheme: partition.Dirichlet(0.5), Algo: "fedtrip"}
+	runVariant := func(tr core.Transport) (*core.Result, error) {
+		cfg := baseConfig()
+		cfg.Transport = tr // nil = the paper's analytic float32 accounting
+		spec, err := c.runSpec(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return core.Start(spec)
+	}
 	runQuantized := func(bits int) (*core.Result, int64, error) {
 		tr, err := quantize.NewTransport(bits)
 		if err != nil {
 			return nil, 0, err
 		}
-		cfg := baseConfig()
-		cfg.Transport = tr
-		res, err := core.Run(cfg)
+		res, err := runVariant(tr)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -74,7 +85,7 @@ func runExtQuant(p Profile, logf Logf) ([]*Table, error) {
 	f32Bytes := func(rounds int) int64 {
 		return int64(rounds) * int64(p.PerRound) * int64(4*model.NumParams())
 	}
-	base, err := core.Run(baseConfig())
+	base, err := runVariant(nil)
 	if err != nil {
 		return nil, err
 	}

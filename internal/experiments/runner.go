@@ -469,10 +469,10 @@ func formatRounds(mean float64, reached bool) string {
 }
 
 // warnBespokeHarness makes the bespoke measurement harnesses (fig2/fig3,
-// theory-xi/rho, ext-quant) say out loud that they ignore the
-// profile-level runtime selection: they still call core.Run directly
-// with hand-built configs (their trace collection and mid-run snapshot
-// hooks are not expressible through Case.runSpec yet — see ROADMAP), so
+// theory-xi/rho) say out loud that they ignore the profile-level runtime
+// selection: they still call core.Run directly with hand-built configs
+// (their trace collection and mid-run snapshot hooks are not expressible
+// through Case.runSpec yet — see ROADMAP; ext-quant has been ported), so
 // -runtime/-latency/-device-dist/-dropout do not reach them. Without the
 // warning a latency-priced invocation renders an unpriced table that
 // looks priced.

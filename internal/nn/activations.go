@@ -2,8 +2,8 @@ package nn
 
 import (
 	"fmt"
-	"math/rand"
 
+	"repro/internal/prng"
 	"repro/internal/tensor"
 )
 
@@ -29,7 +29,7 @@ func (l *reluLayer) Resolve(in []int) ([]int, error) {
 }
 
 func (l *reluLayer) ParamCount() int                              { return 0 }
-func (l *reluLayer) Bind(params, grads []float64, rng *rand.Rand) {}
+func (l *reluLayer) Bind(params, grads []float64, rng *prng.Rand) {}
 
 func (l *reluLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Numel()
@@ -94,7 +94,7 @@ func (l *flattenLayer) Resolve(in []int) ([]int, error) {
 }
 
 func (l *flattenLayer) ParamCount() int                              { return 0 }
-func (l *flattenLayer) Bind(params, grads []float64, rng *rand.Rand) {}
+func (l *flattenLayer) Bind(params, grads []float64, rng *prng.Rand) {}
 
 func (l *flattenLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if l.fwd == nil || len(l.fwd.Data) != len(x.Data) || &l.fwd.Data[0] != &x.Data[0] {
@@ -118,7 +118,7 @@ func (l *flattenLayer) FwdFLOPs() float64 { return 0 }
 type dropoutLayer struct {
 	p     float64
 	shape []int
-	rng   *rand.Rand
+	rng   *prng.Rand
 	keep  []bool
 	y     *tensor.Tensor
 	dx    *tensor.Tensor
@@ -143,7 +143,7 @@ func (l *dropoutLayer) Resolve(in []int) ([]int, error) {
 
 func (l *dropoutLayer) ParamCount() int { return 0 }
 
-func (l *dropoutLayer) Bind(params, grads []float64, rng *rand.Rand) {
+func (l *dropoutLayer) Bind(params, grads []float64, rng *prng.Rand) {
 	l.rng = rng
 }
 

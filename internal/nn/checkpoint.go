@@ -1,22 +1,66 @@
 package nn
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
 	"repro/internal/tensor"
 )
 
+// Model checkpoint format:
+//
+//	magic    [4]byte  "FTCK"
+//	version  uint8    currently 1
+//	params   tensor vector ("FTV1" + count + float64 values)
+//
+// The magic/version envelope lets the format grow (and lets readers say
+// precisely why a file is unreadable) without guessing from the payload.
+// LoadParams also accepts the bare pre-envelope "FTV1" vector that early
+// checkpoints were, so old -save files keep loading.
+const (
+	checkpointMagic   = "FTCK"
+	checkpointVersion = 1
+)
+
 // SaveParams writes the model's parameter vector as a checkpoint (full
-// float64 precision).
+// float64 precision) under the versioned FTCK envelope.
 func (m *Model) SaveParams(w io.Writer) error {
+	if _, err := w.Write([]byte(checkpointMagic)); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{checkpointVersion}); err != nil {
+		return err
+	}
 	return tensor.WriteVector(w, m.params)
 }
 
-// LoadParams restores a checkpoint written by SaveParams. The stored
-// vector must match the model's parameter count exactly — loading an MLP
-// checkpoint into a CNN is an error, not a silent truncation.
+// LoadParams restores a checkpoint written by SaveParams. Wrong-magic,
+// wrong-version, and truncated files fail with errors naming the defect;
+// the stored vector must match the model's parameter count exactly —
+// loading an MLP checkpoint into a CNN is an error, not a silent
+// truncation. The model is never mutated on a failed load.
 func (m *Model) LoadParams(r io.Reader) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("nn: truncated checkpoint: %w", err)
+	}
+	switch string(magic[:]) {
+	case checkpointMagic:
+		var ver [1]byte
+		if _, err := io.ReadFull(r, ver[:]); err != nil {
+			return fmt.Errorf("nn: truncated checkpoint: %w", err)
+		}
+		if ver[0] != checkpointVersion {
+			return fmt.Errorf("nn: checkpoint version %d, this build reads version %d", ver[0], checkpointVersion)
+		}
+	case "FTV1":
+		// Legacy envelope-less checkpoint: the magic we consumed is the
+		// vector's own header, so hand it back to the vector reader.
+		r = io.MultiReader(bytes.NewReader(magic[:]), r)
+	default:
+		return fmt.Errorf("nn: not a model checkpoint (magic %q, want %q)", magic[:], checkpointMagic)
+	}
 	v, err := tensor.ReadVector(r)
 	if err != nil {
 		return err

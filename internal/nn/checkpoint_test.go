@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/tensor"
@@ -49,5 +50,71 @@ func TestCheckpointGarbage(t *testing.T) {
 	m, _ := (ModelSpec{Arch: ArchMLP, Channels: 1, Height: 8, Width: 8, Classes: 5}).Build(1)
 	if err := m.LoadParams(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// TestCheckpointLegacyFTV1 keeps pre-envelope checkpoints (a bare tensor
+// vector, no FTCK header) loadable.
+func TestCheckpointLegacyFTV1(t *testing.T) {
+	spec := ModelSpec{Arch: ArchMLP, Channels: 1, Height: 8, Width: 8, Classes: 5}
+	m1, err := spec.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tensor.WriteVector(&buf, m1.Params()); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := spec.Build(2)
+	if err := m2.LoadParams(&buf); err != nil {
+		t.Fatalf("legacy FTV1 checkpoint rejected: %v", err)
+	}
+	if tensor.MaxAbsDiff(m1.Params(), m2.Params()) != 0 {
+		t.Fatal("legacy checkpoint did not restore parameters")
+	}
+}
+
+// TestCheckpointRejects pins the precise-error contract: wrong magic,
+// wrong version, and truncation at every layer of the envelope each name
+// the defect, and a failed load never mutates the model.
+func TestCheckpointRejects(t *testing.T) {
+	spec := ModelSpec{Arch: ArchMLP, Channels: 1, Height: 8, Width: 8, Classes: 5}
+	m, err := spec.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string
+	}{
+		{"wrong magic", append([]byte("NOPE"), good[4:]...), "not a model checkpoint"},
+		{"wrong version", append(append([]byte("FTCK"), 9), good[5:]...), "version 9"},
+		{"empty", nil, "truncated"},
+		{"truncated magic", good[:2], "truncated"},
+		{"truncated version", good[:4], "truncated"},
+		{"truncated vector header", good[:8], "tensor"},
+		{"truncated payload", good[:len(good)/2], "tensor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := m.ParamsCopy()
+			err := m.LoadParams(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("bad checkpoint accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if tensor.MaxAbsDiff(before, m.Params()) != 0 {
+				t.Fatal("failed load mutated the model")
+			}
+		})
 	}
 }

@@ -3,10 +3,10 @@ package nn
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 
 	"repro/internal/parallel"
+	"repro/internal/prng"
 	"repro/internal/tensor"
 )
 
@@ -83,7 +83,7 @@ func (l *convLayer) ParamCount() int {
 	return l.outC*l.geom.ColRows() + l.outC
 }
 
-func (l *convLayer) Bind(params, grads []float64, rng *rand.Rand) {
+func (l *convLayer) Bind(params, grads []float64, rng *prng.Rand) {
 	nw := l.outC * l.geom.ColRows()
 	l.w, l.b = params[:nw], params[nw:]
 	l.dw, l.db = grads[:nw], grads[nw:]
@@ -249,7 +249,7 @@ func (l *maxPoolLayer) Resolve(in []int) ([]int, error) {
 }
 
 func (l *maxPoolLayer) ParamCount() int                              { return 0 }
-func (l *maxPoolLayer) Bind(params, grads []float64, rng *rand.Rand) {}
+func (l *maxPoolLayer) Bind(params, grads []float64, rng *prng.Rand) {}
 
 func (l *maxPoolLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)

@@ -3,8 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"repro/internal/prng"
 	"repro/internal/tensor"
 )
 
@@ -42,7 +42,7 @@ func (l *denseLayer) Resolve(in []int) ([]int, error) {
 
 func (l *denseLayer) ParamCount() int { return l.in*l.out + l.out }
 
-func (l *denseLayer) Bind(params, grads []float64, rng *rand.Rand) {
+func (l *denseLayer) Bind(params, grads []float64, rng *prng.Rand) {
 	l.w, l.b = params[:l.in*l.out], params[l.in*l.out:]
 	l.dw, l.db = grads[:l.in*l.out], grads[l.in*l.out:]
 	l.wView = tensor.FromSlice(l.w, l.in, l.out)

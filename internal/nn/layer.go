@@ -12,7 +12,7 @@
 package nn
 
 import (
-	"math/rand"
+	"repro/internal/prng"
 
 	"repro/internal/tensor"
 )
@@ -32,7 +32,7 @@ type Layer interface {
 	ParamCount() int
 	// Bind hands the layer its parameter and gradient storage (subslices
 	// of the model's flat vectors) and initialises the parameters.
-	Bind(params, grads []float64, rng *rand.Rand)
+	Bind(params, grads []float64, rng *prng.Rand)
 	// Forward computes the layer output for a batch x of shape
 	// [N, inShape...]. train enables training-only behaviour (dropout).
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor

@@ -2,9 +2,9 @@ package nn
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/flops"
+	"repro/internal/prng"
 	"repro/internal/tensor"
 )
 
@@ -76,7 +76,7 @@ func (b *Builder) Build(seed int64) (*Model, error) {
 		featureDim: featureDim,
 		params:     make([]float64, total),
 		grads:      make([]float64, total),
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        prng.New(seed),
 		fwdFLOPs:   fwd,
 	}
 	off := 0
@@ -98,7 +98,7 @@ type Model struct {
 	featureDim int
 	params     []float64
 	grads      []float64
-	rng        *rand.Rand
+	rng        *prng.Rand
 	fwdFLOPs   float64
 	counter    *flops.Counter
 	features   *tensor.Tensor // input to the final layer, cached by Forward

@@ -16,10 +16,21 @@ type Optimizer interface {
 	// keep state (momentum buffers) sized to len(w) on first use.
 	Step(w, g []float64)
 	// Reset clears internal state (called when a client receives a fresh
-	// global model at the start of a round).
+	// global model at the start of a round). Because every local round
+	// begins with Reset, optimizer state never crosses a round boundary —
+	// the invariant that lets core run snapshots, which are taken at
+	// round boundaries, omit optimizer state entirely.
 	Reset()
 	// Name identifies the optimizer for logging.
 	Name() string
+}
+
+// Stateful is the optional inspection interface for optimizers that keep
+// per-parameter slot state between Steps. Slots returns a copy of each
+// named slot; a fresh or Reset optimizer reports all-zero (or empty)
+// slots.
+type Stateful interface {
+	Slots() map[string][]float64
 }
 
 // SGD is vanilla stochastic gradient descent.
@@ -77,3 +88,11 @@ func (o *SGDMomentum) Reset() {
 }
 
 func (o *SGDMomentum) Name() string { return "sgdm" }
+
+// Slots exposes the momentum buffer for inspection (Stateful). The
+// returned slice is a copy; before the first Step it is empty.
+func (o *SGDMomentum) Slots() map[string][]float64 {
+	buf := make([]float64, len(o.buf))
+	copy(buf, o.buf)
+	return map[string][]float64{"momentum": buf}
+}

@@ -64,6 +64,36 @@ func TestSGDMomentumReset(t *testing.T) {
 	}
 }
 
+// TestSlotsRoundScoped documents the invariant core run snapshots rely
+// on: optimizer slot state accumulates within a round and Reset clears
+// it, so state taken at a round boundary (where every engine has been
+// Reset or will be Reset before its next use) never needs serializing.
+func TestSlotsRoundScoped(t *testing.T) {
+	o := NewSGDMomentum(0.1, 0.9)
+	var _ Stateful = o // compile-time: SGDMomentum is inspectable
+
+	if got := o.Slots()["momentum"]; len(got) != 0 {
+		t.Fatalf("fresh optimizer has %d momentum entries", len(got))
+	}
+	w := []float64{0, 0}
+	o.Step(w, []float64{1, -1})
+	slots := o.Slots()["momentum"]
+	if len(slots) != 2 || slots[0] == 0 || slots[1] == 0 {
+		t.Fatalf("mid-round momentum %v should be non-zero", slots)
+	}
+	// Slots is a copy: mutating it must not touch the optimizer.
+	slots[0] = 123
+	if o.Slots()["momentum"][0] == 123 {
+		t.Fatal("Slots returned the live buffer")
+	}
+	o.Reset()
+	for i, v := range o.Slots()["momentum"] {
+		if v != 0 {
+			t.Fatalf("post-Reset momentum[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
 func TestConstructorsPanicOnBadArgs(t *testing.T) {
 	for _, f := range []func(){
 		func() { NewSGD(0) },

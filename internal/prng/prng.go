@@ -1,0 +1,178 @@
+// Package prng is the runtime's serializable pseudo-random source. Every
+// stochastic choice a federated run makes — client selection, mini-batch
+// shuffling, latency draws, device sampling, churn, weight initialisation —
+// flows through a prng.Rand instead of math/rand, because a run must be a
+// serializable value: checkpoint/resume needs to export the exact position
+// of every stream and restore it bit-for-bit, which math/rand.Rand (617
+// words of hidden lagged-Fibonacci state, no accessors) cannot do.
+//
+// The generator is splitmix64 (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014): one uint64 of state, a
+// fixed Weyl increment, and a 3-round finalizer. It passes BigCrush, its
+// entire state is one word (plus one buffered Gaussian for NormFloat64's
+// pair-generating polar method), and seeding is trivially collision-
+// resistant under the mixing function — which is what the seed-stream
+// registry in internal/core relies on.
+//
+// A Rand is NOT safe for concurrent use, exactly like math/rand.Rand.
+package prng
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// State is the full exportable position of one stream: the splitmix64
+// counter plus NormFloat64's buffered second Gaussian. Restoring a State
+// continues the stream bit-for-bit.
+type State struct {
+	S        uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// Rand is a deterministic splitmix64 stream.
+type Rand struct {
+	s        uint64
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a stream seeded with seed. Distinct seeds give statistically
+// independent streams; use Mix to derive seeds from names and indices.
+func New(seed int64) *Rand {
+	return &Rand{s: uint64(seed)}
+}
+
+// Mix scrambles x through the splitmix64 finalizer. It is the seed-
+// derivation primitive: Mix(seed ^ Mix(nameHash + index)) spreads any
+// structured input over the full 64-bit space.
+func Mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a uniform int64 in [0, 1<<63).
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0. Masked
+// rejection sampling keeps the distribution exactly uniform with a
+// bounded expected draw count (< 2).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	if n&(n-1) == 0 { // power of two
+		return int(r.Uint64() & uint64(n-1))
+	}
+	mask := uint64(1)
+	for mask < uint64(n) {
+		mask = mask<<1 | 1
+	}
+	for {
+		v := r.Uint64() & mask
+		if v < uint64(n) {
+			return int(v)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal deviate via the polar
+// (Marsaglia) method. The method produces Gaussians in pairs; the spare
+// is buffered and is part of the exportable State, so a snapshot taken
+// between the two halves of a pair still resumes bit-for-bit.
+func (r *Rand) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// ExpFloat64 returns an exponential deviate with mean 1 by inversion.
+func (r *Rand) ExpFloat64() float64 {
+	// 1-Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1 - r.Float64())
+}
+
+// Perm returns a uniform permutation of [0, n) (Fisher–Yates, inside-out),
+// drawing exactly n Intn calls.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// State exports the stream's exact position.
+func (r *Rand) State() State {
+	return State{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// SetState restores a position exported by State.
+func (r *Rand) SetState(st State) {
+	r.s, r.spare, r.hasSpare = st.S, st.Spare, st.HasSpare
+}
+
+// stateWireSize is the encoded size of a State: counter, spare, flag.
+const stateWireSize = 8 + 8 + 1
+
+// MarshalBinary encodes the stream position (17 bytes, little endian).
+func (st State) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, stateWireSize)
+	binary.LittleEndian.PutUint64(buf[0:], st.S)
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(st.Spare))
+	if st.HasSpare {
+		buf[16] = 1
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a position written by MarshalBinary.
+func (st *State) UnmarshalBinary(b []byte) error {
+	if len(b) != stateWireSize {
+		return fmt.Errorf("prng: state wants %d bytes, got %d", stateWireSize, len(b))
+	}
+	st.S = binary.LittleEndian.Uint64(b[0:])
+	st.Spare = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	switch b[16] {
+	case 0:
+		st.HasSpare = false
+	case 1:
+		st.HasSpare = true
+	default:
+		return fmt.Errorf("prng: corrupt state flag %d", b[16])
+	}
+	return nil
+}
