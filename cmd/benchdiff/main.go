@@ -40,7 +40,10 @@ type Benchmark struct {
 }
 
 // diffMetrics is the ordered subset of metrics worth reporting.
-var diffMetrics = []string{"ns/op", "allocs/op", "B/op", "updates/sec"}
+// commB/op is the transport benchmarks' measured wire bytes per
+// aggregation round — deterministic (byte counts, not timings), so it
+// gates cleanly on shared runners.
+var diffMetrics = []string{"ns/op", "allocs/op", "B/op", "commB/op", "updates/sec"}
 
 // higherIsBetter marks metrics whose baseline across history is the
 // maximum rather than the minimum, and whose regressions are decreases.
@@ -241,7 +244,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0,
 		"fail (exit 2) when a gated metric regresses more than this percentage over the baseline; 0 = report only")
 	gateSpec := flag.String("gate", defaultGate,
-		"comma-separated metrics -threshold gates on (subset of ns/op,allocs/op,B/op,updates/sec); e.g. allocs/op alone for noisy shared runners")
+		"comma-separated metrics -threshold gates on (subset of ns/op,allocs/op,B/op,commB/op,updates/sec); e.g. allocs/op,commB/op for noisy shared runners")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-gate METRICS] OLD.json [OLD2.json ...] NEW.json")
 		flag.PrintDefaults()

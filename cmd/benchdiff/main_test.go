@@ -139,3 +139,30 @@ func TestGateNarrowsGatedMetrics(t *testing.T) {
 		t.Fatalf("parseGate with spaces = %v, %v", g, err)
 	}
 }
+
+// CI's actual gate: allocs/op plus the transport benchmarks' commB/op.
+// A wire-format regression (encoded bytes grew) must fail even when
+// every timing metric is flat, and a flat commB/op must pass next to a
+// noisy ns/op swing.
+func TestGateCommBytes(t *testing.T) {
+	gate, err := parseGate("allocs/op,commB/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Diff(
+		[]Benchmark{
+			{Name: "BenchmarkTransportTopKEF", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 11, "commB/op": 163220}},
+			{Name: "BenchmarkTransportF32", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 37, "commB/op": 320024}},
+		},
+		[]Benchmark{
+			// Sparsifier now keeps more entries: bytes up 9%, timings flat.
+			{Name: "BenchmarkTransportTopKEF", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 11, "commB/op": 177910}},
+			// Noisy runner: ns/op doubles, wire bytes identical.
+			{Name: "BenchmarkTransportF32", Metrics: map[string]float64{"ns/op": 200, "allocs/op": 37, "commB/op": 320024}},
+		},
+	)
+	bad := Regressions(rows, 2, gate)
+	if len(bad) != 1 || bad[0].Name != "BenchmarkTransportTopKEF" || bad[0].Metric != "commB/op" {
+		t.Fatalf("comm gate = %+v, want the top-k wire-size regression alone", bad)
+	}
+}

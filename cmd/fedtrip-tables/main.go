@@ -23,6 +23,15 @@
 //	fedtrip-tables -exp hetero
 //	fedtrip-tables -exp table4 -runtime async -device-dist tiered -local-steps-adaptive
 //
+// Communication is priced with -bandwidth-dist (per-client link tiers;
+// each dispatch pays rtt + measured-bytes/bandwidth in simulated time)
+// and encoded with -transport (dense f32, delta quantization, top-k /
+// rand-k sparsification, +ef error feedback). The comm-tta experiment
+// compares transports on a bandwidth-tiered churning fleet:
+//
+//	fedtrip-tables -exp comm-tta
+//	fedtrip-tables -exp table4 -runtime async -bandwidth-dist tiered -transport q8+ef
+//
 // Output is plain-text tables on stdout (or -o file); progress lines go to
 // stderr.
 package main
@@ -35,26 +44,29 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		expList  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		profile  = flag.String("profile", "fast", "profile: fast|paper|tiny")
-		outPath  = flag.String("o", "", "write tables to this file instead of stdout")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		verbose  = flag.Bool("v", true, "print progress to stderr")
-		runtime  = flag.String("runtime", "", "runtime every case runs on: sync|async|barrier (default sync)")
-		latency  = flag.String("latency", "", "latency model for async/barrier runtimes (zero|const:D|uniform:MIN,MAX|exp:MEAN|lognormal:MU,SIGMA|straggler:F,S,E)")
-		policy   = flag.String("policy", "", "aggregation policy: fedavg|fedbuff[:EXP]|fedasync[:ALPHA[,EXP]]|importance[:BETA[,EXP]] (default: runtime default)")
-		serverLR = flag.String("server-lr", "", "server learning-rate schedule on merge: const:ETA|invsqrt:ETA0|step:ETA0,G,E")
-		conc     = flag.Int("concurrency", 0, "async: clients training simultaneously (0 = K)")
-		buffer   = flag.Int("buffer", 0, "async: arrivals per aggregation (0 = K)")
-		devDist  = flag.String("device-dist", "", "device compute-speed distribution for async/barrier cases (none|uniform:MIN,MAX|lognormal:MU,SIGMA|tiered[:S1,F1,...])")
-		dropout  = flag.String("dropout", "", "client availability churn for async cases (none|markov:UP,DOWN[+drop:AT,FRAC,DUR]...)")
-		adaptive = flag.Bool("local-steps-adaptive", false, "scale each client's local step budget by its device speed (needs -device-dist)")
+		expList   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		profile   = flag.String("profile", "fast", "profile: fast|paper|tiny")
+		outPath   = flag.String("o", "", "write tables to this file instead of stdout")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		verbose   = flag.Bool("v", true, "print progress to stderr")
+		runtime   = flag.String("runtime", "", "runtime every case runs on: sync|async|barrier (default sync)")
+		latency   = flag.String("latency", "", "latency model for async/barrier runtimes (zero|const:D|uniform:MIN,MAX|exp:MEAN|lognormal:MU,SIGMA|straggler:F,S,E)")
+		policy    = flag.String("policy", "", "aggregation policy: fedavg|fedbuff[:EXP]|fedasync[:ALPHA[,EXP]]|importance[:BETA[,EXP]] (default: runtime default)")
+		serverLR  = flag.String("server-lr", "", "server learning-rate schedule on merge: const:ETA|invsqrt:ETA0|step:ETA0,G,E")
+		conc      = flag.Int("concurrency", 0, "async: clients training simultaneously (0 = K)")
+		buffer    = flag.Int("buffer", 0, "async: arrivals per aggregation (0 = K)")
+		devDist   = flag.String("device-dist", "", "device compute-speed distribution for async/barrier cases (none|uniform:MIN,MAX|lognormal:MU,SIGMA|tiered[:S1,F1,...])")
+		dropout   = flag.String("dropout", "", "client availability churn for async cases (none|markov:UP,DOWN[+drop:AT,FRAC,DUR]...)")
+		adaptive  = flag.Bool("local-steps-adaptive", false, "scale each client's local step budget by its device speed (needs -device-dist)")
+		transport = flag.String("transport", "", "wire transport every case ships models through (none|f32|lossless|q<bits>|topk:R|randk:R, +ef for error feedback)")
+		bandDist  = flag.String("bandwidth-dist", "", "per-client link distribution for async/barrier cases (none|const:UP,DOWN[,RTT]|uniform:MIN,MAX[,RTT]|lognormal:MU,SIGMA[,RTT]|tiered[:UP,DOWN,RTT,FRAC,...])")
 	)
 	flag.Parse()
 	if *list {
@@ -67,6 +79,7 @@ func main() {
 		runtime: *runtime, latency: *latency, policy: *policy,
 		serverLR: *serverLR, concurrency: *conc, buffer: *buffer,
 		devices: *devDist, churn: *dropout, adaptiveSteps: *adaptive,
+		transport: *transport, bandwidth: *bandDist,
 	}
 	if err := run(*expList, *profile, *outPath, *verbose, sel); err != nil {
 		fmt.Fprintln(os.Stderr, "fedtrip-tables:", err)
@@ -79,6 +92,7 @@ type runtimeSelection struct {
 	runtime, latency, policy, serverLR string
 	concurrency, buffer                int
 	devices, churn                     string
+	transport, bandwidth               string
 	adaptiveSteps                      bool
 }
 
@@ -119,6 +133,18 @@ func (s runtimeSelection) apply(p *experiments.Profile) error {
 			return err
 		}
 		p.Churn = s.churn
+	}
+	if s.transport != "" {
+		if _, err := comm.ParseTransport(s.transport); err != nil {
+			return err
+		}
+		p.Transport = s.transport
+	}
+	if s.bandwidth != "" {
+		if _, err := core.ParseNetDist(s.bandwidth); err != nil {
+			return err
+		}
+		p.Bandwidth = s.bandwidth
 	}
 	p.AdaptiveSteps = s.adaptiveSteps
 	p.Concurrency = s.concurrency

@@ -29,6 +29,17 @@
 //	        -local-steps-adaptive -dropout markov:90,10 \
 //	        -policy fedbuff+maxstale:8 -rounds 60
 //
+// Communication is priced the same way: -bandwidth-dist samples
+// per-client uplink/downlink bandwidth (Mbps) and RTT (ms), and each
+// dispatch additionally pays rtt + bytes/bandwidth in simulated time for
+// the bytes its transport actually moved. -transport selects the wire
+// encoding — dense float32, delta quantization, top-k / rand-k
+// sparsification, composable with error feedback — so compression
+// genuinely buys simulated time:
+//
+//	fedtrip -algo fedtrip -runtime async -device-dist tiered \
+//	        -bandwidth-dist tiered -transport topk:0.01+ef -rounds 60
+//
 // Population scale is set with -clients and the real parallelism (and
 // memory: one model-sized training engine per shard) with -shards; the
 // two are independent, so a 10k-client fleet runs on a laptop:
@@ -95,7 +106,9 @@ func main() {
 		clip      = flag.Float64("clip", 0, "gradient clip norm (0 = off)")
 		savePath  = flag.String("save", "", "write the final global model checkpoint to this file")
 		tracePath = flag.String("trace", "", "write per-client round telemetry CSV to this file")
-		wire      = flag.Bool("wire", false, "ship models through the float32 wire transport and report true traffic")
+		wire      = flag.Bool("wire", false, "shorthand for -transport f32")
+		transport = flag.String("transport", "", "wire transport (none|f32|lossless|q<bits>|topk:R|randk:R, compose error feedback with +ef, e.g. topk:0.01+ef); compressed uplinks move fewer measured bytes")
+		bandDist  = flag.String("bandwidth-dist", "", "per-client link distribution (none|const:UP,DOWN[,RTT]|uniform:MIN,MAX[,RTT]|lognormal:MU,SIGMA[,RTT]|tiered[:UP,DOWN,RTT,FRAC,...]); Mbps and ms — each dispatch pays rtt + measured-bytes/bandwidth in simulated time")
 		shards    = flag.Int("shards", 0, "worker shards training runs on; each owns one model-sized engine (0 = one per CPU)")
 		runtime   = flag.String("runtime", "", "runtime: sync|async|barrier (default sync; barrier = lock-step priced under -latency)")
 		async     = flag.Bool("async", false, "shorthand for -runtime async")
@@ -124,6 +137,7 @@ func main() {
 		lr: *lr, momentum: *momentum, mu: *mu, scale: *scale,
 		target: *target, seed: *seed, quiet: *quiet, clip: *clip,
 		savePath: *savePath, tracePath: *tracePath, wire: *wire,
+		transport: *transport, bandDist: *bandDist,
 		shards: *shards, runtime: *runtime, async: *async,
 		buffer: *buffer, conc: *conc,
 		latSpec: *latSpec, staleExp: *staleExp,
@@ -149,6 +163,7 @@ type runOpts struct {
 	quiet, wire                         bool
 	clip                                float64
 	savePath, tracePath                 string
+	transport, bandDist                 string
 	async                               bool
 	runtime                             string
 	shards, buffer, conc                int
@@ -216,11 +231,18 @@ func run(o runOpts) error {
 		collector = trace.NewCollector()
 		cfg.OnUpdates = collector.Hook()
 	}
-	var wireTransport *comm.F32Transport
+	transportSpec := o.transport
 	if o.wire {
-		wireTransport = comm.NewF32Transport()
-		cfg.Transport = wireTransport
+		if transportSpec != "" && transportSpec != "f32" {
+			return fmt.Errorf("-wire is shorthand for -transport f32; drop it when using -transport %s", transportSpec)
+		}
+		transportSpec = "f32"
 	}
+	tr, err := comm.ParseTransport(transportSpec)
+	if err != nil {
+		return err
+	}
+	cfg.Transport = tr
 	var finalGlobal []float64
 	if o.savePath != "" {
 		cfg.OnRound = func(round int, s *core.Server) {
@@ -275,6 +297,13 @@ func run(o runOpts) error {
 		return err
 	}
 	rspec.Churn = churnModel
+	// Bandwidth pricing is likewise parsed unconditionally: Validate owns
+	// the "sync has no simulated clock" rejection.
+	netDist, err := core.ParseNetDist(o.bandDist)
+	if err != nil {
+		return err
+	}
+	rspec.Network = netDist
 	if o.policy != "" {
 		pol, err := core.ParsePolicy(o.policy)
 		if err != nil {
@@ -307,6 +336,12 @@ func run(o runOpts) error {
 		if rspec.Churn != nil {
 			pricing += fmt.Sprintf(" dropout=%s", rspec.Churn)
 		}
+		if rspec.Network != nil {
+			pricing += fmt.Sprintf(" bandwidth=%s", rspec.Network)
+		}
+		if cfg.Transport != nil {
+			pricing += fmt.Sprintf(" transport=%s", cfg.Transport)
+		}
 		fmt.Printf("fedtrip: %s on %s/%s, %s, %s policy=%s buffer=%d conc=%d %s, %d aggregations\n",
 			algo.Name(), o.model, o.dataset, scheme, rt, rspec.Policy.Name(), rspec.BufferSize, rspec.Concurrency, pricing, o.rounds)
 	}
@@ -327,8 +362,13 @@ func run(o runOpts) error {
 	fmt.Printf("  final accuracy  %.4f (mean of last 10 evaluated rounds)\n", res.FinalAccuracy)
 	fmt.Printf("  train GFLOPs    %.2f (all clients, incl. attaching ops)\n", res.TotalGFLOPs())
 	fmt.Printf("  communication   %.2f MB (%s)\n", float64(res.CommBytesByRound[len(res.CommBytesByRound)-1])/1e6, commLabel)
-	if wireTransport != nil {
-		fmt.Printf("  wire traffic    %s\n", wireTransport.Stats())
+	if st, ok := cfg.Transport.(interface{ Stats() *comm.Stats }); ok {
+		fmt.Printf("  wire traffic    %s\n", st.Stats())
+	}
+	if mt, ok := cfg.Transport.(core.MeteredTransport); ok {
+		// Exact byte counts, greppable by CI assertions.
+		d, u := mt.WireBytes()
+		fmt.Printf("  wire bytes      %d (down %d, up %d)\n", d+u, d, u)
 	}
 	if n := len(res.SimTimeByRound); n > 0 {
 		fmt.Printf("  simulated time  %.1f s\n", res.SimTimeByRound[n-1])

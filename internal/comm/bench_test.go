@@ -1,0 +1,94 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchParams is the MLP-scale parameter count the transport benchmarks
+// round-trip: large enough that header overhead is honest, small enough
+// that one op is microseconds.
+const benchParams = 40_000
+
+// benchTransport round-trips one client dispatch (DownSized then
+// UpSized) per op and reports the measured wire bytes as commB/op. Byte
+// counts are exact functions of the spec and the parameter count —
+// deterministic across runs and machines — so CI gates commB/op the
+// same way it gates allocs/op: any growth in a transport's encoded size
+// is a real wire-format regression, not runner noise.
+func benchTransport(b *testing.B, spec string) {
+	trI, err := ParseTransport(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, ok := trI.(core.SizedTransport)
+	if !ok {
+		b.Fatalf("%s transport does not size its transfers", spec)
+	}
+	global := make([]float64, benchParams)
+	trained := make([]float64, benchParams)
+	for i := range global {
+		global[i] = float64(i%13) / 17
+		trained[i] = global[i] + float64(i%7-3)/97
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wire int64
+	for i := 0; i < b.N; i++ {
+		enc, down := tr.DownSized(1, i, global)
+		_, up := tr.UpSized(1, i, append([]float64(nil), enc...))
+		wire += down + up
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(wire)/float64(b.N), "commB/op")
+}
+
+func BenchmarkTransportF32(b *testing.B)      { benchTransport(b, "f32") }
+func BenchmarkTransportLossless(b *testing.B) { benchTransport(b, "lossless") }
+func BenchmarkTransportQ8(b *testing.B)       { benchTransport(b, "q8") }
+func BenchmarkTransportQ8EF(b *testing.B)     { benchTransport(b, "q8+ef") }
+func BenchmarkTransportTopKEF(b *testing.B)   { benchTransport(b, "topk:0.01+ef") }
+func BenchmarkTransportRandK(b *testing.B)    { benchTransport(b, "randk:0.05") }
+
+// The snapshot path is on the kill/resume critical section (the event
+// loop is quiesced while it runs), so its cost is worth pinning too.
+func BenchmarkTransportSnapshotState(b *testing.B) {
+	trI, err := ParseTransport("topk:0.01+ef")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trI.(*CompressedTransport)
+	global := make([]float64, benchParams)
+	for i := range global {
+		global[i] = float64(i%13) / 17
+	}
+	// Populate 64 clients' worth of residual state.
+	for c := 0; c < 64; c++ {
+		enc, _ := tr.DownSized(c, 0, global)
+		params := append([]float64(nil), enc...)
+		params[c%benchParams] += 0.5
+		tr.UpSized(c, 0, params)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.SnapshotState(discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Guard against the benchmark table silently drifting from the parse
+// grammar: every spec the benchmarks pin must stay parseable.
+func TestBenchTransportSpecsParse(t *testing.T) {
+	for _, spec := range []string{"f32", "lossless", "q8", "q8+ef", "topk:0.01+ef", "randk:0.05"} {
+		if _, err := ParseTransport(spec); err != nil {
+			t.Errorf("ParseTransport(%q): %v", spec, err)
+		}
+	}
+}

@@ -58,6 +58,9 @@ type F32Transport struct {
 // NewF32Transport returns a transport with fresh counters.
 func NewF32Transport() *F32Transport { return &F32Transport{} }
 
+// String names the transport for run fingerprints and banners.
+func (t *F32Transport) String() string { return "f32" }
+
 // Stats exposes the traffic counters.
 func (t *F32Transport) Stats() *Stats { return &t.stats }
 
@@ -98,6 +101,17 @@ func (t *F32Transport) Up(clientID, round int, params []float64) []float64 {
 	return out
 }
 
+// DownSized implements core.SizedTransport: the runtime prices each
+// dispatch's network time from these per-transfer bytes.
+func (t *F32Transport) DownSized(clientID, round int, global []float64) ([]float64, int64) {
+	return t.Down(clientID, round, global), tensor.VectorWireSizeF32(len(global))
+}
+
+// UpSized implements core.SizedTransport.
+func (t *F32Transport) UpSized(clientID, round int, params []float64) ([]float64, int64) {
+	return t.Up(clientID, round, params), tensor.VectorWireSizeF32(len(params))
+}
+
 // LosslessTransport is the identity transport with byte accounting at
 // float64 width — useful to compare the cost of full-precision shipping.
 type LosslessTransport struct {
@@ -106,6 +120,9 @@ type LosslessTransport struct {
 
 // NewLosslessTransport returns an identity transport with counters.
 func NewLosslessTransport() *LosslessTransport { return &LosslessTransport{} }
+
+// String names the transport for run fingerprints and banners.
+func (t *LosslessTransport) String() string { return "lossless" }
 
 // Stats exposes the traffic counters.
 func (t *LosslessTransport) Stats() *Stats { return &t.stats }
@@ -127,4 +144,14 @@ func (t *LosslessTransport) Up(clientID, round int, params []float64) []float64 
 	t.stats.upBytes.Add(int64(8 * len(params)))
 	t.stats.upMsgs.Add(1)
 	return params
+}
+
+// DownSized implements core.SizedTransport.
+func (t *LosslessTransport) DownSized(clientID, round int, global []float64) ([]float64, int64) {
+	return t.Down(clientID, round, global), int64(8 * len(global))
+}
+
+// UpSized implements core.SizedTransport.
+func (t *LosslessTransport) UpSized(clientID, round int, params []float64) ([]float64, int64) {
+	return t.Up(clientID, round, params), int64(8 * len(params))
 }

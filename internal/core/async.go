@@ -136,6 +136,10 @@ type AsyncServer struct {
 	devSpeed []float64
 	devSteps []int
 	flopRate float64
+	// net holds the fleet's per-client link profiles (nil without
+	// RunSpec.Network). With profiles, every dispatch's duration gains
+	// the transfer time of the bytes its transport actually moved.
+	net []NetProfile
 	// churn is the fleet availability process (nil without RunSpec.Churn).
 	churn *churn
 	// joinScratch gathers the jobs a device-mode dispatch burst submitted
@@ -194,6 +198,9 @@ func newAsyncServer(sp RunSpec) (*AsyncServer, error) {
 			}
 		}
 	}
+	if sp.Network != nil {
+		a.net = sampleNetProfiles(len(s.clients), sp.Network, sp.Seed)
+	}
 	if sp.Churn != nil {
 		a.churn = newChurn(len(s.clients), sp.Churn, sp.Seed)
 	}
@@ -220,6 +227,18 @@ func adaptiveSteps(speed float64, samples, batch, epochs int) int {
 // FLOPs over the client's effective throughput.
 func (a *AsyncServer) deviceDuration(j *trainJob) float64 {
 	return float64(j.flops) / (a.flopRate * j.speed)
+}
+
+// netDuration prices one completed dispatch's wire traffic under the
+// client's link profile: RTT plus the measured download and upload bytes
+// over the respective bandwidths. Zero without a network fleet (and for
+// an infinite-bandwidth zero-RTT profile), so unpriced runs are
+// bit-for-bit unchanged.
+func (a *AsyncServer) netDuration(j *trainJob) float64 {
+	if a.net == nil {
+		return 0
+	}
+	return a.net[j.c.ID].transferTime(j.downBytes, j.upBytes)
 }
 
 // armJob fills a job's device dispatch parameters (no-ops without a
@@ -260,6 +279,10 @@ func (a *AsyncServer) Offline() int {
 // DeviceSpeeds returns the fleet's sampled per-client compute-speed
 // multipliers (nil without a device distribution). Read-only.
 func (a *AsyncServer) DeviceSpeeds() []float64 { return a.devSpeed }
+
+// NetProfiles returns the fleet's sampled per-client link profiles (nil
+// without a network distribution). Read-only.
+func (a *AsyncServer) NetProfiles() []NetProfile { return a.net }
 
 // RunAsync executes the legacy async configuration through the unified
 // facade (equivalent to Start on the corresponding RunSpec).
@@ -357,6 +380,11 @@ func (r *barrierRunner) step() (bool, error) {
 			// compute itself, not an independent latency draw.
 			j.finish = a.now + a.deviceDuration(j)
 		}
+		if a.net != nil {
+			// Network-priced fleet: the transfers' time stacks on top of
+			// the compute (or latency-model) duration.
+			j.finish += a.netDuration(j)
+		}
 		a.pop.arrived(j.c.ID, true)
 		if j.finish > roundEnd {
 			roundEnd = j.finish
@@ -365,6 +393,7 @@ func (r *barrierRunner) step() (bool, error) {
 		j.update = Update{}
 		weights[i] = a.s.policy.Weight(updates[i])
 		r.flopsTotal += j.flops
+		r.rec.addWire(j.downBytes + j.upBytes)
 	}
 	a.now = roundEnd
 	if cfg.OnUpdates != nil {
@@ -498,19 +527,32 @@ func (r *bufferedRunner) dispatch() {
 		r.sp.submit(j)
 		if a.devSpeed == nil {
 			j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, id, a.latRng)
-			r.inflight.push(j)
-			continue
+			if a.net == nil {
+				r.inflight.push(j)
+				continue
+			}
+			// Network-priced fleet: the upload's size exists only once
+			// training ran. The latency draw happened above, in pick
+			// order — the stream is identical to the unpriced run's —
+			// and only the heap push is deferred to the join below,
+			// where the transfer time is added.
 		}
-		// Device-profiled fleet: the arrival time derives from the
-		// round's metered FLOPs, which exist only once training ran.
-		// Submit the whole burst first — the shards train it in
-		// parallel — then join in dispatch order below.
+		// Device-profiled or network-priced fleet: the arrival time
+		// needs quantities (metered FLOPs, encoded wire bytes) that
+		// exist only once training ran. Submit the whole burst first —
+		// the shards train it in parallel — then join in dispatch order
+		// below.
 		pending = append(pending, j)
 	}
 	for _, j := range pending {
 		<-j.done
 		j.trained = true
-		j.finish = a.now + a.deviceDuration(j)
+		if a.devSpeed != nil {
+			j.finish = a.now + a.deviceDuration(j)
+		}
+		if a.net != nil {
+			j.finish += a.netDuration(j)
+		}
 		r.inflight.push(j)
 	}
 	a.joinScratch = pending[:0]
@@ -557,6 +599,7 @@ func (r *bufferedRunner) step() (bool, error) {
 		}
 		a.pop.arrived(j.c.ID, a.churn == nil || a.churn.online(j.c.ID))
 		r.flopsTotal += j.flops
+		r.rec.addWire(j.downBytes + j.upBytes)
 		// Training is over for this job; its global snapshot has been
 		// consumed and can serve the next dispatch.
 		paramsPool.put(j.global)

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/data"
 	"repro/internal/nn"
@@ -118,6 +119,34 @@ type Transport interface {
 type MeteredTransport interface {
 	Transport
 	WireBytes() (down, up int64)
+}
+
+// SizedTransport is an optional Transport capability: each transfer also
+// reports the exact bytes it put on the wire, on the call's stack rather
+// than in a shared counter. With a network distribution configured
+// (RunSpec.Network) the runtime prices each dispatch's upload/download
+// durations from these per-transfer sizes, so a compressing transport
+// genuinely buys simulated time. Without it, transfers are priced by the
+// analytic dense-float32 size. Same concurrency and slice-lifetime
+// contract as Transport.
+type SizedTransport interface {
+	Transport
+	DownSized(clientID, round int, global []float64) (enc []float64, wire int64)
+	UpSized(clientID, round int, params []float64) (enc []float64, wire int64)
+}
+
+// StatefulTransport is an optional Transport capability for transports
+// that carry run-long state which must survive checkpoint/resume —
+// error-feedback residual accumulators, most prominently. Snapshot calls
+// SnapshotState at a quiesced aggregation boundary (no transfer in
+// flight) and embeds the blob in the FTRS snapshot; Resume calls
+// RestoreState with the same bytes before the run continues.
+// Implementations must make the round trip bit-exact: a resumed run's
+// trajectory is pinned against the uninterrupted one.
+type StatefulTransport interface {
+	Transport
+	SnapshotState(w io.Writer) error
+	RestoreState(r io.Reader) error
 }
 
 // Validate checks the configuration and fills defaults.

@@ -1,0 +1,256 @@
+// Network heterogeneity: per-client bandwidth/RTT profiles that price
+// communication in simulated time.
+//
+// Device profiles (device.go) made *compute* a priced resource: a
+// dispatch's duration derives from its metered FLOPs. This file does the
+// same for the *network*. A NetDistribution samples one NetProfile per
+// client at fleet construction — uplink and downlink bandwidth plus a
+// round-trip latency — and the async runtimes add, on top of each
+// dispatch's compute (or latency-model) duration, the time its transfers
+// actually took:
+//
+//	rtt + downBytes*8/downBps + upBytes*8/upBps
+//
+// where downBytes/upBytes are the bytes the configured Transport really
+// moved for that dispatch (a SizedTransport reports exact encoded sizes;
+// without one the analytic float32 accounting is used). Compression
+// therefore genuinely buys simulated time, not just smaller comm columns.
+//
+// Profiles draw from a dedicated named seed stream (streamNet), so
+// enabling them never perturbs the selection, latency, device, or churn
+// streams — and an infinite-bandwidth zero-RTT fleet reproduces the
+// unpriced trajectory bit-for-bit (pinned by
+// TestInfiniteBandwidthMatchesPlainAsync).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prng"
+)
+
+// Bandwidths are clamped at sampling time so a heavy-tailed draw cannot
+// mint a client whose transfer time is effectively infinite. +Inf is
+// allowed explicitly (the unpriced reference link); zero and negative
+// draws are floored.
+const minNetMbps = 0.01
+
+// NetProfile is one client's link: bandwidths in bits per simulated
+// second and round-trip time in simulated seconds. Infinite bandwidth
+// and zero RTT (the zero cost profile) price every transfer at 0.
+type NetProfile struct {
+	UpBps, DownBps float64
+	RTT            float64
+}
+
+// transferTime prices one dispatch's wire traffic under this profile.
+func (p NetProfile) transferTime(downBytes, upBytes int64) float64 {
+	return p.RTT + float64(downBytes)*8/p.DownBps + float64(upBytes)*8/p.UpBps
+}
+
+// NetDistribution samples per-client network profiles. SampleNet must
+// draw all randomness from the supplied rng; the runtime samples every
+// client once at construction from a dedicated seed stream, in
+// client-ID order. Implementations take bandwidths in Mbps and RTTs in
+// milliseconds (the CLI units) and return profiles in base units.
+type NetDistribution interface {
+	SampleNet(clientID int, rng *prng.Rand) NetProfile
+	String() string
+}
+
+// netProfile converts CLI units (Mbps, ms) into a NetProfile in base
+// units, flooring finite bandwidths at minNetMbps.
+func netProfile(upMbps, downMbps, rttMs float64) NetProfile {
+	clamp := func(mbps float64) float64 {
+		if math.IsInf(mbps, 1) {
+			return mbps
+		}
+		if mbps < minNetMbps {
+			mbps = minNetMbps
+		}
+		return mbps * 1e6
+	}
+	if rttMs < 0 {
+		rttMs = 0
+	}
+	return NetProfile{UpBps: clamp(upMbps), DownBps: clamp(downMbps), RTT: rttMs / 1000}
+}
+
+// ConstNet gives every client the same link. const:inf,inf,0 is the
+// zero-cost reference fleet.
+type ConstNet struct{ Up, Down, RTT float64 } // Mbps, Mbps, ms
+
+func (d ConstNet) SampleNet(int, *prng.Rand) NetProfile {
+	return netProfile(d.Up, d.Down, d.RTT)
+}
+func (d ConstNet) String() string { return fmt.Sprintf("const:%g,%g,%g", d.Up, d.Down, d.RTT) }
+
+// UniformNet draws uplink and downlink bandwidth independently and
+// uniformly from [Min, Max] Mbps (uplink first), with a fixed RTT.
+type UniformNet struct{ Min, Max, RTT float64 }
+
+func (d UniformNet) SampleNet(_ int, rng *prng.Rand) NetProfile {
+	up := d.Min + rng.Float64()*(d.Max-d.Min)
+	down := d.Min + rng.Float64()*(d.Max-d.Min)
+	return netProfile(up, down, d.RTT)
+}
+func (d UniformNet) String() string { return fmt.Sprintf("uniform:%g,%g,%g", d.Min, d.Max, d.RTT) }
+
+// LognormalNet draws each direction's bandwidth as exp(Mu + Sigma*N(0,1))
+// Mbps (uplink first) — the heavy-tailed link spread of real fleets —
+// with a fixed RTT.
+type LognormalNet struct{ Mu, Sigma, RTT float64 }
+
+func (d LognormalNet) SampleNet(_ int, rng *prng.Rand) NetProfile {
+	up := math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+	down := math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+	return netProfile(up, down, d.RTT)
+}
+func (d LognormalNet) String() string {
+	return fmt.Sprintf("lognormal:%g,%g,%g", d.Mu, d.Sigma, d.RTT)
+}
+
+// NetTier is one slice of a TieredNet fleet: Frac of the clients get the
+// (Up, Down, RTT) link.
+type NetTier struct{ Up, Down, RTT, Frac float64 }
+
+// TieredNet assigns each client to a link tier by fraction — the
+// edge/mobile/server split of the device tiers applied to the network.
+// Fractions are normalized at sampling time.
+type TieredNet struct{ Tiers []NetTier }
+
+// DefaultNetTiers is the canonical three-tier fleet, mirroring
+// DefaultTiers' fractions: 30% constrained edge links (5 Mbps up, 20
+// down, 80 ms), 60% mobile (20 up, 50 down, 40 ms), 10% server-class
+// (1000/1000, 5 ms).
+func DefaultNetTiers() TieredNet {
+	return TieredNet{Tiers: []NetTier{
+		{Up: 5, Down: 20, RTT: 80, Frac: 0.3},
+		{Up: 20, Down: 50, RTT: 40, Frac: 0.6},
+		{Up: 1000, Down: 1000, RTT: 5, Frac: 0.1},
+	}}
+}
+
+func (d TieredNet) SampleNet(_ int, rng *prng.Rand) NetProfile {
+	var total float64
+	for _, t := range d.Tiers {
+		total += t.Frac
+	}
+	u := rng.Float64() * total
+	pick := d.Tiers[len(d.Tiers)-1]
+	for _, t := range d.Tiers {
+		u -= t.Frac
+		if u < 0 {
+			pick = t
+			break
+		}
+	}
+	return netProfile(pick.Up, pick.Down, pick.RTT)
+}
+
+func (d TieredNet) String() string {
+	s := "tiered"
+	for i, t := range d.Tiers {
+		if i == 0 {
+			s += ":"
+		} else {
+			s += ","
+		}
+		s += fmt.Sprintf("%g,%g,%g,%g", t.Up, t.Down, t.RTT, t.Frac)
+	}
+	return s
+}
+
+// ParseNetDist parses a CLI bandwidth-distribution spec. Bandwidths are
+// in Mbps ("inf" accepted — an unpriced direction), RTTs in
+// milliseconds:
+//
+//	none                      no network pricing (free communication)
+//	const:UP,DOWN[,RTT]       every client the same link (RTT default 0)
+//	uniform:MIN,MAX[,RTT]     each direction uniform in [MIN, MAX] Mbps
+//	lognormal:MU,SIGMA[,RTT]  each direction exp(MU + SIGMA*N(0,1)) Mbps
+//	tiered                    the default edge/mobile/server link fleet
+//	tiered:UP,DOWN,RTT,FRAC,...  custom link tiers (quadruples)
+func ParseNetDist(spec string) (NetDistribution, error) {
+	name, args, err := parseSpec(spec, "bandwidth-dist")
+	if err != nil {
+		return nil, err
+	}
+	optRTT := func(min int) (float64, error) {
+		switch len(args) {
+		case min:
+			return 0, nil
+		case min + 1:
+			if args[min] < 0 {
+				return 0, fmt.Errorf("core: bandwidth-dist %s RTT %g must be >= 0", name, args[min])
+			}
+			return args[min], nil
+		}
+		return 0, fmt.Errorf("core: bandwidth-dist %s wants %d or %d args, got %d", name, min, min+1, len(args))
+	}
+	switch name {
+	case "", "none":
+		if len(args) != 0 {
+			return nil, fmt.Errorf("core: bandwidth-dist %q takes no args", name)
+		}
+		return nil, nil
+	case "const":
+		rtt, err := optRTT(2)
+		if err != nil {
+			return nil, err
+		}
+		if args[0] <= 0 || args[1] <= 0 {
+			return nil, fmt.Errorf("core: const bandwidths want positive Mbps, got %g,%g", args[0], args[1])
+		}
+		return ConstNet{Up: args[0], Down: args[1], RTT: rtt}, nil
+	case "uniform":
+		rtt, err := optRTT(2)
+		if err != nil {
+			return nil, err
+		}
+		if args[0] <= 0 || args[1] < args[0] || math.IsInf(args[1], 1) {
+			return nil, fmt.Errorf("core: uniform bandwidths want 0 < min <= max < inf, got [%g,%g]", args[0], args[1])
+		}
+		return UniformNet{Min: args[0], Max: args[1], RTT: rtt}, nil
+	case "lognormal":
+		rtt, err := optRTT(2)
+		if err != nil {
+			return nil, err
+		}
+		if args[1] < 0 || !isFiniteF(args[0]) || !isFiniteF(args[1]) {
+			return nil, fmt.Errorf("core: lognormal bandwidth wants finite mu and sigma >= 0, got %g,%g", args[0], args[1])
+		}
+		return LognormalNet{Mu: args[0], Sigma: args[1], RTT: rtt}, nil
+	case "tiered":
+		if len(args) == 0 {
+			return DefaultNetTiers(), nil
+		}
+		if len(args)%4 != 0 {
+			return nil, fmt.Errorf("core: tiered bandwidth-dist wants up,down,rtt,fraction quadruples, got %d args", len(args))
+		}
+		d := TieredNet{}
+		for i := 0; i < len(args); i += 4 {
+			up, down, rtt, frac := args[i], args[i+1], args[i+2], args[i+3]
+			if up <= 0 || down <= 0 || rtt < 0 || frac <= 0 {
+				return nil, fmt.Errorf("core: tiered bandwidth-dist wants positive bandwidths and fractions and rtt >= 0, got %g,%g,%g,%g", up, down, rtt, frac)
+			}
+			d.Tiers = append(d.Tiers, NetTier{Up: up, Down: down, RTT: rtt, Frac: frac})
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("core: unknown bandwidth distribution %q (none|const|uniform|lognormal|tiered)", name)
+}
+
+func isFiniteF(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }
+
+// sampleNetProfiles resolves the fleet's per-client links from the
+// dedicated network seed stream, in client-ID order.
+func sampleNetProfiles(n int, dist NetDistribution, seed int64) []NetProfile {
+	rng := seedStream(seed, streamNet)
+	profiles := make([]NetProfile, n)
+	for id := 0; id < n; id++ {
+		profiles[id] = dist.SampleNet(id, rng)
+	}
+	return profiles
+}

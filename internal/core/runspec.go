@@ -73,6 +73,13 @@ type RunSpec struct {
 	// of a speed-1.0 device (Devices runs only). 0 = 1e9 (1 GFLOP/s, an
 	// edge-class device).
 	FlopRate float64
+	// Network samples one link profile (uplink/downlink bandwidth, RTT)
+	// per client (network.go) for the async and barrier runtimes. With a
+	// fleet configured, each dispatch's duration gains the transfer time
+	// of the bytes its transport actually moved — RTT + bytes*8/bandwidth
+	// per direction — on top of its compute (Devices) or latency-model
+	// duration. Composes freely with both. nil = free communication.
+	Network NetDistribution
 	// AdaptiveLocalSteps makes each client's local step budget scale
 	// with its device speed (deadline-style partial work): a 0.25x
 	// client runs a quarter of the round's mini-batch steps, never fewer
@@ -112,6 +119,9 @@ func (sp *RunSpec) Validate() error {
 		}
 		if sp.Devices != nil {
 			return fmt.Errorf("core: the sync runtime has no simulated clock; device profiles need the async or barrier runtime")
+		}
+		if sp.Network != nil {
+			return fmt.Errorf("core: the sync runtime has no simulated clock; network profiles need the async or barrier runtime")
 		}
 		if sp.BufferSize == 0 {
 			sp.BufferSize = sp.ClientsPerRound

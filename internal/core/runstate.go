@@ -266,7 +266,8 @@ func (r *syncRunner) step() (bool, error) {
 	if pr, ok := cfg.Algo.(PreRounder); ok {
 		pr.PreRound(t, selected, s.global)
 	}
-	updates := s.trainSelected(t, selected, r.sp)
+	updates, wire := s.trainSelected(t, selected, r.sp)
+	rec.addWire(wire)
 	if cfg.OnUpdates != nil {
 		cfg.OnUpdates(t, s.global, updates)
 	}

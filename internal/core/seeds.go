@@ -46,6 +46,8 @@ const (
 	streamDevice = "device"
 	// streamChurn drives the fleet availability process.
 	streamChurn = "churn"
+	// streamNet samples per-client network profiles (bandwidth, RTT).
+	streamNet = "net"
 )
 
 // fnv64a is the FNV-1a hash of s (inlined to keep the hot path

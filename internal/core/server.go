@@ -228,17 +228,32 @@ func (s *Server) selectClients() []*Client {
 // clients own all their state; the engine is attached by the shard).
 // steps caps the local mini-batch steps and speed is the client's device
 // multiplier — both zero outside device-heterogeneity runs.
-func (s *Server) trainClient(c *Client, round int, global []float64, steps int, speed float64) Update {
+//
+// The returned down/up are this dispatch's wire bytes: exact encoded
+// sizes when the transport implements SizedTransport, the analytic dense
+// float32 size (4 bytes/param each way) otherwise. The network pricer
+// (RunSpec.Network) derives the dispatch's transfer durations from them.
+func (s *Server) trainClient(c *Client, round int, global []float64, steps int, speed float64) (u Update, down, up int64) {
 	cfg := &s.cfg
-	if cfg.Transport != nil {
+	st, sized := cfg.Transport.(SizedTransport)
+	down = int64(4 * len(global))
+	if sized {
+		global, down = st.DownSized(c.ID, round, global)
+	} else if cfg.Transport != nil {
 		global = cfg.Transport.Down(c.ID, round, global)
 	}
 	if speed > 0 {
 		c.SetScalar(ScalarDeviceSpeed, speed)
 	}
-	u := c.LocalTrainSteps(round, global, steps)
+	u = c.LocalTrainSteps(round, global, steps)
+	up = int64(4 * len(u.Params))
 	if cfg.Transport != nil {
-		enc := cfg.Transport.Up(c.ID, round, u.Params)
+		var enc []float64
+		if sized {
+			enc, up = st.UpSized(c.ID, round, u.Params)
+		} else {
+			enc = cfg.Transport.Up(c.ID, round, u.Params)
+		}
 		if len(enc) == len(u.Params) {
 			if &enc[0] != &u.Params[0] {
 				// Copy the transport's result into the pooled buffer
@@ -255,14 +270,15 @@ func (s *Server) trainClient(c *Client, round int, global []float64, steps int, 
 			u.pooled = false
 		}
 	}
-	return u
+	return u, down, up
 }
 
 // trainSelected trains the selected clients on the shard pool (the paper's
 // "clients in St perform local model training ... in parallel") and
-// returns their updates in selection order. The returned slice is server
-// scratch, valid until the next round gathers into it.
-func (s *Server) trainSelected(round int, selected []*Client, sp *shardPool) []Update {
+// returns their updates in selection order, plus the round's measured
+// wire traffic. The returned slice is server scratch, valid until the
+// next round gathers into it.
+func (s *Server) trainSelected(round int, selected []*Client, sp *shardPool) ([]Update, int64) {
 	jobs := s.growJobs(len(selected))
 	for i, c := range selected {
 		// All jobs read the same pre-aggregation global; no writer until
@@ -272,12 +288,14 @@ func (s *Server) trainSelected(round int, selected []*Client, sp *shardPool) []U
 		sp.submit(j)
 	}
 	updates := s.growUpdates(len(selected))
+	var wire int64
 	for i, j := range jobs {
 		<-j.done
 		updates[i] = j.update
 		j.update = Update{}
+		wire += j.downBytes + j.upBytes
 	}
-	return updates
+	return updates, wire
 }
 
 // growJobs returns n reusable trainJobs (built once, re-armed per round:
@@ -425,6 +443,7 @@ type recorder struct {
 	commPerClient int64
 	extraComm     float64
 	cumComm       int64
+	wirePending   int64
 	lastMeasured  int64
 	ev            *evaluator
 	blocking      bool
@@ -456,12 +475,30 @@ func newRecorder(s *Server) (*recorder, error) {
 	return r, nil
 }
 
+// addWire credits one processed dispatch's measured wire traffic
+// (download + upload) to the next recorded round. The runners call it as
+// each arrival is processed in virtual-time order — including dropped
+// arrivals, whose bytes moved even though nothing merged — which makes
+// measured comm accounting deterministic (and snapshot/resume-exact): it
+// depends on the event order, never on how far physical training has
+// raced ahead of the virtual clock.
+func (r *recorder) addWire(bytes int64) { r.wirePending += bytes }
+
 // commDelta returns the traffic added by one round that merged nUpdates
-// uploads. A MeteredTransport supplies the actually-encoded bytes (method
-// extras such as control variates stay analytic — the Transport does not
-// carry them); otherwise the analytic down+up float32 formula is used.
+// uploads. A SizedTransport's exact per-dispatch bytes (accumulated via
+// addWire) win; a legacy MeteredTransport without per-transfer sizes
+// falls back to diffing its cumulative counters (deterministic only when
+// every transfer joins before record — the sync and barrier runtimes);
+// otherwise the analytic down+up float32 formula is used. Method extras
+// such as control variates stay analytic in every case — the Transport
+// does not carry them.
 func (r *recorder) commDelta(nUpdates int) int64 {
 	extra := int64(float64(nUpdates) * r.extraComm * float64(r.commPerClient))
+	wire := r.wirePending
+	r.wirePending = 0
+	if _, ok := r.s.cfg.Transport.(SizedTransport); ok {
+		return wire + extra
+	}
 	if mt, ok := r.s.cfg.Transport.(MeteredTransport); ok {
 		down, up := mt.WireBytes()
 		delta := down + up - r.lastMeasured

@@ -29,6 +29,11 @@ type trainJob struct {
 	// steps this round, speed is its compute multiplier.
 	steps int
 	speed float64
+	// This dispatch's wire traffic (filled by the shard worker alongside
+	// update): exact encoded sizes under a SizedTransport, the analytic
+	// dense float32 size otherwise. The network pricer turns them into
+	// transfer time.
+	downBytes, upBytes int64
 	// trained marks that the event loop already joined the done channel
 	// (device mode joins at dispatch to derive the arrival time from the
 	// metered FLOPs); dropped marks an in-flight update lost to a
@@ -95,7 +100,7 @@ func (sp *shardPool) submit(j *trainJob) {
 		}
 		eng.attach(j.c)
 		before := j.c.Counter.Total()
-		j.update = sp.s.trainClient(j.c, j.round, j.global, j.steps, j.speed)
+		j.update, j.downBytes, j.upBytes = sp.s.trainClient(j.c, j.round, j.global, j.steps, j.speed)
 		j.flops = j.c.Counter.Total() - before
 		eng.detach(j.c)
 		j.done <- struct{}{}

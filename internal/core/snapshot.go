@@ -39,6 +39,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -50,8 +51,11 @@ import (
 )
 
 const (
-	snapMagic   = "FTRS"
-	snapVersion = 1
+	snapMagic = "FTRS"
+	// snapVersion 2 added per-job wire-byte fields, the pending-wire
+	// recorder counter, and the transport-state section (error-feedback
+	// residuals) — version-1 snapshots cannot be read by this build.
+	snapVersion = 2
 	// snapMaxLen bounds every deserialized collection length: corrupt or
 	// adversarial length prefixes must not drive allocation.
 	snapMaxLen = 1 << 30
@@ -298,7 +302,7 @@ func (sp *RunSpec) fingerprint(numParams int) string {
 	fmt.Fprintf(&b, " rounds=%d n=%d k=%d batch=%d epochs=%d", sp.Rounds, len(sp.Parts), sp.ClientsPerRound, sp.BatchSize, sp.LocalEpochs)
 	fmt.Fprintf(&b, " lr=%g mom=%g clip=%g seed=%d evalevery=%d", sp.LR, sp.Momentum, sp.ClipNorm, sp.Seed, sp.EvalEvery)
 	fmt.Fprintf(&b, " conc=%d buf=%d", sp.Concurrency, sp.BufferSize)
-	lat, dev, ch := "none", "none", "none"
+	lat, dev, ch, net := "none", "none", "none", "none"
 	if sp.Latency != nil {
 		lat = sp.Latency.String()
 	}
@@ -308,8 +312,11 @@ func (sp *RunSpec) fingerprint(numParams int) string {
 	if sp.Churn != nil {
 		ch = sp.Churn.String()
 	}
-	fmt.Fprintf(&b, " latency=%s devices=%s floprate=%g adaptive=%t churn=%s", lat, dev, sp.FlopRate, sp.AdaptiveLocalSteps, ch)
-	fmt.Fprintf(&b, " target=%g stop=%t transport=%t", sp.TargetAccuracy, sp.StopAtTarget, sp.Transport != nil)
+	if sp.Network != nil {
+		net = sp.Network.String()
+	}
+	fmt.Fprintf(&b, " latency=%s devices=%s floprate=%g adaptive=%t churn=%s network=%s", lat, dev, sp.FlopRate, sp.AdaptiveLocalSteps, ch, net)
+	fmt.Fprintf(&b, " target=%g stop=%t transport=%s", sp.TargetAccuracy, sp.StopAtTarget, transportName(sp.Transport))
 	// The partition is re-derived by the caller; an FNV-1a hash over the
 	// per-client sizes catches the common mistake (different -alpha or
 	// client count) without embedding N index slices in every header.
@@ -319,6 +326,21 @@ func (sp *RunSpec) fingerprint(numParams int) string {
 	}
 	fmt.Fprintf(&b, " params=%d train=%d test=%d parts=%016x", numParams, sp.Train.Len(), sp.Test.Len(), h)
 	return b.String()
+}
+
+// transportName canonically names a transport for the fingerprint: its
+// spec string when it has one (every ParseTransport result does), nil as
+// "none", anything else as "custom". A resumed run must configure a
+// transport with the same name — wire sizes and decode behaviour are
+// part of the trajectory once communication is measured or priced.
+func transportName(t Transport) string {
+	switch t := t.(type) {
+	case nil:
+		return "none"
+	case fmt.Stringer:
+		return t.String()
+	}
+	return "custom"
 }
 
 // Snapshot serializes the run's complete live state at the current round
@@ -344,8 +366,58 @@ func (rs *RunState) Snapshot(w io.Writer) error {
 	sw.u8(snapVersion)
 	sw.str(rs.spec.fingerprint(len(s.global)))
 	rs.snapshotCommon(sw)
+	if err := snapshotTransport(sw, s.cfg.Transport); err != nil {
+		return err
+	}
 	rs.run.snapshotBody(sw)
 	return sw.flush()
+}
+
+// snapshotTransport serializes a StatefulTransport's run-long state
+// (error-feedback residuals) as a presence flag plus a length-prefixed
+// blob. Snapshot runs quiesced, so no transfer is mutating the state.
+func snapshotTransport(sw *snapWriter, t Transport) error {
+	st, ok := t.(StatefulTransport)
+	sw.boolv(ok)
+	if !ok {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := st.SnapshotState(&buf); err != nil {
+		return fmt.Errorf("core: snapshot transport state: %w", err)
+	}
+	sw.num(buf.Len())
+	sw.raw(buf.Bytes())
+	return nil
+}
+
+// restoreTransport is snapshotTransport's inverse, run against the fresh
+// transport the resume spec configured.
+func restoreTransport(sr *snapReader, t Transport) error {
+	has := sr.boolv()
+	if sr.err != nil {
+		return sr.err
+	}
+	st, ok := t.(StatefulTransport)
+	if has != ok {
+		return fmt.Errorf("core: snapshot transport state present=%t, spec transport stateful=%t", has, ok)
+	}
+	if !has {
+		return nil
+	}
+	n := sr.length("transport state", snapMaxLen)
+	if sr.err != nil {
+		return sr.err
+	}
+	blob := make([]byte, n)
+	sr.raw(blob)
+	if sr.err != nil {
+		return sr.err
+	}
+	if err := st.RestoreState(bytes.NewReader(blob)); err != nil {
+		return fmt.Errorf("core: restore transport state: %w", err)
+	}
+	return nil
 }
 
 // snapshotCommon serializes the state shared by every runtime: the
@@ -383,6 +455,7 @@ func (rs *RunState) snapshotCommon(sw *snapWriter) {
 	sw.num(res.DroppedUpdates)
 	sw.num(res.RoundsToTarget)
 	sw.i64(rec.cumComm)
+	sw.i64(rec.wirePending)
 	sw.num(rec.prevEval)
 	sw.num(rec.lastSubmitted)
 	sw.f64(rec.lastAcc)
@@ -455,6 +528,7 @@ func (rs *RunState) restoreCommon(sr *snapReader) {
 	res.DroppedUpdates = sr.num("dropped updates")
 	res.RoundsToTarget = sr.num("rounds to target")
 	rec.cumComm = sr.i64()
+	rec.wirePending = sr.i64()
 	rec.prevEval = sr.num("previous evaluation round")
 	rec.lastSubmitted = sr.num("last submitted evaluation round")
 	rec.lastAcc = sr.f64()
@@ -543,6 +617,8 @@ func writeJob(sw *snapWriter, j *trainJob) {
 	sw.f64(j.speed)
 	sw.boolv(j.dropped)
 	sw.i64(j.flops)
+	sw.i64(j.downBytes)
+	sw.i64(j.upBytes)
 	sw.num(j.update.ClientID)
 	sw.floats(j.update.Params)
 	sw.num(j.update.NumSamples)
@@ -573,6 +649,8 @@ func readJob(sr *snapReader, s *Server) *trainJob {
 	j.speed = sr.f64()
 	j.dropped = sr.boolv()
 	j.flops = sr.i64()
+	j.downBytes = sr.i64()
+	j.upBytes = sr.i64()
 	j.update.ClientID = sr.num("update client")
 	j.update.Params = sr.floats("update params")
 	j.update.NumSamples = sr.num("update samples")
@@ -766,10 +844,13 @@ func (r *bufferedRunner) restoreBody(sr *snapReader) error {
 
 // ResumeSpec describes how to reconstruct a snapshotted run. Spec must
 // rebuild the same run the snapshot was taken from: same method, policy,
-// hyperparameters, seed, datasets, and partition — Resume verifies this
-// against the snapshot's fingerprint and reports exactly what differs.
-// Function-valued fields (Logf, OnRound, OnUpdates, a fresh Transport)
-// may differ freely; they are not part of the trajectory fingerprint.
+// hyperparameters, seed, datasets, partition, and transport spec —
+// Resume verifies this against the snapshot's fingerprint and reports
+// exactly what differs. Function-valued fields (Logf, OnRound,
+// OnUpdates) may differ freely; they are not part of the trajectory
+// fingerprint. The Transport must be a fresh instance of the same spec
+// (same fingerprint name); a StatefulTransport's run-long state
+// (error-feedback residuals) is restored from the snapshot.
 type ResumeSpec struct {
 	Spec RunSpec
 }
@@ -778,10 +859,10 @@ type ResumeSpec struct {
 // positioned at the snapshotted round boundary, ready to Step (or Run)
 // onward. The continuation is bit-for-bit identical to the original run
 // having never stopped: same model trajectory, same metric series, same
-// RNG draws. (One caveat: a MeteredTransport's wire-byte counters start
-// from zero in the new process, exactly like the fresh counters of the
-// uninterrupted run's first rounds — analytic comm accounting, the
-// default, is unaffected.)
+// RNG draws. SizedTransport comm accounting resumes exactly (per-job
+// wire bytes and the pending-wire counter are serialized); one caveat
+// remains for legacy MeteredTransport-only transports, whose cumulative
+// counters restart at zero in the new process.
 func Resume(r io.Reader, rspec ResumeSpec) (*RunState, error) {
 	spec := rspec.Spec
 	if err := spec.Validate(); err != nil {
@@ -823,6 +904,9 @@ func (rs *RunState) restore(r io.Reader) error {
 	rs.restoreCommon(sr)
 	if sr.err != nil {
 		return sr.err
+	}
+	if err := restoreTransport(sr, rs.run.server().cfg.Transport); err != nil {
+		return err
 	}
 	return rs.run.restoreBody(sr)
 }

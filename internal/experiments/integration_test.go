@@ -192,6 +192,43 @@ func TestHeteroTiny(t *testing.T) {
 	}
 }
 
+// The comm-tta table: one transport per row on a bandwidth-tiered
+// churning fleet, with accuracy, wire bytes, and sim-time columns. The
+// sparsifying rows must move fewer bytes than dense float32, and the
+// bandwidth pricing must show up as positive simulated time everywhere.
+func TestCommTTATiny(t *testing.T) {
+	tabs := runTiny(t, "comm-tta")
+	tab := tabs[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("comm-tta should have 5 transport rows, got %d", len(tab.Rows))
+	}
+	cell := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(strings.TrimPrefix(row[col], ">"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q in row %v", row[col], row)
+		}
+		return v
+	}
+	// The wire column is cumulative at the (per-row) target round, so
+	// compare per-aggregation traffic, which is rate-comparable across
+	// rows that needed different aggregation counts.
+	mbPerAgg := map[string]float64{}
+	for _, row := range tab.Rows {
+		mbPerAgg[row[0]] = cell(row, 2) / cell(row, 1)
+		if simTime := cell(row, 3); simTime <= 0 {
+			t.Fatalf("transport %q reports no simulated time (row %v)", row[0], row)
+		}
+		if acc := cell(row, 5); acc <= 0 {
+			t.Fatalf("transport %q reports no accuracy (row %v)", row[0], row)
+		}
+	}
+	for _, compressed := range []string{"q8", "q8+ef", "topk:0.01+ef", "randk:0.05"} {
+		if mbPerAgg[compressed] >= mbPerAgg["f32"] {
+			t.Fatalf("%s moved %.4f MB/agg, not less than dense f32's %.4f MB/agg", compressed, mbPerAgg[compressed], mbPerAgg["f32"])
+		}
+	}
+}
+
 // A profile-level runtime override makes an ordinary experiment run
 // asynchronously: the cached results carry the async-only metrics.
 func TestProfileRuntimeOverride(t *testing.T) {

@@ -76,6 +76,16 @@ type Profile struct {
 	// Churn is the availability spec (core.ParseChurn) for the buffered
 	// async runtime ("" = always available).
 	Churn string
+	// Transport is the transport spec (comm.ParseTransport): how model
+	// transfers are encoded on the wire ("" = none: analytic float32
+	// byte accounting). A fresh transport is built per run, since
+	// compressing transports carry per-client state.
+	Transport string
+	// Bandwidth is the network-distribution spec (core.ParseNetDist) for
+	// the async/barrier runtimes ("" = free network). With a spec set,
+	// every dispatch additionally pays RTT plus measured-bytes/bandwidth
+	// in simulated time, so compressed uplinks finish sooner.
+	Bandwidth string
 	// AdaptiveSteps scales each client's local step budget with its
 	// device speed (requires Devices).
 	AdaptiveSteps bool

@@ -35,6 +35,7 @@ func All() []Experiment {
 		{ID: "ext-quant", Title: "Extension: FedTrip with quantized uplink", Run: runExtQuant},
 		{ID: "tta", Title: "Time to accuracy under stragglers (barrier vs FedBuff vs FedAsync policies)", Run: runTTA},
 		{ID: "hetero", Title: "Device heterogeneity and churn (FLOP-coupled fleets, dropout/rejoin, staleness cutoff)", Run: runHetero},
+		{ID: "comm-tta", Title: "Communication-priced time to accuracy (compressing transports on a bandwidth-tiered fleet)", Run: runCommTTA},
 		{ID: "abl-xi", Title: "Ablation: xi schedule", Run: runAblationXi},
 		{ID: "abl-hist", Title: "Ablation: triplet terms", Run: runAblationHistory},
 		{ID: "abl-extra", Title: "Ablation: appendix methods resource comparison", Run: runAblationAppendix},

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/algos"
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/nn"
@@ -51,10 +52,11 @@ type Case struct {
 	// Trial indexes repeated runs; it offsets every seed.
 	Trial int
 	// Runtime / Latency / Policy / ServerLR / Concurrency / Buffer /
-	// Devices / Churn / AdaptiveSteps override the profile's runtime
-	// selection when non-zero, so a single experiment can compare
-	// runtimes, aggregation policies, and device fleets side by side
-	// (see the time-to-accuracy and hetero tables).
+	// Devices / Churn / Transport / Bandwidth / AdaptiveSteps override
+	// the profile's runtime selection when non-zero, so a single
+	// experiment can compare runtimes, aggregation policies, device
+	// fleets, and transports side by side (see the time-to-accuracy,
+	// hetero, and comm-tta tables).
 	Runtime             core.Runtime
 	Latency             string
 	Policy              string
@@ -62,19 +64,22 @@ type Case struct {
 	Concurrency, Buffer int
 	Devices             string
 	Churn               string
+	Transport           string
+	Bandwidth           string
 	AdaptiveSteps       bool
 }
 
 // runSel is the resolved runtime selection for one case: profile
 // defaults with case overrides applied.
 type runSel struct {
-	rt                 core.Runtime
-	latency            string
-	policy             string
-	serverLR           string
-	conc, buf          int
-	devices, churnSpec string
-	adaptiveSteps      bool
+	rt                   core.Runtime
+	latency              string
+	policy               string
+	serverLR             string
+	conc, buf            int
+	devices, churnSpec   string
+	transport, bandwidth string
+	adaptiveSteps        bool
 }
 
 // runtimeParams resolves the effective runtime selection for a case:
@@ -84,6 +89,7 @@ func (c Case) runtimeParams(p Profile) runSel {
 		rt: p.Runtime, latency: p.Latency, policy: p.Policy, serverLR: p.ServerLR,
 		conc: p.Concurrency, buf: p.Buffer,
 		devices: p.Devices, churnSpec: p.Churn,
+		transport: p.Transport, bandwidth: p.Bandwidth,
 		adaptiveSteps: p.AdaptiveSteps || c.AdaptiveSteps,
 	}
 	if c.Runtime != "" {
@@ -109,6 +115,12 @@ func (c Case) runtimeParams(p Profile) runSel {
 	}
 	if c.Churn != "" {
 		s.churnSpec = c.Churn
+	}
+	if c.Transport != "" {
+		s.transport = c.Transport
+	}
+	if c.Bandwidth != "" {
+		s.bandwidth = c.Bandwidth
 	}
 	if s.rt == "" {
 		s.rt = core.RuntimeSync
@@ -161,6 +173,20 @@ func (c Case) runSpec(p Profile, cfg core.Config) (core.RunSpec, error) {
 		return core.RunSpec{}, err
 	}
 	spec.Churn = churn
+	// The transport is constructed fresh per run — compressing transports
+	// carry per-client state (EF residuals) that must not leak across
+	// cases. The bandwidth spec is attached unconditionally: Validate owns
+	// the "sync has no simulated clock" rejection, like latency above.
+	tr, err := comm.ParseTransport(sel.transport)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	spec.Config.Transport = tr
+	net, err := core.ParseNetDist(sel.bandwidth)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	spec.Network = net
 	if sel.policy != "" {
 		pol, err := core.ParsePolicy(sel.policy)
 		if err != nil {
@@ -191,11 +217,12 @@ func (c Case) key(p Profile) string {
 	if c.Rounds > 0 {
 		rounds = c.Rounds
 	}
-	return fmt.Sprintf("%s|%s|%s|%s|%+v|%d|%d|%d|%v|%d|%s|%d|%d|%d|%v|%d|%s|%s|%s|%s|%d|%d|%s|%s|%v",
+	return fmt.Sprintf("%s|%s|%s|%s|%+v|%d|%d|%d|%v|%d|%s|%d|%d|%d|%v|%d|%s|%s|%s|%s|%d|%d|%s|%s|%s|%s|%v",
 		p.Name, c.Kind, c.Arch, c.Scheme, c.Params, c.Clients, c.PerRound,
 		c.LocalEpochs, c.ClipNorm, c.Trial, algoKey, rounds, p.SamplesPerClient,
 		p.Batch, p.ConvScale, p.Seed, sel.rt, sel.latency, sel.policy, sel.serverLR,
-		sel.conc, sel.buf, sel.devices, sel.churnSpec, sel.adaptiveSteps)
+		sel.conc, sel.buf, sel.devices, sel.churnSpec, sel.transport, sel.bandwidth,
+		sel.adaptiveSteps)
 }
 
 var (
@@ -489,6 +516,12 @@ func warnBespokeHarness(p Profile, logf Logf, id string) {
 	}
 	if p.Churn != "" && p.Churn != "none" {
 		ignored = append(ignored, "-dropout "+p.Churn)
+	}
+	if p.Transport != "" && p.Transport != "none" {
+		ignored = append(ignored, "-transport "+p.Transport)
+	}
+	if p.Bandwidth != "" && p.Bandwidth != "none" {
+		ignored = append(ignored, "-bandwidth-dist "+p.Bandwidth)
 	}
 	if len(ignored) == 0 {
 		return

@@ -13,6 +13,9 @@ package quantize
 import (
 	"fmt"
 	"math"
+	"sort"
+
+	"repro/internal/prng"
 )
 
 // Quantized is a uniformly quantized vector: values are mapped to
@@ -159,6 +162,41 @@ func TopK(v []float64, k int) (*Sparse, error) {
 			s.Indices = append(s.Indices, int32(i))
 			s.Values = append(s.Values, float32(x))
 		}
+	}
+	return s, nil
+}
+
+// RandK keeps k uniformly random entries of v, sampled without
+// replacement from rng — the unbiased sparsifier of the compression
+// literature (top-k's cheap, gradient-oblivious cousin). Indices are
+// returned in ascending order, so the encoding is canonical for a given
+// draw. Callers that need determinism across processes (transports,
+// resume) must derive rng statelessly, e.g. from (seed, client, round).
+func RandK(v []float64, k int, rng *prng.Rand) (*Sparse, error) {
+	if k < 0 || k > len(v) {
+		return nil, fmt.Errorf("quantize: rand-k %d outside [0,%d]", k, len(v))
+	}
+	s := &Sparse{N: len(v)}
+	if k == 0 {
+		return s, nil
+	}
+	// Partial Fisher–Yates: after k swaps the first k slots are a uniform
+	// sample without replacement.
+	idx := make([]int32, len(v))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(v)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	sel := idx[:k]
+	sort.Slice(sel, func(a, b int) bool { return sel[a] < sel[b] })
+	s.Indices = make([]int32, k)
+	copy(s.Indices, sel)
+	s.Values = make([]float32, k)
+	for i, id := range s.Indices {
+		s.Values[i] = float32(v[id])
 	}
 	return s, nil
 }

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/prng"
 )
 
 func TestQuantizeRoundTripError(t *testing.T) {
@@ -209,5 +211,55 @@ func TestSparseWireSize(t *testing.T) {
 	s, _ := TopK(make([]float64, 100), 0)
 	if s.WireSize() != 8 {
 		t.Fatalf("empty wire %d", s.WireSize())
+	}
+}
+
+func TestRandK(t *testing.T) {
+	v := make([]float64, 200)
+	for i := range v {
+		v[i] = float64(i) * 0.5
+	}
+	s, err := RandK(v, 20, prng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Indices) != 20 || len(s.Values) != 20 {
+		t.Fatalf("rand-k kept %d/%d entries, want 20", len(s.Indices), len(s.Values))
+	}
+	seen := map[int32]bool{}
+	for i, idx := range s.Indices {
+		if i > 0 && idx <= s.Indices[i-1] {
+			t.Fatalf("indices not strictly ascending at %d: %v", i, s.Indices)
+		}
+		if seen[idx] {
+			t.Fatalf("index %d sampled twice", idx)
+		}
+		seen[idx] = true
+		if float64(s.Values[i]) != float64(float32(v[idx])) {
+			t.Fatalf("value mismatch at index %d", idx)
+		}
+	}
+	if s.WireSize() != 8+20*8 {
+		t.Fatalf("wire size %d", s.WireSize())
+	}
+	// Same rng seed reproduces the draw; a different seed changes it.
+	s2, _ := RandK(v, 20, prng.New(7))
+	for i := range s.Indices {
+		if s.Indices[i] != s2.Indices[i] {
+			t.Fatal("same seed drew different support")
+		}
+	}
+	// Degenerate and error cases.
+	if s, _ := RandK(v, 0, prng.New(1)); len(s.Indices) != 0 {
+		t.Fatal("k=0 must keep nothing")
+	}
+	if s, _ := RandK(v, len(v), prng.New(1)); len(s.Indices) != len(v) {
+		t.Fatal("k=n must keep everything")
+	}
+	if _, err := RandK(v, -1, prng.New(1)); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, err := RandK(v, len(v)+1, prng.New(1)); err == nil {
+		t.Fatal("k>n accepted")
 	}
 }

@@ -13,12 +13,17 @@ import (
 // upload is delta-encoded against the model it received this round, then
 // uniformly quantized to Bits per element. This mirrors production FL
 // compression, where the server reconstructs w_k = w_received + dq(delta).
+//
+// Memory: the downlink reference is held only while the client's round is
+// in flight — Up evicts it and recycles the buffer — so the map is
+// bounded by the runtime's dispatch concurrency, not by the fleet size.
 type Transport struct {
 	// Bits is the uplink quantization width (e.g. 8).
 	Bits int
 
 	mu       sync.Mutex
 	lastDown map[int][]float64
+	free     [][]float64
 
 	downBytes atomic.Int64
 	upBytes   atomic.Int64
@@ -32,33 +37,68 @@ func NewTransport(bits int) (*Transport, error) {
 	return &Transport{Bits: bits, lastDown: make(map[int][]float64)}, nil
 }
 
+// String names the transport for run fingerprints and banners.
+func (t *Transport) String() string { return fmt.Sprintf("quant:%d", t.Bits) }
+
+// take returns a zeroing-free scratch buffer of length n, reusing evicted
+// downlink references when one of the right size is available.
+func (t *Transport) take(n int) []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.free) - 1; i >= 0; i-- {
+		if len(t.free[i]) == n {
+			buf := t.free[i]
+			t.free = append(t.free[:i], t.free[i+1:]...)
+			return buf
+		}
+	}
+	return make([]float64, n)
+}
+
 // Down implements core.Transport: float32 downlink.
 func (t *Transport) Down(clientID, round int, global []float64) []float64 {
-	received := make([]float64, len(global))
+	out, _ := t.DownSized(clientID, round, global)
+	return out
+}
+
+// DownSized implements core.SizedTransport, reporting this transfer's
+// exact encoded bytes.
+func (t *Transport) DownSized(clientID, round int, global []float64) ([]float64, int64) {
+	received := t.take(len(global))
 	for i, x := range global {
 		received[i] = float64(float32(x))
 	}
 	t.mu.Lock()
 	t.lastDown[clientID] = received
 	t.mu.Unlock()
-	t.downBytes.Add(tensor.VectorWireSizeF32(len(global)))
-	return received
+	wire := tensor.VectorWireSizeF32(len(global))
+	t.downBytes.Add(wire)
+	return received, wire
 }
 
 // Up implements core.Transport: delta-quantized uplink.
 func (t *Transport) Up(clientID, round int, params []float64) []float64 {
+	out, _ := t.UpSized(clientID, round, params)
+	return out
+}
+
+// UpSized implements core.SizedTransport. It evicts the client's downlink
+// reference: a second Up for the same dispatch would fall back to float32.
+func (t *Transport) UpSized(clientID, round int, params []float64) ([]float64, int64) {
 	t.mu.Lock()
 	ref := t.lastDown[clientID]
+	delete(t.lastDown, clientID)
 	t.mu.Unlock()
 	if ref == nil {
 		// No recorded downlink (shouldn't happen in a normal round loop):
 		// fall back to float32 shipping.
-		t.upBytes.Add(tensor.VectorWireSizeF32(len(params)))
+		wire := tensor.VectorWireSizeF32(len(params))
+		t.upBytes.Add(wire)
 		out := make([]float64, len(params))
 		for i, x := range params {
 			out[i] = float64(float32(x))
 		}
-		return out
+		return out, wire
 	}
 	delta := make([]float64, len(params))
 	tensor.SubInto(delta, params, ref)
@@ -66,14 +106,25 @@ func (t *Transport) Up(clientID, round int, params []float64) []float64 {
 	if err != nil {
 		// Non-finite upload: ship raw and let the server's divergence
 		// check handle it.
-		t.upBytes.Add(tensor.VectorWireSizeF32(len(params)))
-		return params
+		t.recycle(ref)
+		wire := tensor.VectorWireSizeF32(len(params))
+		t.upBytes.Add(wire)
+		return params, wire
 	}
-	t.upBytes.Add(q.WireSize())
+	wire := q.WireSize()
+	t.upBytes.Add(wire)
 	rec := q.Dequantize()
-	out := make([]float64, len(params))
-	tensor.AddInto(out, ref, rec)
-	return out
+	// Reconstruct in place over the reference: it leaves the transport as
+	// the returned value (the runtime copies it immediately).
+	tensor.AddInto(ref, ref, rec)
+	return ref, wire
+}
+
+// recycle returns an evicted reference buffer to the free list.
+func (t *Transport) recycle(buf []float64) {
+	t.mu.Lock()
+	t.free = append(t.free, buf)
+	t.mu.Unlock()
 }
 
 // DownBytes returns total downlink traffic.
