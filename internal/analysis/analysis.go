@@ -1,0 +1,113 @@
+// Package analysis is the repository's static-analysis layer: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus the fedtripvet analyzers
+// that mechanically enforce the determinism, hot-path, and snapshot
+// invariants everything else in this reproduction rests on:
+//
+//   - randsource: runtime packages must draw randomness from the
+//     internal/prng seed-stream registry, never directly from math/rand
+//     or time.Now (bit-for-bit checkpoint/resume cannot serialize a
+//     math/rand.Rand, and wall-clock time is not part of a run).
+//   - seedstream: every seed-stream lookup must name a string constant
+//     registered in the package's seeds.go, so the set of streams a run
+//     consumes is a closed, reviewable list and collisions are caught at
+//     vet time instead of by the runtime collision test.
+//   - maprange: files that write FTRS/FTCK envelopes or recorder series
+//     must not let Go's randomized map iteration order reach the bytes
+//     they emit.
+//   - hotpath: functions annotated //fedtripvet:hotpath (LocalTrain, the
+//     GEMM kernels, the async dispatch/arrival path, transport Up/Down)
+//     must stay allocation-free: no fmt, no map construction, no
+//     unannotated append, no closures over loop variables.
+//
+// The x/tools module is deliberately not imported: the suite must build
+// in a hermetic environment from the standard library alone. The subset
+// of the API reimplemented here is shaped so that migrating to the real
+// go/analysis framework later is a mechanical import swap.
+//
+// Escape hatches are comments (see annotate.go for the grammar):
+//
+//	//fedtripvet:allow <reason>   suppress diagnostics on this (or the next) line
+//	//fedtripvet:sorted <reason>  justify a map range in a serialization file
+//	//fedtripvet:hotpath          mark a function for hot-path checking
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is the analyzer's documentation (first line = summary).
+	Doc string
+	// Flags holds analyzer-specific configuration.
+	Flags flag.FlagSet
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the package.
+	Fset *token.FileSet
+	// Files is the package's syntax. Test files are never included: the
+	// invariants guard runtime code, and tests legitimately use raw
+	// randomness and wall clocks.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the package's type and object resolution.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned within the package's Fset.
+type Diagnostic struct {
+	Pos token.Pos
+	// Category is the reporting analyzer's name (filled by the driver).
+	Category string
+	Message  string
+}
+
+// pkgPathOf returns the import path of the package an object belongs to
+// ("" for builtins and universe-scope objects).
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// importedPkg resolves expr to the *types.PkgName it names, if it is a
+// package qualifier (the "rand" in rand.New).
+func importedPkg(info *types.Info, expr ast.Expr) (*types.PkgName, bool) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return pn, ok
+}
+
+// isTestFile reports whether the file's name marks it as a test file.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.File(f.Pos()).Name(), "_test.go")
+}

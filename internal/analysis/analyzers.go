@@ -1,0 +1,14 @@
+package analysis
+
+// All returns fresh instances of every fedtripvet analyzer, in the
+// order they are documented. Instances are not shared: each carries its
+// own FlagSet, so a driver and a test configuring the same analyzer
+// never race on flag state.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NewRandSource(),
+		NewSeedStream(),
+		NewMapRange(),
+		NewHotPath(),
+	}
+}

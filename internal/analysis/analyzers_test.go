@@ -1,0 +1,88 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestRandSource(t *testing.T) {
+	a := analysis.NewRandSource()
+	if err := a.Flags.Set("packages", "randsource"); err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, "testdata", a, "randsource")
+}
+
+func TestRandSourceSkipsUnguardedPackage(t *testing.T) {
+	// Default package list: the fixture path is not in it, so even its
+	// rand.New lines produce nothing.
+	findings := analysistest.RunNoWant(t, "testdata", analysis.NewRandSource(), "randsource")
+	if len(findings) != 0 {
+		t.Fatalf("expected no findings outside guarded packages, got %v", findings)
+	}
+}
+
+func TestSeedStream(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NewSeedStream(), "seedstream")
+}
+
+func TestSeedStreamNoRegistry(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NewSeedStream(), "seedstreamnoreg")
+}
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NewMapRange(), "maprange")
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NewHotPath(), "hotpath")
+}
+
+// TestRepoClean is the meta-test behind the CI gate: the full fedtripvet
+// suite must run clean over every package in this repository. A failure
+// here means a change introduced raw randomness, an unregistered seed
+// stream, ordering-sensitive serialization, or a hot-path allocation —
+// fix the code or annotate it with a reviewable reason.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire repository; skipped in -short")
+	}
+	root := repoRoot(t)
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	findings, err := analysis.AnalyzePackages(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// repoRoot walks up from the test's working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

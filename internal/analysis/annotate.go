@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation grammar. All fedtripvet escape hatches are line comments of
+// the form
+//
+//	//fedtripvet:<verb> <reason>
+//
+// with no space between "//" and "fedtripvet" (mirroring //go: and
+// //lint: directives, so gofmt leaves them alone).
+//
+//	//fedtripvet:allow <reason>
+//	    Suppresses every fedtripvet diagnostic attributed to the
+//	    comment's own line (trailing form) or, when the comment stands
+//	    alone, to the line directly below it. The reason is mandatory:
+//	    an unexplained suppression is itself reported.
+//
+//	//fedtripvet:sorted <reason>
+//	    maprange only: asserts that a map iteration in a serialization
+//	    file is order-insensitive (or explicitly ordered afterwards).
+//	    Same placement rules as allow; reason mandatory.
+//
+//	//fedtripvet:hotpath
+//	    In a function's doc comment: opts the function into the hotpath
+//	    analyzer's allocation checks.
+const (
+	directivePrefix = "//fedtripvet:"
+	verbAllow       = "allow"
+	verbSorted      = "sorted"
+	verbHotpath     = "hotpath"
+)
+
+// directive is one parsed //fedtripvet: comment.
+type directive struct {
+	verb   string
+	reason string
+	pos    token.Pos
+	// line is the line the directive suppresses: the comment's own line
+	// if code precedes it, otherwise the line below the comment.
+	line int
+}
+
+// parseDirectives extracts every fedtripvet directive from f. The
+// suppressed line is resolved against the file's layout: a trailing
+// comment guards its own line, a comment alone on a line guards the next
+// line.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var ds []directive
+	tf := fset.File(f.Pos())
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, reason, _ := strings.Cut(rest, " ")
+			line := tf.Line(c.Pos())
+			// A comment that starts a line guards the line below; a
+			// trailing comment guards its own line. Column 1..n of the
+			// line before the comment holds code iff the comment's
+			// column is past the line start and something non-blank
+			// precedes it — approximated by the comment's column: gofmt
+			// places standalone comments at the statement indent, but a
+			// trailing comment never starts the line. Cheap and robust:
+			// if the comment's column is 1 it is standalone; otherwise
+			// inspect whether any AST node ends on the same line before
+			// the comment.
+			guarded := line
+			if !codeBefore(tf, f, c.Pos(), line) {
+				guarded = line + 1
+			}
+			ds = append(ds, directive{
+				verb:   verb,
+				reason: strings.TrimSpace(reason),
+				pos:    c.Pos(),
+				line:   guarded,
+			})
+		}
+	}
+	return ds
+}
+
+// codeBefore reports whether any syntax node ends on the given line
+// before pos (making a comment at pos a trailing comment).
+func codeBefore(tf *token.File, f *ast.File, pos token.Pos, line int) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		if n.Pos() >= pos {
+			return false
+		}
+		if _, isFile := n.(*ast.File); !isFile && n.End() <= pos && tf.Line(n.End()-1) == line {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// annotations indexes one file's directives for the analyzers.
+type annotations struct {
+	// allow maps guarded line -> reason for //fedtripvet:allow.
+	allow map[int]string
+	// sorted maps guarded line -> reason for //fedtripvet:sorted.
+	sorted map[int]string
+	// malformed holds directives with a missing reason or unknown verb,
+	// reported by the driver so suppressions stay reviewable.
+	malformed []directive
+}
+
+// annotate parses and indexes f's directives.
+func annotate(fset *token.FileSet, f *ast.File) *annotations {
+	a := &annotations{allow: map[int]string{}, sorted: map[int]string{}}
+	for _, d := range parseDirectives(fset, f) {
+		switch d.verb {
+		case verbAllow:
+			if d.reason == "" {
+				a.malformed = append(a.malformed, d)
+				continue
+			}
+			a.allow[d.line] = d.reason
+		case verbSorted:
+			if d.reason == "" {
+				a.malformed = append(a.malformed, d)
+				continue
+			}
+			a.sorted[d.line] = d.reason
+		case verbHotpath:
+			// Consumed from doc comments by the hotpath analyzer; no
+			// line bookkeeping needed here.
+		default:
+			a.malformed = append(a.malformed, d)
+		}
+	}
+	return a
+}
+
+// isHotpath reports whether the function declaration carries the
+// //fedtripvet:hotpath marker in its doc comment.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		verb, _, _ := strings.Cut(rest, " ")
+		if verb == verbHotpath {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAt reports whether a //fedtripvet:sorted directive guards the
+// given line.
+func (a *annotations) sortedAt(line int) bool {
+	_, ok := a.sorted[line]
+	return ok
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const annotateSrc = `package p
+
+func trailing() int {
+	x := 1 //fedtripvet:allow pooled buffer, capacity ensured
+	return x
+}
+
+func standalone() int {
+	//fedtripvet:allow cold error path
+	y := 2
+	return y
+}
+
+func sortedForm() int {
+	//fedtripvet:sorted summation commutes
+	z := 3
+	return z
+}
+
+func bare() int {
+	w := 4 //fedtripvet:allow
+	return w
+}
+
+func unknown() int {
+	v := 5 //fedtripvet:frobnicate because
+	return v
+}
+
+//fedtripvet:hotpath
+func hot() {}
+
+func cool() {}
+`
+
+func TestAnnotate(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "anno.go", annotateSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := annotate(fset, f)
+
+	// Trailing form guards its own line (4); standalone guards the line
+	// below the comment (10).
+	if got := a.allow[4]; got != "pooled buffer, capacity ensured" {
+		t.Errorf("allow[4] = %q", got)
+	}
+	if got := a.allow[10]; got != "cold error path" {
+		t.Errorf("allow[10] = %q", got)
+	}
+	if !a.sortedAt(16) {
+		t.Error("sorted directive on line 15 should guard line 16")
+	}
+	if a.sortedAt(15) {
+		t.Error("standalone sorted directive must not guard its own line")
+	}
+
+	// A reason-less allow and an unknown verb are malformed, and neither
+	// suppresses anything.
+	if len(a.malformed) != 2 {
+		t.Fatalf("malformed = %d directives, want 2", len(a.malformed))
+	}
+	if _, ok := a.allow[21]; ok {
+		t.Error("reason-less allow on line 21 must not register a suppression")
+	}
+}
+
+func TestIsHotpath(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "anno.go", annotateSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			got[fd.Name.Name] = isHotpath(fd)
+		}
+	}
+	if !got["hot"] {
+		t.Error("hot() should carry the hotpath marker")
+	}
+	if got["cool"] {
+		t.Error("cool() must not carry the hotpath marker")
+	}
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewHotPath returns the hotpath analyzer: functions annotated
+// //fedtripvet:hotpath must stay allocation-free. The steady-state
+// train->upload->aggregate->merge cycle is pinned at 0 allocs/op by the
+// benchmarks; this analyzer catches the regressions at vet time, before
+// a benchmark run, by rejecting the constructs that allocate on every
+// call:
+//
+//   - fmt.* calls (interface boxing + formatting state),
+//   - map construction (make(map...) or a map literal),
+//   - append (growth is amortized away only for pooled, pre-sized
+//     buffers — which is exactly what //fedtripvet:allow documents),
+//   - closures capturing loop variables (the capture forces the
+//     variable, and often the closure, onto the heap).
+//
+// The checks are intraprocedural and syntactic by design: they gate the
+// annotated function's own body, while the alloc-counting benchmarks
+// remain the end-to-end proof.
+func NewHotPath() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath",
+		Doc: "forbid allocating constructs in //fedtripvet:hotpath functions\n\n" +
+			"No fmt calls, no map construction, no unannotated append, no\n" +
+			"closures over loop variables. Escape hatch: //fedtripvet:allow\n" +
+			"<reason> (e.g. a pooled buffer whose capacity is ensured, or a\n" +
+			"cold error path).",
+	}
+	a.Run = func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isHotpath(fn) {
+					continue
+				}
+				checkHotpathBody(pass, fn.Body)
+			}
+		}
+		return nil, nil
+	}
+	return a
+}
+
+// checkHotpathBody walks one hot function's body, tracking the stack of
+// enclosing loops so closures can be checked for loop-variable capture.
+func checkHotpathBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var loops []*loopHeader
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, &loopHeader{from: n.Pos(), to: n.Body.Pos(), end: n.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, &loopHeader{from: n.Pos(), to: n.Body.Pos(), end: n.End()})
+		case *ast.FuncLit:
+			reportLoopCaptures(pass, n, liveLoops(loops, n.Pos()))
+		case *ast.CompositeLit:
+			if isMapType(info.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "map literal on the hot path allocates; hoist it out of the hot function")
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, n)
+		}
+		return true
+	})
+}
+
+// loopHeader records one enclosing loop: variables declared in
+// [from, to) are its header variables; the loop's extent ends at end.
+type loopHeader struct{ from, to, end token.Pos }
+
+// liveLoops filters the loop stack to loops whose body still encloses
+// pos (ast.Inspect has no post-order pop, so stale frames are filtered
+// by extent instead).
+func liveLoops(loops []*loopHeader, pos token.Pos) []*loopHeader {
+	var live []*loopHeader
+	for _, l := range loops {
+		if pos >= l.to && pos < l.end {
+			live = append(live, l)
+		}
+	}
+	return live
+}
+
+// reportLoopCaptures reports identifiers inside the closure that
+// resolve to variables declared in an enclosing loop's header.
+func reportLoopCaptures(pass *Pass, fl *ast.FuncLit, loops []*loopHeader) {
+	if len(loops) == 0 {
+		return
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || reported[obj] {
+			return true
+		}
+		for _, l := range loops {
+			if obj.Pos() >= l.from && obj.Pos() < l.to {
+				reported[obj] = true
+				pass.Reportf(fl.Pos(), "closure captures loop variable %s, forcing it to the heap on the hot path", obj.Name())
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// checkHotpathCall flags fmt calls, the append builtin, and map-typed
+// make calls.
+func checkHotpathCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if pn, ok := importedPkg(info, fun.X); ok && pn.Imported().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s on the hot path allocates; move formatting off the hot path (or annotate a cold error path with //fedtripvet:allow <reason>)", fun.Sel.Name)
+		}
+	case *ast.Ident:
+		b, ok := info.Uses[fun].(*types.Builtin)
+		if !ok {
+			return
+		}
+		switch b.Name() {
+		case "append":
+			pass.Reportf(call.Pos(), "append on the hot path may allocate; use a pooled, pre-sized buffer and annotate with //fedtripvet:allow <reason>")
+		case "make":
+			if isMapType(info.TypeOf(call)) {
+				pass.Reportf(call.Pos(), "make(map) on the hot path allocates; hoist the map out of the hot function")
+			}
+		}
+	}
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// serializationScoped reports whether a file is in maprange's scope: it
+// writes FTRS run snapshots or FTCK model checkpoints (detected by the
+// magic string literal), implements the recorder (whose series become
+// the Result's trajectory), or carries transport snapshot state
+// (SnapshotState/RestoreState). In these files a `for range` over a map
+// lets Go's randomized iteration order reach serialized bytes or metric
+// series — the exact class of bug the bit-for-bit resume pins exist to
+// catch, surfaced at vet time instead.
+func serializationScoped(f *ast.File) bool {
+	scoped := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if scoped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if v, err := strconv.Unquote(n.Value); err == nil && (v == "FTRS" || v == "FTCK") {
+				scoped = true
+			}
+		case *ast.TypeSpec:
+			if n.Name.Name == "recorder" {
+				scoped = true
+			}
+		case *ast.FuncDecl:
+			if n.Name.Name == "SnapshotState" || n.Name.Name == "RestoreState" {
+				scoped = true
+			}
+			if n.Recv != nil && len(n.Recv.List) == 1 {
+				t := n.Recv.List[0].Type
+				if star, ok := t.(*ast.StarExpr); ok {
+					t = star.X
+				}
+				if id, ok := t.(*ast.Ident); ok && id.Name == "recorder" {
+					scoped = true
+				}
+			}
+		}
+		return true
+	})
+	return scoped
+}
+
+// NewMapRange returns the maprange analyzer: no raw map iteration in
+// files that serialize run state or record trajectory series.
+func NewMapRange() *Analyzer {
+	a := &Analyzer{
+		Name: "maprange",
+		Doc: "forbid map iteration order from reaching serialized output\n\n" +
+			"In files that write FTRS/FTCK envelopes or recorder series, `for\n" +
+			"range` over a map must collect keys for sorting (the one-statement\n" +
+			"keys-append idiom), count without binding, or carry an explicit\n" +
+			"//fedtripvet:sorted <reason> justification.",
+	}
+	a.Run = func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			if !serializationScoped(f) {
+				continue
+			}
+			notes := annotate(pass.Fset, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				line := pass.Fset.Position(rs.Pos()).Line
+				if notes.sortedAt(line) {
+					return true
+				}
+				if keyCollectionLoop(pass.TypesInfo, rs) || bindinglessLoop(rs) {
+					return true
+				}
+				pass.Reportf(rs.Pos(), "map iteration order can reach serialized output; collect keys and sort first, or justify with //fedtripvet:sorted <reason>")
+				return true
+			})
+		}
+		return nil, nil
+	}
+	return a
+}
+
+// bindinglessLoop reports a `for range m { ... }` loop that binds
+// neither key nor value: whatever the body does is repeated len(m)
+// times independent of order (counting, pre-sizing).
+func bindinglessLoop(rs *ast.RangeStmt) bool {
+	return rs.Key == nil && rs.Value == nil
+}
+
+// keyCollectionLoop recognizes the sorted-keys idiom's first half —
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// a single append of the key (and nothing else), which is order-
+// insensitive once the collected slice is sorted.
+func keyCollectionLoop(info *types.Info, rs *ast.RangeStmt) bool {
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || call.Ellipsis.IsValid() || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := info.Defs[keyID]
+	return keyObj != nil && info.Uses[arg] == keyObj
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is a positioned diagnostic ready for printing or comparison:
+// a Diagnostic after suppression filtering, with its position resolved.
+type Finding struct {
+	Pos      token.Position
+	Category string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Category)
+}
+
+// Analyze runs the analyzers over one type-checked package and returns
+// the surviving findings: test files are skipped entirely, diagnostics
+// on lines guarded by a //fedtripvet:allow annotation are dropped, and
+// malformed annotations (unknown verb, missing reason) are themselves
+// reported. Findings come back sorted by position.
+func Analyze(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	fset := pkg.Fset
+	files := pkg.Syntax[:0:0]
+	for _, f := range pkg.Syntax {
+		if !isTestFile(fset, f) {
+			files = append(files, f)
+		}
+	}
+	// Index annotations once per file; the same maps serve suppression
+	// for every analyzer.
+	notes := make(map[string]*annotations, len(files))
+	var findings []Finding
+	for _, f := range files {
+		a := annotate(fset, f)
+		notes[fset.File(f.Pos()).Name()] = a
+		for _, d := range a.malformed {
+			findings = append(findings, Finding{
+				Pos:      fset.Position(d.pos),
+				Category: "fedtripvet",
+				Message:  fmt.Sprintf("malformed %s%s annotation: a one-line reason is required", directivePrefix, d.verb),
+			})
+		}
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d Diagnostic) {
+			p := fset.Position(d.Pos)
+			if n, ok := notes[p.Filename]; ok {
+				if _, allowed := n.allow[p.Line]; allowed {
+					return
+				}
+			}
+			findings = append(findings, Finding{Pos: p, Category: a.Name, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Category < b.Category
+	})
+	return findings, nil
+}
+
+// AnalyzePackages applies the analyzers to every loaded package.
+func AnalyzePackages(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, p := range pkgs {
+		fs, err := Analyze(p, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	return all, nil
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+)
+
+// seedRegistryFile is the file that registers a package's seed-stream
+// names: every string constant declared in it is a registered stream.
+const seedRegistryFile = "seeds.go"
+
+// streamLookupFuncs maps seed-stream lookup functions to the index of
+// their stream-name argument. Package-local names cover internal/core's
+// registry trampolines; the qualified prng entries cover any package
+// deriving streams directly.
+var streamLookupFuncs = map[string]int{
+	"seedStream":  1, // seedStream(runSeed, name)
+	"seedStreamN": 1, // seedStreamN(runSeed, name, k)
+	"streamSeed":  1, // streamSeed(runSeed, name, k)
+	"Stream":      1, // prng.Stream(runSeed, name, k)
+	"StreamSeed":  1, // prng.StreamSeed(runSeed, name, k)
+}
+
+// prngPath is the import path of the seed-derivation package; Stream /
+// StreamSeed calls are only checked when they resolve into it.
+const prngPath = "repro/internal/prng"
+
+// NewSeedStream returns the seedstream analyzer: every seed-stream
+// lookup must pass a string constant registered in the package's
+// seeds.go, so the set of streams a run consumes is closed and reviewed,
+// name collisions are impossible to introduce silently, and renames
+// (which change every downstream trajectory) are loud.
+func NewSeedStream() *Analyzer {
+	a := &Analyzer{
+		Name: "seedstream",
+		Doc: "require registered constant names in seed-stream lookups\n\n" +
+			"Stream names are part of the deterministic-run contract: they hash\n" +
+			"into the stream's seed. Lookups must use a string constant declared\n" +
+			"in the package's seeds.go; dynamic names and unregistered literals\n" +
+			"are errors.",
+	}
+	a.Run = func(pass *Pass) (any, error) {
+		// Pass 1: collect the registry — every string constant declared
+		// in seeds.go — and report duplicate stream names (two constants
+		// hashing to the same seed would silently correlate streams;
+		// the runtime collision test only sees streams a run opens).
+		registered := map[string]bool{}
+		firstName := map[string]string{}
+		for _, f := range pass.Files {
+			if filepath.Base(pass.Fset.File(f.Pos()).Name()) != seedRegistryFile {
+				continue
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+						if !ok || c.Val().Kind() != constant.String {
+							continue
+						}
+						v := constant.StringVal(c.Val())
+						if prev, dup := firstName[v]; dup {
+							pass.Reportf(name.Pos(), "stream name %q already registered as %s: identical names derive identical seeds, correlating the streams", v, prev)
+							continue
+						}
+						firstName[v] = name.Name
+						registered[v] = true
+					}
+				}
+			}
+		}
+		// Pass 2: check every lookup call.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil {
+					return true
+				}
+				argIdx, tracked := streamLookupFuncs[fn.Name()]
+				if !tracked {
+					return true
+				}
+				// Package-local lookups must be this package's; the
+				// exported prng pair must be prng's.
+				switch fn.Name() {
+				case "Stream", "StreamSeed":
+					if pkgPathOf(fn) != prngPath {
+						return true
+					}
+				default:
+					if fn.Pkg() != pass.Pkg {
+						return true
+					}
+				}
+				if len(call.Args) <= argIdx {
+					return true
+				}
+				arg := call.Args[argIdx]
+				tv := pass.TypesInfo.Types[arg]
+				if tv.Value == nil || tv.Value.Kind() != constant.String {
+					pass.Reportf(arg.Pos(), "dynamic stream name in %s call: the name must be a string constant registered in %s", fn.Name(), seedRegistryFile)
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if len(registered) == 0 {
+					pass.Reportf(arg.Pos(), "package has no %s stream registry; declare stream name %q as a constant there", seedRegistryFile, name)
+					return true
+				}
+				if !registered[name] {
+					pass.Reportf(arg.Pos(), "stream name %q is not registered in %s", name, seedRegistryFile)
+				}
+				return true
+			})
+		}
+		return nil, nil
+	}
+	return a
+}
+
+// calleeFunc resolves a call's callee to the *types.Func it invokes
+// (nil for builtins, function values, and type conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,43 @@
+package hotpath
+
+import "fmt"
+
+// step is annotated hot: every allocating construct is flagged.
+//
+//fedtripvet:hotpath
+func step(buf []float64, xs []float64) []float64 {
+	fmt.Println("tick")        // want "fmt.Println on the hot path"
+	m := make(map[int]float64) // want "make\\(map\\) on the hot path"
+	_ = m
+	var fns []func()
+	for i, x := range xs {
+		buf = append(buf, x)                // want "append on the hot path"
+		fns = append(fns, func() { _ = i }) // want "append on the hot path" "closure captures loop variable i"
+	}
+	for _, fn := range fns {
+		fn()
+	}
+	lut := map[string]int{} // want "map literal on the hot path"
+	_ = lut
+	return buf
+}
+
+// cold is not annotated: anything goes.
+func cold(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	fmt.Println(len(out))
+	return out
+}
+
+// pooled appends into a caller-ensured buffer under an allow.
+//
+//fedtripvet:hotpath
+func pooled(buf []float64, n int) []float64 {
+	for i := 0; i < n; i++ {
+		buf = append(buf, float64(i)) //fedtripvet:allow fixture: capacity ensured by the caller
+	}
+	return buf
+}

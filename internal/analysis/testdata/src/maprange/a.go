@@ -1,0 +1,47 @@
+package maprange
+
+import "sort"
+
+// magic puts this file in maprange's serialization scope.
+const magic = "FTRS"
+
+type state struct {
+	scalars map[string]float64
+}
+
+// serialize shows the flagged form and the tolerated sorted-keys idiom.
+func serialize(s *state) []string {
+	out := []string{magic}
+	for k, v := range s.scalars { // want "map iteration order"
+		_ = v
+		out = append(out, k)
+	}
+	keys := make([]string, 0, len(s.scalars))
+	for k := range s.scalars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// count binds neither key nor value: order cannot matter.
+func count(s *state) int {
+	n := 0
+	for range s.scalars {
+		n++
+	}
+	return n
+}
+
+// tolerated carries an explicit order-insensitivity justification.
+func tolerated(s *state) float64 {
+	sum := 0.0
+	//fedtripvet:sorted fixture: summation commutes, order never reaches output
+	for _, v := range s.scalars {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,11 @@
+package maprange
+
+// This file is outside maprange's scope (no FTRS/FTCK literal, no
+// recorder, no snapshot methods): raw map iteration is legal here.
+func flatten(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+package maprange
+
+// SnapshotState's presence scopes this file: a filtered key walk is not
+// the pure collection idiom, so it is flagged.
+func SnapshotState(m map[string]int) []string {
+	var names []string
+	for k, v := range m { // want "map iteration order"
+		if v > 0 {
+			names = append(names, k)
+		}
+	}
+	return names
+}

@@ -1,0 +1,47 @@
+package randsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+// gen draws directly from math/rand: both selector references on the
+// construction line are diagnostics.
+func gen(n int) []float64 {
+	r := rand.New(rand.NewSource(7)) // want "direct rand.New:" "direct rand.NewSource:"
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}
+
+// fill's signature references the banned type itself.
+func fill(r *rand.Rand, out []float64) { // want "direct rand.Rand:"
+	for i := range out {
+		out[i] = r.Float64()
+	}
+}
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now"
+}
+
+// elapsed is fine: only Now/Since/Until are wall-clock entry points.
+func elapsed(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// seeded is suppressed by the trailing allow form.
+func seeded() float64 {
+	r := rand.New(rand.NewSource(1)) //fedtripvet:allow fixture: synthesis pinned by an explicit spec seed
+	return r.Float64()
+}
+
+// deadline is suppressed by the standalone (next-line) allow form.
+func deadline() int64 {
+	//fedtripvet:allow fixture: logging-only timestamp, not trajectory-relevant
+	t := time.Now()
+	return t.Unix()
+}

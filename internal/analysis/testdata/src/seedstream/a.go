@@ -1,0 +1,32 @@
+package seedstream
+
+import "repro/internal/prng"
+
+// use passes a registered constant: clean.
+func use(seed int64) *prng.Rand {
+	return prng.Stream(seed, streamGood, 0)
+}
+
+// bad passes an unregistered literal and a dynamic name.
+func bad(seed int64, name string) int64 {
+	a := prng.StreamSeed(seed, "rogue", 1) // want "not registered in seeds.go"
+	b := prng.StreamSeed(seed, name, 0)    // want "dynamic stream name"
+	return a + b
+}
+
+// seedStream is a registry trampoline: the dynamic forward inside it is
+// annotated, and call sites are checked instead.
+func seedStream(seed int64, name string) *prng.Rand {
+	//fedtripvet:allow fixture trampoline: name is the caller's registered constant
+	return prng.New(prng.StreamSeed(seed, name, 0))
+}
+
+// viaTrampoline passes a registered constant through the trampoline.
+func viaTrampoline(seed int64) *prng.Rand {
+	return seedStream(seed, streamSpare)
+}
+
+// badTrampoline leaks an unregistered literal through the trampoline.
+func badTrampoline(seed int64) *prng.Rand {
+	return seedStream(seed, "loose") // want "not registered in seeds.go"
+}

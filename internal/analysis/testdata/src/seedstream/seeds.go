@@ -1,0 +1,9 @@
+// The fixture's stream registry: every string constant declared in this
+// file is a registered stream name.
+package seedstream
+
+const (
+	streamGood  = "good"
+	streamSpare = "spare"
+	streamDup   = "good" // want "already registered as streamGood"
+)

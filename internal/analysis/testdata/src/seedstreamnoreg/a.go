@@ -1,0 +1,9 @@
+// A package that derives seed streams without declaring a seeds.go
+// registry at all: every lookup is a diagnostic.
+package seedstreamnoreg
+
+import "repro/internal/prng"
+
+func use(seed int64) int64 {
+	return prng.StreamSeed(seed, "anything", 0) // want "no seeds.go stream registry"
+}

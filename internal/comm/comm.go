@@ -86,6 +86,8 @@ func (t *F32Transport) roundTrip(v []float64) []float64 {
 }
 
 // Down implements core.Transport.
+//
+//fedtripvet:hotpath
 func (t *F32Transport) Down(clientID, round int, global []float64) []float64 {
 	out := t.roundTrip(global)
 	t.stats.downBytes.Add(tensor.VectorWireSizeF32(len(global)))
@@ -94,6 +96,8 @@ func (t *F32Transport) Down(clientID, round int, global []float64) []float64 {
 }
 
 // Up implements core.Transport.
+//
+//fedtripvet:hotpath
 func (t *F32Transport) Up(clientID, round int, params []float64) []float64 {
 	out := t.roundTrip(params)
 	t.stats.upBytes.Add(tensor.VectorWireSizeF32(len(params)))
@@ -103,11 +107,15 @@ func (t *F32Transport) Up(clientID, round int, params []float64) []float64 {
 
 // DownSized implements core.SizedTransport: the runtime prices each
 // dispatch's network time from these per-transfer bytes.
+//
+//fedtripvet:hotpath
 func (t *F32Transport) DownSized(clientID, round int, global []float64) ([]float64, int64) {
 	return t.Down(clientID, round, global), tensor.VectorWireSizeF32(len(global))
 }
 
 // UpSized implements core.SizedTransport.
+//
+//fedtripvet:hotpath
 func (t *F32Transport) UpSized(clientID, round int, params []float64) ([]float64, int64) {
 	return t.Up(clientID, round, params), tensor.VectorWireSizeF32(len(params))
 }
@@ -133,6 +141,8 @@ func (t *LosslessTransport) WireBytes() (down, up int64) {
 }
 
 // Down implements core.Transport.
+//
+//fedtripvet:hotpath
 func (t *LosslessTransport) Down(clientID, round int, global []float64) []float64 {
 	t.stats.downBytes.Add(int64(8 * len(global)))
 	t.stats.downMsgs.Add(1)
@@ -140,6 +150,8 @@ func (t *LosslessTransport) Down(clientID, round int, global []float64) []float6
 }
 
 // Up implements core.Transport.
+//
+//fedtripvet:hotpath
 func (t *LosslessTransport) Up(clientID, round int, params []float64) []float64 {
 	t.stats.upBytes.Add(int64(8 * len(params)))
 	t.stats.upMsgs.Add(1)

@@ -168,6 +168,8 @@ func (t *CompressedTransport) WireBytes() (down, up int64) {
 func (t *CompressedTransport) ErrorFeedback() bool { return t.ef }
 
 // Down implements core.Transport.
+//
+//fedtripvet:hotpath
 func (t *CompressedTransport) Down(clientID, round int, global []float64) []float64 {
 	out, _ := t.DownSized(clientID, round, global)
 	return out
@@ -175,6 +177,8 @@ func (t *CompressedTransport) Down(clientID, round int, global []float64) []floa
 
 // DownSized implements core.SizedTransport: float32 downlink, recorded as
 // the client's delta reference until its upload arrives.
+//
+//fedtripvet:hotpath
 func (t *CompressedTransport) DownSized(clientID, round int, global []float64) ([]float64, int64) {
 	received := make([]float64, len(global))
 	for i, x := range global {
@@ -190,6 +194,8 @@ func (t *CompressedTransport) DownSized(clientID, round int, global []float64) (
 }
 
 // Up implements core.Transport.
+//
+//fedtripvet:hotpath
 func (t *CompressedTransport) Up(clientID, round int, params []float64) []float64 {
 	out, _ := t.UpSized(clientID, round, params)
 	return out
@@ -199,6 +205,8 @@ func (t *CompressedTransport) Up(clientID, round int, params []float64) []float6
 // downlink (plus the EF residual), compressed through the codec. The
 // downlink reference is evicted. Non-encodable deltas (non-finite) fall
 // back to dense float32 and leave the residual untouched.
+//
+//fedtripvet:hotpath
 func (t *CompressedTransport) UpSized(clientID, round int, params []float64) ([]float64, int64) {
 	t.mu.Lock()
 	ref := t.ref[clientID]

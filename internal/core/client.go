@@ -204,6 +204,8 @@ const (
 // LocalTrain runs one participating round: load the global model, run E
 // local epochs of mini-batch SGD with the method's hooks, update the
 // historical model, and return the upload.
+//
+//fedtripvet:hotpath
 func (c *Client) LocalTrain(round int, global []float64) Update {
 	return c.LocalTrainSteps(round, global, 0)
 }
@@ -215,6 +217,8 @@ func (c *Client) LocalTrain(round int, global []float64) Update {
 // budget is surfaced to algorithms as the ScalarDeviceSteps scalar. A
 // budget equal to the round's full step count draws and trains exactly
 // like LocalTrain.
+//
+//fedtripvet:hotpath
 func (c *Client) LocalTrainSteps(round int, global []float64, maxSteps int) Update {
 	cfg := c.cfg
 	algo := cfg.Algo
@@ -253,7 +257,7 @@ func (c *Client) LocalTrainSteps(round int, global []float64, maxSteps int) Upda
 			}
 			idx = idx[:0]
 			for _, p := range perm[start:end] {
-				idx = append(idx, c.Indices[p])
+				idx = append(idx, c.Indices[p]) //fedtripvet:allow e.idx is pooled with capacity >= BatchSize, ensured above
 			}
 			e.ensureBatch(len(idx))
 			cfg.Train.FillBatch(e.batchX, e.batchY, idx)

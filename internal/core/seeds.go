@@ -50,34 +50,24 @@ const (
 	streamNet = "net"
 )
 
-// fnv64a is the FNV-1a hash of s (inlined to keep the hot path
-// allocation-free; the constants are the standard FNV-64 parameters).
-func fnv64a(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
 // streamSeed derives the seed of stream (name, k) under the given run
-// seed. Two mixing rounds separate the (name, k) space from the run-seed
-// space, so structured inputs (small seeds, sequential indices) still land
-// uniformly in 64 bits.
+// seed via prng.StreamSeed — the shared splitmix64 derivation rule (two
+// mixing rounds separate the (name, k) space from the run-seed space, so
+// structured inputs still land uniformly in 64 bits). The name parameter
+// is forwarded verbatim, so these trampolines are the one place in this
+// package allowed to pass a non-constant stream name.
 func streamSeed(runSeed int64, name string, k int) int64 {
-	h := prng.Mix(fnv64a(name) + uint64(k)*0x9E3779B97F4A7C15)
-	return int64(prng.Mix(uint64(runSeed) ^ h))
+	return prng.StreamSeed(runSeed, name, k) //fedtripvet:allow registry trampoline: name is the caller's registered constant
 }
 
 // seedStream returns a fresh PRNG positioned at the start of the named
 // (unindexed) stream.
 func seedStream(runSeed int64, name string) *prng.Rand {
-	return prng.New(streamSeed(runSeed, name, 0))
+	return prng.New(streamSeed(runSeed, name, 0)) //fedtripvet:allow registry trampoline: name is the caller's registered constant
 }
 
 // seedStreamN returns a fresh PRNG for the k-th instance of an indexed
 // stream (per-client, per-shard).
 func seedStreamN(runSeed int64, name string, k int) *prng.Rand {
-	return prng.New(streamSeed(runSeed, name, k))
+	return prng.New(streamSeed(runSeed, name, k)) //fedtripvet:allow registry trampoline: name is the caller's registered constant
 }

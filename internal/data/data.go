@@ -121,7 +121,7 @@ func Generate(spec Spec) (train, test *Dataset, err error) {
 			nTest = p.classes * 10
 		}
 	}
-	rng := rand.New(rand.NewSource(spec.Seed))
+	rng := rand.New(rand.NewSource(spec.Seed)) //fedtripvet:allow dataset synthesis is pinned by the spec's own seed, outside any run's stream space
 	protos := makePrototypes(rng, p)
 	train = synthesise(rng, p, spec.Kind, protos, nTrain)
 	test = synthesise(rng, p, spec.Kind, protos, nTest)
@@ -130,7 +130,7 @@ func Generate(spec Spec) (train, test *Dataset, err error) {
 
 // makePrototypes builds one smooth prototype image per class: a blend of a
 // shared field (common to all classes) and a class-unique field.
-func makePrototypes(rng *rand.Rand, p params) [][]float64 {
+func makePrototypes(rng *rand.Rand, p params) [][]float64 { //fedtripvet:allow rng is the spec-seeded synthesis generator threaded from Load
 	size := p.channels * p.h * p.w
 	shared := smoothField(rng, p.channels, p.h, p.w)
 	protos := make([][]float64, p.classes)
@@ -149,7 +149,7 @@ func makePrototypes(rng *rand.Rand, p params) [][]float64 {
 // smoothField samples a coarse Gaussian grid and bilinearly upsamples it,
 // producing a band-limited random image per channel (so small translations
 // change pixels smoothly, as in natural images).
-func smoothField(rng *rand.Rand, channels, h, w int) []float64 {
+func smoothField(rng *rand.Rand, channels, h, w int) []float64 { //fedtripvet:allow rng is the spec-seeded synthesis generator threaded from Load
 	const coarse = 7
 	out := make([]float64, channels*h*w)
 	grid := make([]float64, (coarse+1)*(coarse+1))
@@ -177,7 +177,7 @@ func smoothField(rng *rand.Rand, channels, h, w int) []float64 {
 	return out
 }
 
-func synthesise(rng *rand.Rand, p params, kind Kind, protos [][]float64, n int) *Dataset {
+func synthesise(rng *rand.Rand, p params, kind Kind, protos [][]float64, n int) *Dataset { //fedtripvet:allow rng is the spec-seeded synthesis generator threaded from Load
 	size := p.channels * p.h * p.w
 	d := &Dataset{
 		Kind: kind, Classes: p.classes, Channels: p.channels,

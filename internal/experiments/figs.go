@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/algos"
 	"repro/internal/core"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/hetero"
 	"repro/internal/nn"
 	"repro/internal/partition"
+	"repro/internal/prng"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 	"repro/internal/tsne"
@@ -37,7 +37,7 @@ func runFig2(p Profile, logf Logf) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := prng.Stream(p.Seed, streamPartition, 0)
 	parts, err := partition.Partition(partition.Dirichlet(0.5), train.Y, train.Classes, clients, perClient, rng)
 	if err != nil {
 		return nil, err
@@ -178,7 +178,7 @@ func runFig4(p Profile, logf Logf) ([]*Table, error) {
 	}
 	var tables []*Table
 	for _, s := range schemes {
-		rng := rand.New(rand.NewSource(p.Seed))
+		rng := prng.Stream(p.Seed, streamPartition, 0)
 		parts, err := partition.Partition(s, train.Y, train.Classes, p.Clients, perClient, rng)
 		if err != nil {
 			return nil, err

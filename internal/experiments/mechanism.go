@@ -3,13 +3,13 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/algos"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/partition"
+	"repro/internal/prng"
 	"repro/internal/trace"
 )
 
@@ -40,7 +40,7 @@ func runFig3(p Profile, logf Logf) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := prng.Stream(p.Seed, streamPartition, 0)
 	parts, err := partition.Partition(partition.Dirichlet(0.5), train.Y, train.Classes, clients, perClient, rng)
 	if err != nil {
 		return nil, err
@@ -95,7 +95,7 @@ func runTheoryXi(p Profile, logf Logf) ([]*Table, error) {
 		Headers: []string{"p (K/N)", "setting", "empirical E[xi]", "closed form", "rel err"},
 	}
 	f := core.NewFedTrip(0.4)
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := prng.Stream(p.Seed, streamXi, 0)
 	settings := []struct {
 		k, n  int
 		label string

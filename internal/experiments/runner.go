@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 	"sync"
 
@@ -12,6 +11,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/partition"
+	"repro/internal/prng"
 	"repro/internal/stats"
 )
 
@@ -386,7 +386,7 @@ func (p Profile) Run(c Case, logf Logf) (*core.Result, error) {
 		return nil, err
 	}
 	seed := p.Seed + int64(100000*(c.Trial+1))
-	rng := rand.New(rand.NewSource(seed))
+	rng := prng.Stream(seed, streamPartition, 0)
 	parts, err := partition.Partition(c.Scheme, train.Y, train.Classes, clients, perClient, rng)
 	if err != nil {
 		return nil, err

@@ -3,12 +3,12 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/partition"
+	"repro/internal/prng"
 	"repro/internal/tensor"
 )
 
@@ -38,7 +38,7 @@ func runTheoryRho(p Profile, logf Logf) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := prng.Stream(p.Seed, streamPartition, 0)
 	parts, err := partition.Partition(partition.Dirichlet(0.5), train.Y, train.Classes, clients, perClient, rng)
 	if err != nil {
 		return nil, err

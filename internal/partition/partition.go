@@ -9,8 +9,20 @@ package partition
 import (
 	"fmt"
 	"math"
-	"math/rand"
 )
+
+// Rand is the random source a partition draws from. Both *math/rand.Rand
+// (caller-owned, as the examples and CLIs construct) and *prng.Rand
+// (derived, named seed streams — what the experiment harnesses use)
+// satisfy it, so partitioning stays deterministic given the rng without
+// this package deciding where randomness comes from.
+type Rand interface {
+	Perm(n int) []int
+	Shuffle(n int, swap func(i, j int))
+	Intn(n int) int
+	Float64() float64
+	NormFloat64() float64
+}
 
 // Scheme names a partitioning regime.
 type Scheme struct {
@@ -50,7 +62,7 @@ func Orthogonal(k int) Scheme { return Scheme{Name: "orthogonal", Clusters: k} }
 // each client receives. Sampling is without replacement; the scheme
 // degrades gracefully when a class pool runs dry by renormalising over the
 // remaining classes.
-func Partition(s Scheme, labels []int, classes, clients, perClient int, rng *rand.Rand) ([][]int, error) {
+func Partition(s Scheme, labels []int, classes, clients, perClient int, rng Rand) ([][]int, error) {
 	if clients <= 0 || perClient <= 0 {
 		return nil, fmt.Errorf("partition: need positive clients (%d) and perClient (%d)", clients, perClient)
 	}
@@ -77,7 +89,7 @@ func Partition(s Scheme, labels []int, classes, clients, perClient int, rng *ran
 	return nil, fmt.Errorf("partition: unknown scheme %q", s.Name)
 }
 
-func iid(labels []int, clients, perClient int, rng *rand.Rand) [][]int {
+func iid(labels []int, clients, perClient int, rng Rand) [][]int {
 	perm := rng.Perm(len(labels))
 	parts := make([][]int, clients)
 	for k := range parts {
@@ -87,7 +99,7 @@ func iid(labels []int, clients, perClient int, rng *rand.Rand) [][]int {
 }
 
 // classPools groups sample indices by label, each pool shuffled.
-func classPools(labels []int, classes int, rng *rand.Rand) [][]int {
+func classPools(labels []int, classes int, rng Rand) [][]int {
 	pools := make([][]int, classes)
 	for i, y := range labels {
 		pools[y] = append(pools[y], i)
@@ -98,7 +110,7 @@ func classPools(labels []int, classes int, rng *rand.Rand) [][]int {
 	return pools
 }
 
-func dirichlet(labels []int, classes, clients, perClient int, alpha float64, rng *rand.Rand) [][]int {
+func dirichlet(labels []int, classes, clients, perClient int, alpha float64, rng Rand) [][]int {
 	pools := classPools(labels, classes, rng)
 	parts := make([][]int, clients)
 	for k := 0; k < clients; k++ {
@@ -146,7 +158,7 @@ func dirichlet(labels []int, classes, clients, perClient int, alpha float64, rng
 
 // dirichletVector draws p ~ Dir(alpha, ..., alpha) via normalised Gamma
 // samples.
-func dirichletVector(rng *rand.Rand, n int, alpha float64) []float64 {
+func dirichletVector(rng Rand, n int, alpha float64) []float64 {
 	p := make([]float64, n)
 	var sum float64
 	for i := range p {
@@ -167,7 +179,7 @@ func dirichletVector(rng *rand.Rand, n int, alpha float64) []float64 {
 
 // gammaSample draws Gamma(shape=a, scale=1) using Marsaglia-Tsang, with
 // the standard boosting trick for a < 1.
-func gammaSample(rng *rand.Rand, a float64) float64 {
+func gammaSample(rng Rand, a float64) float64 {
 	if a < 1 {
 		// Gamma(a) = Gamma(a+1) * U^(1/a)
 		u := rng.Float64()
@@ -198,7 +210,7 @@ func gammaSample(rng *rand.Rand, a float64) float64 {
 // orthogonal partitions clients into clusters with disjoint class sets
 // (classes distributed round-robin over clusters); within a cluster,
 // clients sample IID from the cluster's classes.
-func orthogonal(labels []int, classes, clients, perClient, clusters int, rng *rand.Rand) [][]int {
+func orthogonal(labels []int, classes, clients, perClient, clusters int, rng Rand) [][]int {
 	pools := classPools(labels, classes, rng)
 	clusterClasses := make([][]int, clusters)
 	for c := 0; c < classes; c++ {

@@ -56,6 +56,8 @@ func (t *Transport) take(n int) []float64 {
 }
 
 // Down implements core.Transport: float32 downlink.
+//
+//fedtripvet:hotpath
 func (t *Transport) Down(clientID, round int, global []float64) []float64 {
 	out, _ := t.DownSized(clientID, round, global)
 	return out
@@ -63,6 +65,8 @@ func (t *Transport) Down(clientID, round int, global []float64) []float64 {
 
 // DownSized implements core.SizedTransport, reporting this transfer's
 // exact encoded bytes.
+//
+//fedtripvet:hotpath
 func (t *Transport) DownSized(clientID, round int, global []float64) ([]float64, int64) {
 	received := t.take(len(global))
 	for i, x := range global {
@@ -77,6 +81,8 @@ func (t *Transport) DownSized(clientID, round int, global []float64) ([]float64,
 }
 
 // Up implements core.Transport: delta-quantized uplink.
+//
+//fedtripvet:hotpath
 func (t *Transport) Up(clientID, round int, params []float64) []float64 {
 	out, _ := t.UpSized(clientID, round, params)
 	return out
@@ -84,6 +90,8 @@ func (t *Transport) Up(clientID, round int, params []float64) []float64 {
 
 // UpSized implements core.SizedTransport. It evicts the client's downlink
 // reference: a second Up for the same dispatch would fall back to float32.
+//
+//fedtripvet:hotpath
 func (t *Transport) UpSized(clientID, round int, params []float64) ([]float64, int64) {
 	t.mu.Lock()
 	ref := t.lastDown[clientID]

@@ -79,6 +79,8 @@ func grow(buf []float64, n int) []float64 {
 // place). Operands are addressed as A[i,p] = ad[i*ars + p*acs] (m x k) and
 // B[p,j] = bd[p*brs + j*bcs] (k x n); C is row-major m x n. Transposed
 // variants are expressed purely through the strides.
+//
+//fedtripvet:hotpath
 func gemm(cd []float64, m, n, k int, ad []float64, ars, acs int, bd []float64, brs, bcs int, bias []float64, accumulate bool) {
 	// Degenerate shapes: pack-free vector paths.
 	if n == 1 && gemvN1(cd, m, k, ad, ars, acs, bd, brs, bias, accumulate) {
@@ -114,6 +116,8 @@ func gemm(cd []float64, m, n, k int, ad []float64, ars, acs int, bd []float64, b
 // product per output element, a column-major A (a transposed operand)
 // accumulates axpy columns. Reports false when neither operand layout
 // admits a contiguous path (the caller falls through to the tiled kernel).
+//
+//fedtripvet:hotpath
 func gemvN1(cd []float64, m, k int, ad []float64, ars, acs int, bd []float64, brs int, bias []float64, accumulate bool) bool {
 	switch {
 	case acs == 1 && brs == 1:
@@ -153,6 +157,8 @@ func gemvN1(cd []float64, m, k int, ad []float64, ars, acs int, bd []float64, br
 }
 
 // outerK1 handles k == 1: C (+)= A_col x B_row, one axpy per output row.
+//
+//fedtripvet:hotpath
 func outerK1(cd []float64, m, n int, ad []float64, ars int, bd []float64, bias []float64, accumulate bool) {
 	brow := bd[:n]
 	for i := 0; i < m; i++ {
@@ -171,6 +177,8 @@ func outerK1(cd []float64, m, n int, ad []float64, ars int, bd []float64, bias [
 }
 
 // gemvM1 handles m == 1 (C is a row vector): C (+)= sum_p A[p] * B_row(p).
+//
+//fedtripvet:hotpath
 func gemvM1(cd []float64, n, k int, ad []float64, acs int, bd []float64, brs int, bias []float64, accumulate bool) {
 	c := cd[:n]
 	if !accumulate {
@@ -190,6 +198,8 @@ func gemvM1(cd []float64, n, k int, ad []float64, acs int, bd []float64, brs int
 // gemmRows runs the blocked GEMM over the row range [ilo, ihi) of C. Row
 // ranges handed to different workers start at multiples of gemmMR, so
 // micro-tiles never straddle workers.
+//
+//fedtripvet:hotpath
 func gemmRows(cd []float64, ilo, ihi, n, k int, ad []float64, ars, acs int, bd []float64, brs, bcs int, bias []float64, accumulate bool) {
 	sc := gemmPool.Get().(*gemmScratch)
 	if !accumulate {
@@ -221,6 +231,8 @@ func gemmRows(cd []float64, ilo, ihi, n, k int, ad []float64, ars, acs int, bd [
 
 // gemmInit prepares the C rows a worker owns: zeroed, or set to the bias
 // vector broadcast over rows.
+//
+//fedtripvet:hotpath
 func gemmInit(cd []float64, ilo, ihi, n int, bias []float64) {
 	for i := ilo; i < ihi; i++ {
 		ci := cd[i*n : (i+1)*n]
@@ -239,6 +251,8 @@ func gemmInit(cd []float64, ilo, ihi, n int, bias []float64) {
 // dst[panel*kc*MR + p*MR + r]. Rows past mc are zero-padded (the pad lanes
 // are only read by the full 4-row kernel on interior tiles, never written
 // back).
+//
+//fedtripvet:hotpath
 func packA(sc *gemmScratch, ad []float64, i0, mc, p0, kc, ars, acs int) {
 	panels := (mc + gemmMR - 1) / gemmMR
 	dst := grow(sc.a, panels*kc*gemmMR)
@@ -282,6 +296,8 @@ func packA(sc *gemmScratch, ad []float64, i0, mc, p0, kc, ars, acs int) {
 // packB copies the kc x nc block of B at (p0, j0) into sc.b as
 // ceil(nc/gemmNR) column micro-panels, each laid out k-major:
 // dst[panel*kc*NR + p*NR + c]. Columns past nc are zero-padded.
+//
+//fedtripvet:hotpath
 func packB(sc *gemmScratch, bd []float64, p0, kc, j0, nc, brs, bcs int) {
 	panels := (nc + gemmNR - 1) / gemmNR
 	dst := grow(sc.b, panels*kc*gemmNR)
@@ -324,6 +340,8 @@ func packB(sc *gemmScratch, bd []float64, p0, kc, j0, nc, brs, bcs int) {
 // remainder rows and columns run narrower kernels so no padded lane is
 // ever computed, except at the (rare) corner tile, which stages through
 // the scratch tile.
+//
+//fedtripvet:hotpath
 func gebp(cd []float64, ldc, i0, mc, j0, nc, kc int, sc *gemmScratch) {
 	mPanels := (mc + gemmMR - 1) / gemmMR
 	nPanels := (nc + gemmNR - 1) / gemmNR
@@ -377,6 +395,8 @@ func gebp(cd []float64, ldc, i0, mc, j0, nc, kc int, sc *gemmScratch) {
 // whole k extent, so there is no k blocking and no C re-load at panel
 // boundaries; every element still accumulates its k terms in increasing
 // k order.
+//
+//fedtripvet:hotpath
 func gemmDirect(cd []float64, m, n, k int, ad []float64, ars, acs int, bd []float64, brs, bcs int, bias []float64, accumulate bool) {
 	sc := gemmPool.Get().(*gemmScratch)
 	packA(sc, ad, 0, m, 0, k, ars, acs)
@@ -428,6 +448,8 @@ func gemmDirect(cd []float64, m, n, k int, ad []float64, ars, acs int, bd []floa
 
 // kernDir4x4 is kern4x4 with B read in place from row-major storage:
 // four consecutive elements at row stride brs per k step.
+//
+//fedtripvet:hotpath
 func kernDir4x4(kc int, a, b []float64, brs int, cd []float64, off, ldc int) {
 	r0 := cd[off : off+gemmNR]
 	r1 := cd[off+ldc : off+ldc+gemmNR]
@@ -468,6 +490,8 @@ func kernDir4x4(kc int, a, b []float64, brs int, cd []float64, off, ldc int) {
 }
 
 // kernDirMx4 is kernDir4x4 for 1..3 live rows.
+//
+//fedtripvet:hotpath
 func kernDirMx4(kc, rows int, a, b []float64, brs int, cd []float64, off, ldc int) {
 	a = a[:gemmMR*kc]
 	for r := 0; r < rows; r++ {
@@ -488,6 +512,8 @@ func kernDirMx4(kc, rows int, a, b []float64, brs int, cd []float64, off, ldc in
 // kernDirT4x4 is the A x B^T micro-kernel with B read in place: four
 // parallel k-contiguous column streams (b0..b3 are the four output
 // columns' strides-1 views).
+//
+//fedtripvet:hotpath
 func kernDirT4x4(kc int, a, b0, b1, b2, b3 []float64, cd []float64, off, ldc int) {
 	r0 := cd[off : off+gemmNR]
 	r1 := cd[off+ldc : off+ldc+gemmNR]
@@ -531,6 +557,8 @@ func kernDirT4x4(kc int, a, b0, b1, b2, b3 []float64, cd []float64, off, ldc int
 }
 
 // kernDirTMx4 is kernDirT4x4 for 1..3 live rows.
+//
+//fedtripvet:hotpath
 func kernDirTMx4(kc, rows int, a, b0, b1, b2, b3 []float64, cd []float64, off, ldc int) {
 	a = a[:gemmMR*kc]
 	b0 = b0[:kc]
@@ -555,6 +583,8 @@ func kernDirTMx4(kc, rows int, a, b0, b1, b2, b3 []float64, cd []float64, off, l
 // Apanel is kc x 4 (k-major) and Bpanel is kc x 4 (k-major). The 16 C
 // accumulators live in locals across the whole k loop, so C traffic is
 // one load and one store per element per panel instead of per k step.
+//
+//fedtripvet:hotpath
 func kern4x4(kc int, a, b []float64, r0, r1, r2, r3 []float64) {
 	r0 = r0[:gemmNR]
 	r1 = r1[:gemmNR]
@@ -597,6 +627,8 @@ func kern4x4(kc int, a, b []float64, r0, r1, r2, r3 []float64) {
 
 // kern4xN updates a 4-row tile with 1..3 live columns (the n remainder):
 // one accumulator column per live column, no padded-lane compute.
+//
+//fedtripvet:hotpath
 func kern4xN(kc, cols int, a, b []float64, cd []float64, off, ldc int) {
 	a = a[:gemmMR*kc]
 	b = b[:gemmNR*kc]
@@ -617,6 +649,8 @@ func kern4xN(kc, cols int, a, b []float64, cd []float64, off, ldc int) {
 // kernMx4 updates a 4-column tile with 1..3 live rows (the m remainder).
 // r0 addresses the first row (4 valid elements), rlast the last live row;
 // intermediate rows are reached through ldc.
+//
+//fedtripvet:hotpath
 func kernMx4(kc, rows int, a, b []float64, r0, rlast []float64, ldc int) {
 	a = a[:gemmMR*kc]
 	b = b[:gemmNR*kc]

@@ -157,14 +157,14 @@ func SameShape(a, b *Tensor) bool {
 }
 
 // RandNormal fills the tensor with N(0, std^2) samples from rng.
-func (t *Tensor) RandNormal(rng *rand.Rand, std float64) {
+func (t *Tensor) RandNormal(rng *rand.Rand, std float64) { //fedtripvet:allow rng is caller-supplied; runtime callers derive it from a registered stream
 	for i := range t.Data {
 		t.Data[i] = rng.NormFloat64() * std
 	}
 }
 
 // RandUniform fills the tensor with U(lo, hi) samples from rng.
-func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float64) {
+func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float64) { //fedtripvet:allow rng is caller-supplied; runtime callers derive it from a registered stream
 	for i := range t.Data {
 		t.Data[i] = lo + rng.Float64()*(hi-lo)
 	}
