@@ -355,3 +355,38 @@ func BenchmarkAsyncFedAsync1k(b *testing.B) {
 	}
 	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
 }
+
+// BenchmarkRobustMerge1k measures the robust aggregation path at
+// 1k-client scale: a 20% sign-flipping / 5% crashing fleet merged with
+// the coordinate-wise median (in-place heapsort over the per-coordinate
+// column, non-finite screen in front). The CI perf trajectory gates this
+// benchmark's allocs/op — the robust estimators must stay on the pooled,
+// allocation-free merge path.
+func BenchmarkRobustMerge1k(b *testing.B) {
+	cfg := benchPopulationConfig(b, 1_000)
+	faults, err := core.ParseFaults("byz:0.2,signflip+crash:0.05")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	updates := 0
+	for i := 0; i < b.N; i++ {
+		spec := core.RunSpec{
+			Config:      cfg,
+			Runtime:     core.RuntimeAsync,
+			Concurrency: 128,
+			BufferSize:  32,
+			Latency:     core.StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 7},
+			Policy:      &core.MedianPolicy{},
+			Faults:      faults,
+		}
+		spec.Algo = core.NewFedTrip(0.4)
+		res, err := core.Start(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates += res.Rounds * 32
+	}
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
+}

@@ -32,6 +32,15 @@
 //	fedtrip-tables -exp comm-tta
 //	fedtrip-tables -exp table4 -runtime async -bandwidth-dist tiered -transport q8+ef
 //
+// Adversarial robustness is selected with -faults (the fraction of the
+// fleet uploading corrupted models and how) together with a robust
+// -policy (median, trimmedmean:F, krum:F, or a +clip:C guard). The
+// robust experiment races the policies across Byzantine fractions on a
+// churning tiered fleet:
+//
+//	fedtrip-tables -exp robust
+//	fedtrip-tables -exp table4 -runtime async -faults byz:0.2,signflip -policy trimmedmean:0.25
+//
 // Output is plain-text tables on stdout (or -o file); progress lines go to
 // stderr.
 package main
@@ -67,6 +76,7 @@ func main() {
 		adaptive  = flag.Bool("local-steps-adaptive", false, "scale each client's local step budget by its device speed (needs -device-dist)")
 		transport = flag.String("transport", "", "wire transport every case ships models through (none|f32|lossless|q<bits>|topk:R|randk:R, +ef for error feedback)")
 		bandDist  = flag.String("bandwidth-dist", "", "per-client link distribution for async/barrier cases (none|const:UP,DOWN[,RTT]|uniform:MIN,MAX[,RTT]|lognormal:MU,SIGMA[,RTT]|tiered[:UP,DOWN,RTT,FRAC,...])")
+		faults    = flag.String("faults", "", "adversarial faults every case runs under (none|byz:FRAC,MODE[+crash:FRAC]; modes signflip|scale:K|noise:SIGMA|nan|labelflip)")
 	)
 	flag.Parse()
 	if *list {
@@ -79,7 +89,7 @@ func main() {
 		runtime: *runtime, latency: *latency, policy: *policy,
 		serverLR: *serverLR, concurrency: *conc, buffer: *buffer,
 		devices: *devDist, churn: *dropout, adaptiveSteps: *adaptive,
-		transport: *transport, bandwidth: *bandDist,
+		transport: *transport, bandwidth: *bandDist, faults: *faults,
 	}
 	if err := run(*expList, *profile, *outPath, *verbose, sel); err != nil {
 		fmt.Fprintln(os.Stderr, "fedtrip-tables:", err)
@@ -94,6 +104,7 @@ type runtimeSelection struct {
 	devices, churn                     string
 	transport, bandwidth               string
 	adaptiveSteps                      bool
+	faults                             string
 }
 
 func (s runtimeSelection) apply(p *experiments.Profile) error {
@@ -145,6 +156,12 @@ func (s runtimeSelection) apply(p *experiments.Profile) error {
 			return err
 		}
 		p.Bandwidth = s.bandwidth
+	}
+	if s.faults != "" {
+		if _, err := core.ParseFaults(s.faults); err != nil {
+			return err
+		}
+		p.Faults = s.faults
 	}
 	p.AdaptiveSteps = s.adaptiveSteps
 	p.Concurrency = s.concurrency

@@ -40,6 +40,17 @@
 //	fedtrip -algo fedtrip -runtime async -device-dist tiered \
 //	        -bandwidth-dist tiered -transport topk:0.01+ef -rounds 60
 //
+// Adversarial fleets are simulated with -faults: the configured fraction
+// of clients uploads corrupted models (sign-flipped, scaled, noised,
+// NaN, label-flipped training, or crash garbage) while still paying
+// FLOPs and wire bytes. Robust aggregation policies — coordinate-wise
+// median, trimmed mean, a Krum-style norm filter, and a composable
+// +clip:C guard — degrade gracefully; non-finite uploads are always
+// rejected and counted, never merged:
+//
+//	fedtrip -algo fedtrip -runtime async -faults byz:0.2,signflip \
+//	        -policy trimmedmean:0.25 -rounds 60
+//
 // Population scale is set with -clients and the real parallelism (and
 // memory: one model-sized training engine per shard) with -shards; the
 // two are independent, so a 10k-client fleet runs on a laptop:
@@ -116,11 +127,12 @@ func main() {
 		conc      = flag.Int("concurrency", 0, "async: clients training simultaneously (0 = K)")
 		latSpec   = flag.String("latency", "zero", "async: client latency model (zero|const:D|uniform:MIN,MAX|exp:MEAN|lognormal:MU,SIGMA|straggler:F,S,E)")
 		staleExp  = flag.Float64("stale-exp", 0.5, "async: polynomial staleness discount exponent (0 = no discount)")
-		policy    = flag.String("policy", "", "aggregation policy: fedavg|fedbuff[:EXP]|fedasync[:ALPHA[,EXP]]|importance[:BETA[,EXP]]|maxstale:MAX, compose a cutoff with +maxstale:MAX (default: fedavg sync, fedbuff async)")
+		policy    = flag.String("policy", "", "aggregation policy: fedavg|fedbuff[:EXP]|fedasync[:ALPHA[,EXP]]|importance[:BETA[,EXP]]|median|trimmedmean:F|krum:F|clip:C, compose suffixes with +maxstale:MAX and +clip:C (default: fedavg sync, fedbuff async)")
 		serverLR  = flag.String("server-lr", "", "server learning-rate schedule on merge: const:ETA|invsqrt:ETA0|step:ETA0,G,E (default: full replacement)")
 		devDist   = flag.String("device-dist", "", "device compute-speed distribution (none|uniform:MIN,MAX|lognormal:MU,SIGMA|tiered[:S1,F1,...]); dispatch latency becomes metered FLOPs / (flop-rate * speed)")
 		flopRate  = flag.Float64("flop-rate", 0, "device mode: GFLOPs/s of a speed-1.0 device (0 = 1)")
 		dropout   = flag.String("dropout", "", "client availability churn (none|markov:UP,DOWN[+drop:AT,FRAC,DUR]...)")
+		faults    = flag.String("faults", "", "adversarial faults (none|byz:FRAC,MODE[+crash:FRAC]; modes signflip|scale:K|noise:SIGMA|nan|labelflip); pair with -policy median|trimmedmean:F|krum:F or a +clip:C guard")
 		adaptive  = flag.Bool("local-steps-adaptive", false, "device mode: scale each client's local step budget by its device speed")
 		serve     = flag.String("serve", "", "run behind an HTTP run-server on this address (GET /status /metrics /trace /checkpoint)")
 		resumeCk  = flag.String("resume", "", "resume the run snapshot at this path (flags must rebuild the same run)")
@@ -143,7 +155,7 @@ func main() {
 		latSpec: *latSpec, staleExp: *staleExp,
 		policy: *policy, serverLR: *serverLR,
 		devDist: *devDist, flopRate: *flopRate,
-		dropout: *dropout, adaptive: *adaptive,
+		dropout: *dropout, adaptive: *adaptive, faults: *faults,
 		serve: *serve, resumeCk: *resumeCk, checkCk: *checkCk,
 		snapAt: *snapAt, digest: *digest,
 	}); err != nil {
@@ -170,7 +182,7 @@ type runOpts struct {
 	latSpec                             string
 	staleExp                            float64
 	policy, serverLR                    string
-	devDist, dropout                    string
+	devDist, dropout, faults            string
 	flopRate                            float64
 	adaptive                            bool
 	serve, resumeCk, checkCk            string
@@ -297,6 +309,14 @@ func run(o runOpts) error {
 		return err
 	}
 	rspec.Churn = churnModel
+	// The adversary is parsed unconditionally too: Validate rejects
+	// -faults on Aggregator-override methods (they bypass the non-finite
+	// screen), so the combination errors instead of running unguarded.
+	faultModel, err := core.ParseFaults(o.faults)
+	if err != nil {
+		return err
+	}
+	rspec.Faults = faultModel
 	// Bandwidth pricing is likewise parsed unconditionally: Validate owns
 	// the "sync has no simulated clock" rejection.
 	netDist, err := core.ParseNetDist(o.bandDist)
@@ -335,6 +355,9 @@ func run(o runOpts) error {
 		}
 		if rspec.Churn != nil {
 			pricing += fmt.Sprintf(" dropout=%s", rspec.Churn)
+		}
+		if rspec.Faults != nil {
+			pricing += fmt.Sprintf(" faults=%s", rspec.Faults)
 		}
 		if rspec.Network != nil {
 			pricing += fmt.Sprintf(" bandwidth=%s", rspec.Network)
@@ -375,6 +398,9 @@ func run(o runOpts) error {
 	}
 	if res.DroppedUpdates > 0 {
 		fmt.Printf("  dropped updates %d (in-flight work of permanently dropped clients)\n", res.DroppedUpdates)
+	}
+	if res.RejectedUpdates > 0 {
+		fmt.Printf("  rejected updates %d (non-finite uploads refused by the merge screen)\n", res.RejectedUpdates)
 	}
 	if o.target > 0 {
 		if res.RoundsToTarget > 0 {

@@ -1,0 +1,689 @@
+// Adversarial fleets: Byzantine fault injection and the server's
+// defenses.
+//
+// A FaultModel assigns each client a fault class from the dedicated
+// "adversary" seed stream — one draw per client in ID order, so enabling
+// (or resizing) the adversary never perturbs selection, latency, or any
+// other stream, and a zero-fraction model reproduces the honest
+// trajectory bit-for-bit. Faults apply at upload time, inside
+// Server.trainClient: a Byzantine client really trains (its FLOPs meter,
+// its wire bytes price), and its corrupted upload then flows through
+// transports, staleness, and churn exactly like an honest one.
+//
+// The defenses live in the merge path (server.go): non-finite uploads
+// are zero-weighted out of every merge and counted in
+// Result.RejectedUpdates (graceful degradation — the run survives and
+// reports, instead of dying at the divergence backstop), a NormClipPolicy
+// decorator bounds each update's distance from the current global model,
+// and the robust aggregation policies below (coordinate-wise median,
+// trimmed mean, a multi-Krum selector) replace the weighted average with
+// order statistics that a bounded Byzantine fraction cannot move far.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/prng"
+	"repro/internal/tensor"
+)
+
+// faultClass is one client's assigned behaviour. The zero value is an
+// honest client; the order is part of the FTRS snapshot format.
+type faultClass uint8
+
+const (
+	faultNone faultClass = iota
+	// faultSignFlip uploads the negated parameter vector.
+	faultSignFlip
+	// faultScale uploads the parameter vector magnified by Arg.
+	faultScale
+	// faultNoise perturbs every parameter with Arg * N(0,1) drawn from
+	// the client's private adversary stream.
+	faultNoise
+	// faultNaN uploads non-finite parameters (rejected by the server's
+	// finite screen and counted in Result.RejectedUpdates).
+	faultNaN
+	// faultLabelFlip trains on deterministically permuted labels — a
+	// data-level fault: the upload itself is a genuine (bad) model.
+	faultLabelFlip
+	// faultCrash trains, pays FLOPs and wire time, but the upload is
+	// garbage (non-finite) — a device that died mid-serialization.
+	faultCrash
+)
+
+// faultClassLimit bounds snapshot validation of serialized classes.
+const faultClassLimit = faultCrash
+
+// FaultModel describes the adversarial composition of a fleet: a
+// Byzantine fraction with one behaviour mode, plus an independent
+// crash-faulty fraction. Parsed from the CLI grammar by ParseFaults and
+// wired as RunSpec.Faults.
+type FaultModel struct {
+	// ByzFraction is the expected fraction of clients assigned Mode.
+	ByzFraction float64
+	// Mode is the Byzantine behaviour: signflip | scale | noise | nan |
+	// labelflip.
+	Mode string
+	// Arg parameterizes the mode: the magnification K for scale, the
+	// noise standard deviation SIGMA for noise; unused otherwise.
+	Arg float64
+	// CrashFraction is the expected fraction of clients that are
+	// crash-faulty (independent of the Byzantine assignment; a client
+	// gets at most one fault).
+	CrashFraction float64
+}
+
+// Validate checks fractions and the mode grammar.
+func (m *FaultModel) Validate() error {
+	if m.ByzFraction < 0 || m.ByzFraction > 1 {
+		return fmt.Errorf("core: byzantine fraction %g outside [0,1]", m.ByzFraction)
+	}
+	if m.CrashFraction < 0 || m.CrashFraction > 1 {
+		return fmt.Errorf("core: crash fraction %g outside [0,1]", m.CrashFraction)
+	}
+	if m.ByzFraction+m.CrashFraction > 1 {
+		return fmt.Errorf("core: fault fractions %g+%g exceed 1", m.ByzFraction, m.CrashFraction)
+	}
+	switch m.Mode {
+	case "signflip", "nan", "labelflip":
+		if m.Arg != 0 {
+			return fmt.Errorf("core: fault mode %q takes no argument", m.Mode)
+		}
+	case "scale":
+		if m.Arg <= 0 || math.IsInf(m.Arg, 0) || math.IsNaN(m.Arg) {
+			return fmt.Errorf("core: scale fault factor %g must be positive and finite", m.Arg)
+		}
+	case "noise":
+		if m.Arg <= 0 || math.IsInf(m.Arg, 0) || math.IsNaN(m.Arg) {
+			return fmt.Errorf("core: noise fault sigma %g must be positive and finite", m.Arg)
+		}
+	case "":
+		if m.ByzFraction > 0 {
+			return fmt.Errorf("core: byzantine fraction %g needs a mode (signflip|scale:K|noise:SIGMA|nan|labelflip)", m.ByzFraction)
+		}
+	default:
+		return fmt.Errorf("core: unknown fault mode %q (signflip|scale:K|noise:SIGMA|nan|labelflip)", m.Mode)
+	}
+	return nil
+}
+
+// byzClass maps the validated mode to its fault class.
+func (m *FaultModel) byzClass() faultClass {
+	switch m.Mode {
+	case "signflip":
+		return faultSignFlip
+	case "scale":
+		return faultScale
+	case "noise":
+		return faultNoise
+	case "nan":
+		return faultNaN
+	case "labelflip":
+		return faultLabelFlip
+	}
+	return faultNone
+}
+
+// String renders the model in ParseFaults's grammar (the canonical form
+// the snapshot fingerprint embeds).
+func (m *FaultModel) String() string {
+	var b strings.Builder
+	if m.Mode != "" {
+		fmt.Fprintf(&b, "byz:%g,%s", m.ByzFraction, m.Mode)
+		if m.Mode == "scale" || m.Mode == "noise" {
+			fmt.Fprintf(&b, ":%g", m.Arg)
+		}
+	}
+	if m.CrashFraction > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "crash:%g", m.CrashFraction)
+	}
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
+}
+
+// ParseFaults parses a CLI fault-model spec:
+//
+//	byz:FRAC,MODE        fraction FRAC of clients is Byzantine with MODE:
+//	                     signflip | scale:K | noise:SIGMA | nan | labelflip
+//	crash:FRAC           fraction FRAC crash-faulty (garbage uploads)
+//
+// Segments compose with "+" (e.g. "byz:0.2,signflip+crash:0.05"); "" and
+// "none" mean no faults (nil model).
+func ParseFaults(spec string) (*FaultModel, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	m := &FaultModel{}
+	sawByz, sawCrash := false, false
+	for _, seg := range strings.Split(spec, "+") {
+		name, rest, _ := strings.Cut(strings.TrimSpace(seg), ":")
+		switch name {
+		case "byz":
+			if sawByz {
+				return nil, fmt.Errorf("core: fault spec %q repeats byz", spec)
+			}
+			sawByz = true
+			fracStr, modeSpec, ok := strings.Cut(rest, ",")
+			if !ok {
+				return nil, fmt.Errorf("core: fault spec %q: byz wants FRAC,MODE", spec)
+			}
+			frac, err := strconv.ParseFloat(strings.TrimSpace(fracStr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: fault spec %q: %v", spec, err)
+			}
+			m.ByzFraction = frac
+			mode, argStr, hasArg := strings.Cut(strings.TrimSpace(modeSpec), ":")
+			m.Mode = mode
+			if hasArg {
+				arg, err := strconv.ParseFloat(strings.TrimSpace(argStr), 64)
+				if err != nil {
+					return nil, fmt.Errorf("core: fault spec %q: %v", spec, err)
+				}
+				m.Arg = arg
+			}
+		case "crash":
+			if sawCrash {
+				return nil, fmt.Errorf("core: fault spec %q repeats crash", spec)
+			}
+			sawCrash = true
+			frac, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: fault spec %q: %v", spec, err)
+			}
+			m.CrashFraction = frac
+		default:
+			return nil, fmt.Errorf("core: unknown fault segment %q (byz:FRAC,MODE|crash:FRAC)", name)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// sampleFaults assigns each client a fault class: one uniform draw per
+// client from the dedicated adversary stream, in client-ID order (the
+// same per-client sampling discipline as sampleDeviceSpeeds), so the
+// assignment is a pure function of (population, model, seed) and is
+// re-derived — never serialized as the source of truth — on resume.
+func sampleFaults(n int, m *FaultModel, seed int64) []faultClass {
+	rng := seedStream(seed, streamAdversary)
+	faults := make([]faultClass, n)
+	byz := m.byzClass()
+	for id := 0; id < n; id++ {
+		u := rng.Float64()
+		switch {
+		case u < m.ByzFraction:
+			faults[id] = byz
+		case u < m.ByzFraction+m.CrashFraction:
+			faults[id] = faultCrash
+		}
+	}
+	return faults
+}
+
+// installFaults samples the fleet's fault assignment and materializes the
+// per-client adversary state: noise clients get their private RNG stream
+// (position serialized through snapshots), label-flipping clients get
+// their fixed label rotation. Called once at run construction; a nil
+// model leaves the server entirely honest (and the adversary stream
+// untouched).
+func (s *Server) installFaults(fm *FaultModel) {
+	if fm == nil {
+		return
+	}
+	s.faultModel = fm
+	s.faults = sampleFaults(len(s.clients), fm, s.cfg.Seed)
+	s.advRng = make([]*prng.Rand, len(s.clients))
+	classes := s.cfg.Model.Classes
+	for id, f := range s.faults {
+		switch f {
+		case faultNoise:
+			s.advRng[id] = seedStreamN(s.cfg.Seed, streamAdvNoise, id)
+		case faultLabelFlip:
+			// A fixed per-client label rotation: every label moves (the
+			// offset is never 0 mod classes), clients disagree on where,
+			// and no RNG is consumed.
+			s.clients[id].labelFlip = 1 + id%(classes-1)
+		}
+	}
+}
+
+// applyFault corrupts a Byzantine client's finished upload in place,
+// after training (FLOPs metered) and before the transport encodes it
+// (wire bytes and transfer time price the corrupted vector). Runs on
+// shard worker goroutines: it touches only the update buffer and the
+// client's private adversary stream, both confined to the one goroutine
+// training this client.
+//
+//fedtripvet:hotpath
+func (s *Server) applyFault(c *Client, u *Update) {
+	if s.faults == nil {
+		return
+	}
+	switch s.faults[c.ID] {
+	case faultSignFlip:
+		tensor.Scale(-1, u.Params)
+	case faultScale:
+		tensor.Scale(s.faultModel.Arg, u.Params)
+	case faultNoise:
+		sigma := s.faultModel.Arg
+		rng := s.advRng[c.ID]
+		for i := range u.Params {
+			u.Params[i] += sigma * rng.NormFloat64()
+		}
+	case faultNaN:
+		nan := math.NaN()
+		for i := range u.Params {
+			u.Params[i] = nan
+		}
+	case faultCrash:
+		// Garbage with a recognizable shape: alternating infinities. The
+		// server's finite screen rejects it; full length keeps the buffer
+		// pool and snapshot layout regular.
+		inf := math.Inf(1)
+		for i := range u.Params {
+			if i&1 == 0 {
+				u.Params[i] = inf
+			} else {
+				u.Params[i] = -inf
+			}
+		}
+	}
+}
+
+// rotateLabels applies a label-flipping client's fixed permutation to a
+// freshly filled batch: label y becomes (y+off) mod classes.
+//
+//fedtripvet:hotpath
+func rotateLabels(y []int, off, classes int) {
+	for i, v := range y {
+		y[i] = (v + off) % classes
+	}
+}
+
+// --- robust aggregation policies ---
+
+// MedianPolicy aggregates the buffer with the coordinate-wise median
+// (the classic Byzantine-robust estimator: up to half the buffer can lie
+// without moving any coordinate past the honest values). Weights are
+// used only for admission — a zero-weighted update (rejected non-finite,
+// hard staleness cutoff) is excluded; admitted updates count equally.
+type MedianPolicy struct {
+	// K is the buffered-mode merge threshold (0 = RunSpec.BufferSize).
+	K int
+}
+
+func (p *MedianPolicy) Name() string                    { return "median" }
+func (p *MedianPolicy) ReadyToMerge(buffered int) bool  { return buffered >= p.K }
+func (p *MedianPolicy) Weight(u Update) float64         { return float64(u.NumSamples) }
+func (p *MedianPolicy) MergeRate(int, []Update) float64 { return 1 }
+func (p *MedianPolicy) defaultBuffer(k int) {
+	if p.K <= 0 {
+		p.K = k
+	}
+}
+
+// TrimmedMeanPolicy aggregates with the coordinate-wise trimmed mean:
+// per coordinate, drop the floor(Frac*k) largest and smallest admitted
+// values and average the rest. Frac in [0, 0.5); a trim that would empty
+// the window degrades to the median.
+type TrimmedMeanPolicy struct {
+	// K is the buffered-mode merge threshold (0 = RunSpec.BufferSize).
+	K int
+	// Frac is the fraction trimmed from each tail.
+	Frac float64
+}
+
+func (p *TrimmedMeanPolicy) Name() string                    { return "trimmedmean" }
+func (p *TrimmedMeanPolicy) ReadyToMerge(buffered int) bool  { return buffered >= p.K }
+func (p *TrimmedMeanPolicy) Weight(u Update) float64         { return float64(u.NumSamples) }
+func (p *TrimmedMeanPolicy) MergeRate(int, []Update) float64 { return 1 }
+func (p *TrimmedMeanPolicy) defaultBuffer(k int) {
+	if p.K <= 0 {
+		p.K = k
+	}
+}
+
+// KrumPolicy is a multi-Krum-style norm-filter selector: score each
+// admitted update by the summed squared distances to its closest peers,
+// keep the k - f lowest-scoring (f = floor(Frac*k) suspected Byzantine),
+// and average them. Outliers — far from every honest cluster — score
+// worst and are filtered entirely, which also defends against attacks
+// (large-sigma noise) that coordinate-wise statistics only dampen.
+type KrumPolicy struct {
+	// K is the buffered-mode merge threshold (0 = RunSpec.BufferSize).
+	K int
+	// Frac is the assumed Byzantine fraction f/k.
+	Frac float64
+}
+
+func (p *KrumPolicy) Name() string                    { return "krum" }
+func (p *KrumPolicy) ReadyToMerge(buffered int) bool  { return buffered >= p.K }
+func (p *KrumPolicy) Weight(u Update) float64         { return float64(u.NumSamples) }
+func (p *KrumPolicy) MergeRate(int, []Update) float64 { return 1 }
+func (p *KrumPolicy) defaultBuffer(k int) {
+	if p.K <= 0 {
+		p.K = k
+	}
+}
+
+// NormClipPolicy decorates any policy with a norm-clip guard: an update
+// whose parameter distance from the current global model exceeds MaxNorm
+// is rescaled onto that ball before the merge (scale attacks collapse to
+// bounded steps; honest updates inside the ball are untouched). It
+// composes like the other decorators — "fedbuff+clip:5" parses, and
+// clonedForRun/resolvePolicy fill a nil inner policy with the runtime
+// default.
+type NormClipPolicy struct {
+	// AggregationPolicy is the decorated policy (nil = the runtime's
+	// default policy at Validate time).
+	AggregationPolicy
+	// MaxNorm is the largest admissible L2 distance from the global model.
+	MaxNorm float64
+}
+
+// WithNormClip wraps a policy (nil = the runtime's default policy) with
+// a norm-clip guard.
+func WithNormClip(p AggregationPolicy, maxNorm float64) AggregationPolicy {
+	return &NormClipPolicy{AggregationPolicy: p, MaxNorm: maxNorm}
+}
+
+func (p *NormClipPolicy) Name() string {
+	if p.AggregationPolicy == nil {
+		return "+clip"
+	}
+	return p.AggregationPolicy.Name() + "+clip"
+}
+
+func (p *NormClipPolicy) defaultBuffer(k int) {
+	if bs, ok := p.AggregationPolicy.(bufferSizer); ok {
+		bs.defaultBuffer(k)
+	}
+}
+
+func (p *NormClipPolicy) defaultDiscount(d func(int) float64, force bool) {
+	if dc, ok := p.AggregationPolicy.(discounter); ok {
+		dc.defaultDiscount(d, force)
+	}
+}
+
+// installPolicy records the run's aggregation policy and resolves the
+// decorator chain's merge-path capabilities: the outermost norm-clip
+// guard and the innermost robust aggregator, both consulted by
+// aggregateWeightedRate on every merge.
+func (s *Server) installPolicy(p AggregationPolicy) {
+	s.policy = p
+	s.clip, s.robust = nil, nil
+	q := p
+	for q != nil {
+		switch d := q.(type) {
+		case *NormClipPolicy:
+			if s.clip == nil {
+				s.clip = d
+			}
+			q = d.AggregationPolicy
+		case *MaxStalenessPolicy:
+			q = d.AggregationPolicy
+		case *ScheduledLR:
+			q = d.AggregationPolicy
+		case *MedianPolicy, *TrimmedMeanPolicy, *KrumPolicy:
+			s.robust = q
+			q = nil
+		default:
+			q = nil
+		}
+	}
+}
+
+// screenUpdates is the merge path's graceful-degradation guard, run on
+// every aggregation before any weight is consumed. Non-finite uploads
+// (divergence, nan/crash faults, a transport that garbled in transit)
+// are zero-weighted out and counted — the global model never sees them —
+// and the norm-clip guard, when configured, then rescales surviving
+// updates onto the admissible ball around the current global model.
+func (s *Server) screenUpdates(weights []float64, updates []Update) {
+	for i := range updates {
+		if tensor.AllFinite(updates[i].Params) {
+			continue
+		}
+		weights[i] = 0
+		s.rejectedUpdates++
+		if !s.rejectLogged {
+			s.rejectLogged = true
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("core: rejected non-finite update from client %d (counted in RejectedUpdates; further rejections are silent)", updates[i].ClientID)
+			}
+		}
+	}
+	if s.clip == nil {
+		return
+	}
+	maxNorm := s.clip.MaxNorm
+	for i := range updates {
+		u := &updates[i]
+		if weights[i] <= 0 || len(u.Params) != len(s.global) {
+			continue
+		}
+		var sq float64
+		for j, v := range u.Params {
+			d := v - s.global[j]
+			sq += d * d
+		}
+		if n := math.Sqrt(sq); n > maxNorm {
+			scale := maxNorm / n
+			for j := range u.Params {
+				u.Params[j] = s.global[j] + scale*(u.Params[j]-s.global[j])
+			}
+		}
+	}
+}
+
+// mergeRobust replaces the weighted average with the configured robust
+// aggregate of the positively weighted updates, then applies the merge
+// rate like the standard path. vecs aliases the updates' parameter
+// vectors (aggVecs scratch); weights have been screened but not
+// normalized.
+//
+//fedtripvet:hotpath
+func (s *Server) mergeRobust(weights []float64, vecs [][]float64, eta float64) {
+	if cap(s.robVecs) < len(vecs) {
+		s.robVecs = make([][]float64, 0, len(vecs))
+	}
+	adm := s.robVecs[:0]
+	for i, v := range vecs {
+		if weights[i] > 0 {
+			adm = append(adm, v) //fedtripvet:allow robVecs scratch, capacity grown above
+		}
+	}
+	s.robVecs = adm
+	if len(adm) == 0 {
+		return
+	}
+	avg := s.mergeBuf()
+	k := len(adm)
+	switch p := s.robust.(type) {
+	case *MedianPolicy:
+		s.coordWindowInto(avg, adm, (k-1)/2, k/2)
+	case *TrimmedMeanPolicy:
+		g := int(p.Frac * float64(k))
+		if 2*g >= k {
+			g = (k - 1) / 2
+		}
+		s.coordWindowInto(avg, adm, g, k-1-g)
+	case *KrumPolicy:
+		s.krumInto(avg, adm, p.Frac)
+	}
+	if eta == 1 {
+		copy(s.global, avg)
+		return
+	}
+	for i := range s.global {
+		s.global[i] += eta * (avg[i] - s.global[i])
+	}
+}
+
+// coordWindowInto writes the coordinate-wise mean of the sorted window
+// [lo, hi] into dst: the median for the maximal trim, the trimmed mean
+// otherwise. Column gather + in-place heapsort over the robCol scratch —
+// no per-merge allocation, O(|w| * k log k).
+//
+//fedtripvet:hotpath
+func (s *Server) coordWindowInto(dst []float64, vecs [][]float64, lo, hi int) {
+	k := len(vecs)
+	if cap(s.robCol) < k {
+		s.robCol = make([]float64, k)
+	}
+	col := s.robCol[:k]
+	inv := 1 / float64(hi-lo+1)
+	for j := range dst {
+		for i, v := range vecs {
+			col[i] = v[j]
+		}
+		heapSortFloats(col)
+		var sum float64
+		for i := lo; i <= hi; i++ {
+			sum += col[i]
+		}
+		dst[j] = sum * inv
+	}
+}
+
+// heapSortFloats sorts in place without allocating: the column buffers
+// are small (one element per buffered update) and the O(k log k) worst
+// case holds for any input, unlike quicksort's.
+//
+//fedtripvet:hotpath
+func heapSortFloats(a []float64) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownFloats(a, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		siftDownFloats(a, 0, i)
+	}
+}
+
+//fedtripvet:hotpath
+func siftDownFloats(a []float64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// krumInto writes the multi-Krum aggregate into dst: pairwise squared
+// distances, each update scored by the sum of its k-f-2 closest, the
+// k-f best-scoring averaged (ties broken by buffer index, so the
+// selection is deterministic). O(k^2 |w|) distances dominate; all
+// scratch is server-owned.
+//
+//fedtripvet:hotpath
+func (s *Server) krumInto(dst []float64, vecs [][]float64, frac float64) {
+	k := len(vecs)
+	f := int(frac * float64(k))
+	if f > k-1 {
+		f = k - 1
+	}
+	keep := k - f
+	closest := k - f - 2
+	if closest < 1 {
+		closest = 1
+	}
+	if closest > k-1 {
+		closest = k - 1
+	}
+	if cap(s.robDist) < k*k {
+		s.robDist = make([]float64, k*k)
+	}
+	dist := s.robDist[:k*k]
+	for i := 0; i < k; i++ {
+		dist[i*k+i] = 0
+		vi := vecs[i]
+		for j := i + 1; j < k; j++ {
+			vj := vecs[j]
+			var sq float64
+			for x := range vi {
+				d := vi[x] - vj[x]
+				sq += d * d
+			}
+			dist[i*k+j] = sq
+			dist[j*k+i] = sq
+		}
+	}
+	if cap(s.robCol) < k {
+		s.robCol = make([]float64, k)
+	}
+	if cap(s.robScore) < k {
+		s.robScore = make([]float64, k)
+	}
+	col := s.robCol[:k]
+	score := s.robScore[:k]
+	for i := 0; i < k; i++ {
+		m := 0
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			col[m] = dist[i*k+j]
+			m++
+		}
+		heapSortFloats(col[:m])
+		var sum float64
+		for j := 0; j < closest && j < m; j++ {
+			sum += col[j]
+		}
+		score[i] = sum
+	}
+	// Equal-weight average of the keep best-scoring updates, selected by
+	// repeated minimum scan (scores are poisoned as they are taken; index
+	// order breaks ties).
+	for i := range dst {
+		dst[i] = 0
+	}
+	inv := 1 / float64(keep)
+	for sel := 0; sel < keep; sel++ {
+		best := -1
+		for i := 0; i < k; i++ {
+			if score[i] >= 0 && (best < 0 || score[i] < score[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		score[best] = -1
+		v := vecs[best]
+		for i := range dst {
+			dst[i] += inv * v[i]
+		}
+	}
+}
+
+// mergeBuf returns the |w|-sized merge scratch (shared with the rated
+// weighted-average path; merges are single-threaded in every runtime).
+func (s *Server) mergeBuf() []float64 {
+	if len(s.mergeScratch) != len(s.global) {
+		s.mergeScratch = make([]float64, len(s.global))
+	}
+	return s.mergeScratch
+}

@@ -178,7 +178,8 @@ func newAsyncServer(sp RunSpec) (*AsyncServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.policy = sp.Policy
+	s.installPolicy(sp.Policy)
+	s.installFaults(sp.Faults)
 	a := &AsyncServer{
 		s:    s,
 		spec: sp,

@@ -52,6 +52,11 @@ type Client struct {
 	// current round).
 	scalars map[string]float64
 
+	// labelFlip is a label-flipping Byzantine client's fixed rotation
+	// offset (adversary.go): every training label y becomes
+	// (y+labelFlip) mod Classes. 0 (honest) leaves batches untouched.
+	labelFlip int
+
 	// eng is the engine currently attached (nil when idle). loan is the
 	// owning server's shared loaner for engine-needing work outside the
 	// shard pool; ownEng is the private fallback for clients built outside
@@ -261,6 +266,9 @@ func (c *Client) LocalTrainSteps(round int, global []float64, maxSteps int) Upda
 			}
 			e.ensureBatch(len(idx))
 			cfg.Train.FillBatch(e.batchX, e.batchY, idx)
+			if c.labelFlip != 0 {
+				rotateLabels(e.batchY, c.labelFlip, cfg.Model.Classes)
+			}
 
 			logits := e.model.Forward(e.batchX, true)
 			lossSum += nn.SoftmaxCrossEntropy(logits, e.batchY, e.dLogits)

@@ -333,8 +333,11 @@ func TestCommAccountingFedAvgStyle(t *testing.T) {
 	}
 }
 
-// Failure injection: an algorithm that poisons the gradient with NaN must
-// surface as a divergence error, not a silent bad model.
+// Failure injection: an algorithm that poisons the gradient with NaN.
+// The merge path's graceful-degradation screen must reject every
+// poisoned upload (counting it in RejectedUpdates) so the run survives
+// with a finite global model, instead of dying at the divergence
+// backstop the moment one client goes non-finite.
 type poisonAlgo struct{ Base }
 
 func (poisonAlgo) Name() string { return "poison" }
@@ -344,9 +347,20 @@ func (poisonAlgo) TransformGrad(c *Client, round int, w, g []float64) {
 
 func TestDivergenceDetected(t *testing.T) {
 	cfg := testConfig(t, poisonAlgo{})
-	_, err := Run(cfg)
-	if err == nil {
-		t.Fatal("NaN model must fail the run")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("non-finite uploads must be rejected, not kill the run: %v", err)
+	}
+	// Every upload is poisoned: 3 clients/round over 5 rounds, all
+	// rejected, every merge a no-op on a still-finite model.
+	want := cfg.ClientsPerRound * cfg.Rounds
+	if res.RejectedUpdates != want {
+		t.Fatalf("RejectedUpdates = %d want %d", res.RejectedUpdates, want)
+	}
+	for _, a := range res.Accuracy {
+		if math.IsNaN(a) {
+			t.Fatal("accuracy series went NaN — a rejected update reached the model")
+		}
 	}
 }
 

@@ -335,25 +335,47 @@ func ParseLRSchedule(spec string) (func(t int) float64, error) {
 //	importance[:BETA[,EXP]] loss-weighted buffer, smoothing BETA (0.1)
 //	maxstale:MAX         hard staleness cutoff (weight 0 past MAX) on
 //	                     the runtime's default policy
+//	median               coordinate-wise median of the admitted buffer
+//	trimmedmean:F        coordinate-wise mean after trimming the F
+//	                     fraction from each tail (0 <= F < 0.5)
+//	krum:F               multi-Krum selector assuming a Byzantine
+//	                     fraction F of the buffer (0 <= F < 0.5)
+//	clip:C               norm-clip guard (updates rescaled within L2
+//	                     distance C of the global model) on the
+//	                     runtime's default policy
 //
-// A trailing "+maxstale:MAX" composes the cutoff onto any other spec
-// (e.g. "fedbuff:0.5+maxstale:8"). Merge thresholds (K) default from
+// A trailing "+maxstale:MAX" or "+clip:C" composes onto any other spec
+// (e.g. "fedbuff:0.5+maxstale:8", "trimmedmean:0.25+clip:5"); suffixes
+// stack rightmost-first. Merge thresholds (K) default from
 // RunSpec.BufferSize at Validate time. Compose a server learning-rate
 // schedule with WithServerLR / ParseLRSchedule.
 func ParsePolicy(spec string) (AggregationPolicy, error) {
-	if base, cutoff, found := strings.Cut(spec, "+maxstale:"); found {
-		max, err := strconv.Atoi(strings.TrimSpace(cutoff))
-		if err != nil || max < 0 {
-			return nil, fmt.Errorf("core: maxstale cutoff %q must be a nonnegative integer", cutoff)
-		}
+	if i := strings.LastIndex(spec, "+"); i >= 0 {
+		base, suffix := spec[:i], spec[i+1:]
+		sufName, sufArg, _ := strings.Cut(suffix, ":")
 		var inner AggregationPolicy
+		var err error
 		if base != "" {
 			inner, err = ParsePolicy(base)
 			if err != nil {
 				return nil, err
 			}
 		}
-		return WithMaxStaleness(inner, max), nil
+		switch sufName {
+		case "maxstale":
+			max, err := strconv.Atoi(strings.TrimSpace(sufArg))
+			if err != nil || max < 0 {
+				return nil, fmt.Errorf("core: maxstale cutoff %q must be a nonnegative integer", sufArg)
+			}
+			return WithMaxStaleness(inner, max), nil
+		case "clip":
+			c, err := strconv.ParseFloat(strings.TrimSpace(sufArg), 64)
+			if err != nil || c <= 0 || math.IsInf(c, 0) {
+				return nil, fmt.Errorf("core: clip bound %q must be a positive number", sufArg)
+			}
+			return WithNormClip(inner, c), nil
+		}
+		return nil, fmt.Errorf("core: unknown policy suffix %q (maxstale|clip)", sufName)
 	}
 	name, args, err := parseSpec(spec, "policy")
 	if err != nil {
@@ -376,12 +398,41 @@ func ParsePolicy(spec string) (AggregationPolicy, error) {
 		}
 		return PolyDiscount(args[i]), nil
 	}
+	// trimFrac validates a tail-trim / Byzantine fraction argument.
+	trimFrac := func() (float64, error) {
+		if len(args) != 1 || args[0] < 0 || args[0] >= 0.5 {
+			return 0, fmt.Errorf("core: policy %q wants one fraction in [0, 0.5), got %v", name, args)
+		}
+		return args[0], nil
+	}
 	switch name {
 	case "maxstale":
 		if len(args) != 1 || args[0] < 0 || args[0] != math.Trunc(args[0]) {
 			return nil, fmt.Errorf("core: policy maxstale wants one nonnegative integer cutoff, got %v", args)
 		}
 		return WithMaxStaleness(nil, int(args[0])), nil
+	case "clip":
+		if len(args) != 1 || args[0] <= 0 || math.IsInf(args[0], 0) {
+			return nil, fmt.Errorf("core: policy clip wants one positive norm bound, got %v", args)
+		}
+		return WithNormClip(nil, args[0]), nil
+	case "median":
+		if err := atMost(0); err != nil {
+			return nil, err
+		}
+		return &MedianPolicy{}, nil
+	case "trimmedmean":
+		f, err := trimFrac()
+		if err != nil {
+			return nil, err
+		}
+		return &TrimmedMeanPolicy{Frac: f}, nil
+	case "krum":
+		f, err := trimFrac()
+		if err != nil {
+			return nil, err
+		}
+		return &KrumPolicy{Frac: f}, nil
 	case "fedavg":
 		if err := atMost(0); err != nil {
 			return nil, err
@@ -429,5 +480,5 @@ func ParsePolicy(spec string) (AggregationPolicy, error) {
 		}
 		return &ImportancePolicy{Beta: beta, Discount: d}, nil
 	}
-	return nil, fmt.Errorf("core: unknown aggregation policy %q (fedavg|fedbuff|fedasync|importance|maxstale)", name)
+	return nil, fmt.Errorf("core: unknown aggregation policy %q (fedavg|fedbuff|fedasync|importance|maxstale|median|trimmedmean|krum|clip)", name)
 }

@@ -92,6 +92,14 @@ type RunSpec struct {
 	// mid-flight arrive late (after rejoin) or, if permanently dropped,
 	// lose the update (Result.DroppedUpdates). nil = always available.
 	Churn *ChurnModel
+	// Faults is the fleet's adversarial composition (adversary.go): a
+	// Byzantine fraction with a behaviour mode plus a crash-faulty
+	// fraction, assigned per client from the dedicated adversary seed
+	// stream and applied at upload time in every runtime. Faulty uploads
+	// still pay FLOPs and wire bytes, and flow through transports,
+	// staleness, and churn like honest ones; the merge path's screen and
+	// any robust policy are the defense. nil = every client honest.
+	Faults *FaultModel
 }
 
 // Validate checks the spec and fills every default in one place: the base
@@ -172,6 +180,17 @@ func (sp *RunSpec) Validate() error {
 			return err
 		}
 	}
+	if sp.Faults != nil {
+		if err := sp.Faults.Validate(); err != nil {
+			return err
+		}
+		if _, ok := sp.Algo.(Aggregator); ok {
+			// An Aggregator override bypasses the weighted-merge funnel and
+			// with it the non-finite screen — a nan/crash fault would reach
+			// the global model unchecked.
+			return fmt.Errorf("core: %s overrides server aggregation and bypasses the fault screen; fault injection needs a policy-merged method", sp.Algo.Name())
+		}
+	}
 	if sp.Runtime == RuntimeAsync {
 		// The algos package contract makes PreRound and Aggregate
 		// single-threaded calls with no client phase in flight. Buffered
@@ -212,6 +231,19 @@ func clonedForRun(p AggregationPolicy) AggregationPolicy {
 		return &cp
 	case *ImportancePolicy:
 		cp := *p
+		return &cp
+	case *MedianPolicy:
+		cp := *p
+		return &cp
+	case *TrimmedMeanPolicy:
+		cp := *p
+		return &cp
+	case *KrumPolicy:
+		cp := *p
+		return &cp
+	case *NormClipPolicy:
+		cp := *p
+		cp.AggregationPolicy = clonedForRun(cp.AggregationPolicy)
 		return &cp
 	case *MaxStalenessPolicy:
 		cp := *p
@@ -263,6 +295,23 @@ func (sp *RunSpec) resolvePolicy() error {
 				return nil, err
 			}
 			p.AggregationPolicy = inner
+		case *NormClipPolicy:
+			if p.MaxNorm <= 0 {
+				return nil, fmt.Errorf("core: norm-clip bound %g must be positive", p.MaxNorm)
+			}
+			inner, err := fillInner(p.AggregationPolicy)
+			if err != nil {
+				return nil, err
+			}
+			p.AggregationPolicy = inner
+		case *TrimmedMeanPolicy:
+			if p.Frac < 0 || p.Frac >= 0.5 {
+				return nil, fmt.Errorf("core: trimmed-mean fraction %g outside [0, 0.5)", p.Frac)
+			}
+		case *KrumPolicy:
+			if p.Frac < 0 || p.Frac >= 0.5 {
+				return nil, fmt.Errorf("core: krum Byzantine fraction %g outside [0, 0.5)", p.Frac)
+			}
 		}
 		return p, nil
 	}

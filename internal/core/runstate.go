@@ -78,7 +78,8 @@ func newRunState(spec RunSpec) (*RunState, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.policy = spec.Policy
+		s.installPolicy(spec.Policy)
+		s.installFaults(spec.Faults)
 		r, err := newSyncRunner(s)
 		if err != nil {
 			return nil, err

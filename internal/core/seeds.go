@@ -48,6 +48,16 @@ const (
 	streamChurn = "churn"
 	// streamNet samples per-client network profiles (bandwidth, RTT).
 	streamNet = "net"
+	// streamAdversary samples per-client fault assignments (adversary.go),
+	// in client-ID order. Dedicated stream: enabling fault injection draws
+	// nothing from any other stream, so a zero-fraction fault model leaves
+	// the trajectory bit-for-bit identical to a run with no faults at all.
+	streamAdversary = "adversary"
+	// streamAdvNoise/k is Byzantine client k's private Gaussian-noise
+	// stream (the "noise" fault mode). Keyed to the client, like
+	// streamClient, so corrupted uploads do not depend on shard
+	// scheduling; its position serializes through FTRS snapshots.
+	streamAdvNoise = "adversary/noise"
 )
 
 // streamSeed derives the seed of stream (name, k) under the given run

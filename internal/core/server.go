@@ -48,6 +48,11 @@ type Result struct {
 	// training FLOPs still meter — the device burned them before dying —
 	// but nothing was merged.
 	DroppedUpdates int
+	// RejectedUpdates counts uploads the merge path zero-weighted out for
+	// being non-finite (divergence, nan/crash faults). Unlike a dropped
+	// update, a rejected one arrived — its FLOPs and wire bytes are in
+	// the totals — but the server refused to let it touch the model.
+	RejectedUpdates int
 	// TargetAccuracy echoes the config; RoundsToTarget is the first round
 	// whose evaluation reached it (-1 if never reached).
 	TargetAccuracy float64
@@ -103,6 +108,7 @@ func (r *Result) Digest() string {
 	f64 := func(v float64) { u64(math.Float64bits(v)) }
 	u64(uint64(r.Rounds))
 	u64(uint64(r.DroppedUpdates))
+	u64(uint64(r.RejectedUpdates))
 	u64(uint64(int64(r.RoundsToTarget)))
 	f64(r.BestAccuracy)
 	f64(r.FinalAccuracy)
@@ -140,8 +146,24 @@ type Server struct {
 	evalModel *nn.Model
 	rng       *prng.Rand
 	// policy is the aggregation policy Start resolved for this run; nil
-	// (the legacy Run/NewServer path) behaves as FedAvgPolicy.
+	// (the legacy Run/NewServer path) behaves as FedAvgPolicy. clip and
+	// robust are installPolicy's resolution of the decorator chain: the
+	// norm-clip guard and the leaf robust aggregator (median/trimmed
+	// mean/krum), nil when absent.
 	policy AggregationPolicy
+	clip   *NormClipPolicy
+	robust AggregationPolicy
+	// Adversary state (installFaults; nil in honest runs): per-client
+	// fault assignment, the fault model that produced it, and the noise
+	// clients' private RNGs (positions serialize through snapshots).
+	faults     []faultClass
+	faultModel *FaultModel
+	advRng     []*prng.Rand
+	// rejectedUpdates counts non-finite uploads screened out of merges
+	// (mirrored into Result.RejectedUpdates each round); rejectLogged
+	// makes the warning one-shot.
+	rejectedUpdates int
+	rejectLogged    bool
 	// mergeScratch is the reusable weighted-average buffer for rated
 	// merges (eta != 1). Merges are single-threaded in every runtime
 	// (the sync loop and the async event loop both aggregate with no
@@ -159,6 +181,12 @@ type Server struct {
 	updScratch []Update
 	aggWeights []float64
 	aggVecs    [][]float64
+	// Robust-merge scratch (adversary.go): admitted vector headers, the
+	// per-coordinate sort column, the krum distance matrix and scores.
+	robVecs  [][]float64
+	robCol   []float64
+	robDist  []float64
+	robScore []float64
 }
 
 // NewServer builds the population and the initial global model. Clients
@@ -246,6 +274,12 @@ func (s *Server) trainClient(c *Client, round int, global []float64, steps int, 
 		c.SetScalar(ScalarDeviceSpeed, speed)
 	}
 	u = c.LocalTrainSteps(round, global, steps)
+	// Byzantine corruption happens here — after training (the FLOPs were
+	// really burned) and before the transport encodes the upload (the
+	// corrupted vector is what rides, and prices, the wire). Downstream
+	// the fault flows through staleness, churn, and buffering exactly
+	// like an honest update.
+	s.applyFault(c, &u)
 	up = int64(4 * len(u.Params))
 	if cfg.Transport != nil {
 		var enc []float64
@@ -353,10 +387,18 @@ func (s *Server) growWeights(n int) []float64 {
 // runtime funnels through it: the synchronous server with data-size
 // weights, the asynchronous one with policy weights (a rate of exactly 1
 // takes the historical replace-with-average path bit-for-bit). A
-// fully-discounted buffer (all weights 0 — e.g. a hard staleness cutoff)
-// or a zero rate contributes nothing rather than dividing the model into
-// NaNs.
+// fully-discounted buffer (all weights 0 — e.g. a hard staleness cutoff,
+// or every update rejected as non-finite) or a zero rate contributes
+// nothing rather than dividing the model into NaNs.
+//
+// Before any weight is consumed the buffer passes the graceful-
+// degradation screen (screenUpdates): non-finite uploads are
+// zero-weighted and counted, surviving updates are norm-clipped when a
+// clip guard is configured. A robust policy (median/trimmed mean/krum)
+// then replaces the weighted average with its estimator over the
+// admitted updates, at the same merge rate.
 func (s *Server) aggregateWeightedRate(weights []float64, updates []Update, eta float64) {
+	s.screenUpdates(weights, updates)
 	if cap(s.aggVecs) < len(updates) {
 		s.aggVecs = make([][]float64, len(updates))
 	}
@@ -369,6 +411,10 @@ func (s *Server) aggregateWeightedRate(weights []float64, updates []Update, eta 
 	if total <= 0 || eta == 0 {
 		return
 	}
+	if s.robust != nil {
+		s.mergeRobust(weights, vecs, eta)
+		return
+	}
 	for i := range weights {
 		weights[i] /= total
 	}
@@ -376,10 +422,7 @@ func (s *Server) aggregateWeightedRate(weights []float64, updates []Update, eta 
 		tensor.WeightedSumInto(s.global, weights, vecs)
 		return
 	}
-	if len(s.mergeScratch) != len(s.global) {
-		s.mergeScratch = make([]float64, len(s.global))
-	}
-	avg := s.mergeScratch
+	avg := s.mergeBuf()
 	tensor.WeightedSumInto(avg, weights, vecs)
 	for i := range s.global {
 		s.global[i] += eta * (avg[i] - s.global[i])
@@ -521,6 +564,7 @@ func (r *recorder) record(t, totalRounds int, updates []Update, flopsTotal int64
 		lossSum += u.TrainLoss
 	}
 	res.TrainLoss = append(res.TrainLoss, lossSum/float64(len(updates)))
+	res.RejectedUpdates = r.s.rejectedUpdates
 
 	r.cumComm += r.commDelta(len(updates))
 	res.CommBytesByRound = append(res.CommBytesByRound, r.cumComm)

@@ -54,8 +54,10 @@ const (
 	snapMagic = "FTRS"
 	// snapVersion 2 added per-job wire-byte fields, the pending-wire
 	// recorder counter, and the transport-state section (error-feedback
-	// residuals) — version-1 snapshots cannot be read by this build.
-	snapVersion = 2
+	// residuals). Version 3 added the adversary section (per-client fault
+	// assignment, noise-stream RNG positions) and the rejected-updates
+	// counter — older snapshots cannot be read by this build.
+	snapVersion = 3
 	// snapMaxLen bounds every deserialized collection length: corrupt or
 	// adversarial length prefixes must not drive allocation.
 	snapMaxLen = 1 << 30
@@ -302,7 +304,7 @@ func (sp *RunSpec) fingerprint(numParams int) string {
 	fmt.Fprintf(&b, " rounds=%d n=%d k=%d batch=%d epochs=%d", sp.Rounds, len(sp.Parts), sp.ClientsPerRound, sp.BatchSize, sp.LocalEpochs)
 	fmt.Fprintf(&b, " lr=%g mom=%g clip=%g seed=%d evalevery=%d", sp.LR, sp.Momentum, sp.ClipNorm, sp.Seed, sp.EvalEvery)
 	fmt.Fprintf(&b, " conc=%d buf=%d", sp.Concurrency, sp.BufferSize)
-	lat, dev, ch, net := "none", "none", "none", "none"
+	lat, dev, ch, net, fa := "none", "none", "none", "none", "none"
 	if sp.Latency != nil {
 		lat = sp.Latency.String()
 	}
@@ -315,7 +317,10 @@ func (sp *RunSpec) fingerprint(numParams int) string {
 	if sp.Network != nil {
 		net = sp.Network.String()
 	}
-	fmt.Fprintf(&b, " latency=%s devices=%s floprate=%g adaptive=%t churn=%s network=%s", lat, dev, sp.FlopRate, sp.AdaptiveLocalSteps, ch, net)
+	if sp.Faults != nil {
+		fa = sp.Faults.String()
+	}
+	fmt.Fprintf(&b, " latency=%s devices=%s floprate=%g adaptive=%t churn=%s network=%s faults=%s", lat, dev, sp.FlopRate, sp.AdaptiveLocalSteps, ch, net, fa)
 	fmt.Fprintf(&b, " target=%g stop=%t transport=%s", sp.TargetAccuracy, sp.StopAtTarget, transportName(sp.Transport))
 	// The partition is re-derived by the caller; an FNV-1a hash over the
 	// per-client sizes catches the common mistake (different -alpha or
@@ -444,6 +449,23 @@ func (rs *RunState) snapshotCommon(sw *snapWriter) {
 		writeVecMap(sw, c.state)
 	}
 
+	// Adversary section: the fault assignment (re-derived on resume and
+	// cross-checked — it is a pure function of the spec and seed) and the
+	// noise clients' private RNG positions, which are live state.
+	sw.boolv(s.faults != nil)
+	if s.faults != nil {
+		sw.num(len(s.faults))
+		for _, f := range s.faults {
+			sw.u8(uint8(f))
+		}
+		for _, rng := range s.advRng {
+			sw.boolv(rng != nil)
+			if rng != nil {
+				sw.rngState(rng.State())
+			}
+		}
+	}
+
 	rec := rs.run.recorder()
 	res := rec.res
 	sw.num(res.Rounds)
@@ -453,6 +475,7 @@ func (rs *RunState) snapshotCommon(sw *snapWriter) {
 	sw.floats(res.SimTimeByRound)
 	sw.floats(res.MeanStalenessByRound)
 	sw.num(res.DroppedUpdates)
+	sw.num(res.RejectedUpdates)
 	sw.num(res.RoundsToTarget)
 	sw.i64(rec.cumComm)
 	sw.i64(rec.wirePending)
@@ -517,6 +540,42 @@ func (rs *RunState) restoreCommon(sr *snapReader) {
 		c.state = readVecMap(sr, len(s.global))
 	}
 
+	hasFaults := sr.boolv()
+	if sr.err == nil && hasFaults != (s.faults != nil) {
+		sr.fail("core: corrupt snapshot: adversary section present=%t, spec faults present=%t", hasFaults, s.faults != nil)
+	}
+	if sr.err == nil && hasFaults {
+		nf := sr.num("fault assignment count")
+		if sr.err == nil && nf != len(s.faults) {
+			sr.fail("core: corrupt snapshot: %d fault assignments, the spec derives %d", nf, len(s.faults))
+		}
+		for i := 0; i < nf && sr.err == nil; i++ {
+			f := faultClass(sr.u8())
+			if sr.err != nil {
+				break
+			}
+			if f > faultClassLimit {
+				sr.fail("core: corrupt snapshot: fault class %d", f)
+			} else if f != s.faults[i] {
+				// The assignment is a pure function of (population, model,
+				// seed); a mismatch means the snapshot came from a
+				// different adversary stream.
+				sr.fail("core: corrupt snapshot: client %d fault class %d, the spec derives %d", i, f, s.faults[i])
+			}
+		}
+		for i := 0; i < nf && sr.err == nil; i++ {
+			if sr.boolv() {
+				if s.advRng[i] == nil {
+					sr.fail("core: corrupt snapshot: client %d carries an adversary stream the spec does not derive", i)
+					break
+				}
+				s.advRng[i].SetState(sr.rngState())
+			} else if sr.err == nil && s.advRng[i] != nil {
+				sr.fail("core: corrupt snapshot: client %d is missing its adversary stream position", i)
+			}
+		}
+	}
+
 	rec := rs.run.recorder()
 	res := rec.res
 	res.Rounds = sr.num("rounds")
@@ -526,6 +585,9 @@ func (rs *RunState) restoreCommon(sr *snapReader) {
 	res.SimTimeByRound = sr.floats("sim-time series")
 	res.MeanStalenessByRound = sr.floats("staleness series")
 	res.DroppedUpdates = sr.num("dropped updates")
+	res.RejectedUpdates = sr.num("rejected updates")
+	s.rejectedUpdates = res.RejectedUpdates
+	s.rejectLogged = res.RejectedUpdates > 0
 	res.RoundsToTarget = sr.num("rounds to target")
 	rec.cumComm = sr.i64()
 	rec.wirePending = sr.i64()

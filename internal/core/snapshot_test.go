@@ -74,6 +74,9 @@ func requireSameResult(t *testing.T, label string, want, got *Result) {
 	if got.DroppedUpdates != want.DroppedUpdates {
 		t.Fatalf("%s: dropped updates %d, want %d", label, got.DroppedUpdates, want.DroppedUpdates)
 	}
+	if got.RejectedUpdates != want.RejectedUpdates {
+		t.Fatalf("%s: rejected updates %d, want %d", label, got.RejectedUpdates, want.RejectedUpdates)
+	}
 	if got.RoundsToTarget != want.RoundsToTarget {
 		t.Fatalf("%s: rounds-to-target %d, want %d", label, got.RoundsToTarget, want.RoundsToTarget)
 	}
@@ -217,6 +220,10 @@ func TestSnapshotPolicyRoundTrip(t *testing.T) {
 		{"importance", &ImportancePolicy{}},
 		{"fedbuff+maxstale", WithMaxStaleness(&FedBuffPolicy{}, 4)},
 		{"fedbuff+lr", WithServerLR(&FedBuffPolicy{}, func(t int) float64 { return 0.5 })},
+		{"median", &MedianPolicy{}},
+		{"trimmedmean", &TrimmedMeanPolicy{Frac: 0.25}},
+		{"krum", &KrumPolicy{Frac: 0.2}},
+		{"fedavg+clip", WithNormClip(&FedAvgPolicy{}, 5)},
 	}
 	for _, tc := range policies {
 		t.Run(tc.name, func(t *testing.T) {

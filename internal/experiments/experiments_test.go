@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"theory-xi", "theory-rho", "ext-quant", "tta", "hetero", "comm-tta", "abl-xi", "abl-hist", "abl-extra",
+		"theory-xi", "theory-rho", "ext-quant", "tta", "hetero", "comm-tta", "robust", "abl-xi", "abl-hist", "abl-extra",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {

@@ -23,7 +23,6 @@ import (
 // two inequalities: silhouette(global) > silhouette(local@final) >
 // silhouette(local@earlier).
 func runFig2(p Profile, logf Logf) ([]*Table, error) {
-	warnBespokeHarness(p, logf, "fig2")
 	clients := p.Clients
 	perClient, err := p.samplesPerClient(data.KindMNIST)
 	if err != nil {
@@ -77,8 +76,16 @@ func runFig2(p Profile, logf Logf) ([]*Table, error) {
 			}
 		},
 	}
-	logf.printf("fig2: training FedAvg CNN for %d rounds", p.Rounds)
-	if _, err := core.Run(cfg); err != nil {
+	// The run goes through Case.runSpec so the profile-level runtime
+	// selection (-runtime/-latency/-device-dist/...) reaches this harness
+	// like any table case; the snapshot hook rides along as OnRound,
+	// which every runtime honors.
+	rspec, err := (Case{Kind: data.KindMNIST, Arch: nn.ArchCNN, Scheme: partition.Dirichlet(0.5), Algo: "fedavg"}).runSpec(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	logf.printf("fig2: training FedAvg CNN for %d rounds (%s/%s)", p.Rounds, rspec.Runtime, rspec.Policy.Name())
+	if _, err := core.Start(rspec); err != nil {
 		return nil, err
 	}
 	if localEarlier == nil {

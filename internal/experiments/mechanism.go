@@ -26,7 +26,6 @@ import (
 // FedTrip keeps the first small (update consistency) while sustaining the
 // second (parameter-space exploration).
 func runFig3(p Profile, logf Logf) ([]*Table, error) {
-	warnBespokeHarness(p, logf, "fig3")
 	clients := p.Clients
 	perClient, err := p.samplesPerClient(data.KindMNIST)
 	if err != nil {
@@ -57,7 +56,10 @@ func runFig3(p Profile, logf Logf) ([]*Table, error) {
 		}
 		col := trace.NewCollector()
 		logf.printf("fig3: tracing %s", method)
-		res, err := core.Run(core.Config{
+		// Case.runSpec routes the trace run through the profile's runtime
+		// selection; the collector rides along as OnUpdates, which every
+		// runtime honors.
+		rspec, err := (Case{Kind: data.KindMNIST, Arch: nn.ArchCNN, Scheme: partition.Dirichlet(0.5), Algo: method}).runSpec(p, core.Config{
 			Model: spec, Train: train, Test: test, Parts: parts,
 			Rounds: p.Rounds, ClientsPerRound: p.PerRound,
 			BatchSize: p.Batch, LocalEpochs: p.LocalEpochs,
@@ -65,6 +67,10 @@ func runFig3(p Profile, logf Logf) ([]*Table, error) {
 			Algo: algo, Seed: p.Seed,
 			OnUpdates: col.Hook(),
 		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Start(rspec)
 		if err != nil {
 			return nil, err
 		}
@@ -87,8 +93,9 @@ func runFig3(p Profile, logf Logf) ([]*Table, error) {
 // xi = 1/gap is p*ln(p)/(p-1) (the paper's E[xi_k] coefficient). The
 // experiment simulates long selection sequences through the actual FedTrip
 // Xi code path and compares against the closed form.
+// It is pure selection-sequence simulation — no federated run, so the
+// profile's runtime selection has nothing to reach.
 func runTheoryXi(p Profile, logf Logf) ([]*Table, error) {
-	warnBespokeHarness(p, logf, "theory-xi")
 	t := &Table{
 		ID:      "theory-xi",
 		Title:   "E[xi] vs participation rate (Theorem 1 coefficient p*ln(p)/(p-1))",

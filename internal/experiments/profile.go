@@ -89,6 +89,9 @@ type Profile struct {
 	// AdaptiveSteps scales each client's local step budget with its
 	// device speed (requires Devices).
 	AdaptiveSteps bool
+	// Faults is the adversary spec (core.ParseFaults): which fraction of
+	// the fleet uploads corrupted models and how ("" = honest fleet).
+	Faults string
 }
 
 // Fast is the default profile: small synthetic datasets and scaled-down

@@ -36,6 +36,7 @@ func All() []Experiment {
 		{ID: "tta", Title: "Time to accuracy under stragglers (barrier vs FedBuff vs FedAsync policies)", Run: runTTA},
 		{ID: "hetero", Title: "Device heterogeneity and churn (FLOP-coupled fleets, dropout/rejoin, staleness cutoff)", Run: runHetero},
 		{ID: "comm-tta", Title: "Communication-priced time to accuracy (compressing transports on a bandwidth-tiered fleet)", Run: runCommTTA},
+		{ID: "robust", Title: "Robust aggregation under Byzantine faults (graceful degradation on a churning tiered fleet)", Run: runRobust},
 		{ID: "abl-xi", Title: "Ablation: xi schedule", Run: runAblationXi},
 		{ID: "abl-hist", Title: "Ablation: triplet terms", Run: runAblationHistory},
 		{ID: "abl-extra", Title: "Ablation: appendix methods resource comparison", Run: runAblationAppendix},

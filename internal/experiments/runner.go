@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"repro/internal/algos"
@@ -67,6 +66,9 @@ type Case struct {
 	Transport           string
 	Bandwidth           string
 	AdaptiveSteps       bool
+	// Faults is the adversary spec (core.ParseFaults): the fraction of
+	// the fleet that uploads corrupted models and how ("" = honest).
+	Faults string
 }
 
 // runSel is the resolved runtime selection for one case: profile
@@ -80,6 +82,7 @@ type runSel struct {
 	devices, churnSpec   string
 	transport, bandwidth string
 	adaptiveSteps        bool
+	faults               string
 }
 
 // runtimeParams resolves the effective runtime selection for a case:
@@ -91,6 +94,7 @@ func (c Case) runtimeParams(p Profile) runSel {
 		devices: p.Devices, churnSpec: p.Churn,
 		transport: p.Transport, bandwidth: p.Bandwidth,
 		adaptiveSteps: p.AdaptiveSteps || c.AdaptiveSteps,
+		faults:        p.Faults,
 	}
 	if c.Runtime != "" {
 		s.rt = c.Runtime
@@ -121,6 +125,9 @@ func (c Case) runtimeParams(p Profile) runSel {
 	}
 	if c.Bandwidth != "" {
 		s.bandwidth = c.Bandwidth
+	}
+	if c.Faults != "" {
+		s.faults = c.Faults
 	}
 	if s.rt == "" {
 		s.rt = core.RuntimeSync
@@ -187,6 +194,14 @@ func (c Case) runSpec(p Profile, cfg core.Config) (core.RunSpec, error) {
 		return core.RunSpec{}, err
 	}
 	spec.Network = net
+	// The fault model is parsed and attached unconditionally too: Validate
+	// owns the "faults need a policy-merged method" rejection, so an
+	// adversary spec on an Aggregator-override method errors loudly.
+	faults, err := core.ParseFaults(sel.faults)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	spec.Faults = faults
 	if sel.policy != "" {
 		pol, err := core.ParsePolicy(sel.policy)
 		if err != nil {
@@ -217,12 +232,12 @@ func (c Case) key(p Profile) string {
 	if c.Rounds > 0 {
 		rounds = c.Rounds
 	}
-	return fmt.Sprintf("%s|%s|%s|%s|%+v|%d|%d|%d|%v|%d|%s|%d|%d|%d|%v|%d|%s|%s|%s|%s|%d|%d|%s|%s|%s|%s|%v",
+	return fmt.Sprintf("%s|%s|%s|%s|%+v|%d|%d|%d|%v|%d|%s|%d|%d|%d|%v|%d|%s|%s|%s|%s|%d|%d|%s|%s|%s|%s|%v|%s",
 		p.Name, c.Kind, c.Arch, c.Scheme, c.Params, c.Clients, c.PerRound,
 		c.LocalEpochs, c.ClipNorm, c.Trial, algoKey, rounds, p.SamplesPerClient,
 		p.Batch, p.ConvScale, p.Seed, sel.rt, sel.latency, sel.policy, sel.serverLR,
 		sel.conc, sel.buf, sel.devices, sel.churnSpec, sel.transport, sel.bandwidth,
-		sel.adaptiveSteps)
+		sel.adaptiveSteps, sel.faults)
 }
 
 var (
@@ -493,41 +508,6 @@ func formatRounds(mean float64, reached bool) string {
 		return fmt.Sprintf(">%.0f", mean)
 	}
 	return fmt.Sprintf("%.0f", mean)
-}
-
-// warnBespokeHarness makes the bespoke measurement harnesses (fig2/fig3,
-// theory-xi/rho) say out loud that they ignore the profile-level runtime
-// selection: they still call core.Run directly with hand-built configs
-// (their trace collection and mid-run snapshot hooks are not expressible
-// through Case.runSpec yet — see ROADMAP; ext-quant has been ported), so
-// -runtime/-latency/-device-dist/-dropout do not reach them. Without the
-// warning a latency-priced invocation renders an unpriced table that
-// looks priced.
-func warnBespokeHarness(p Profile, logf Logf, id string) {
-	var ignored []string
-	if p.Runtime != "" && p.Runtime != core.RuntimeSync {
-		ignored = append(ignored, "-runtime "+string(p.Runtime))
-	}
-	if p.Latency != "" && p.Latency != "zero" {
-		ignored = append(ignored, "-latency "+p.Latency)
-	}
-	if p.Devices != "" && p.Devices != "none" {
-		ignored = append(ignored, "-device-dist "+p.Devices)
-	}
-	if p.Churn != "" && p.Churn != "none" {
-		ignored = append(ignored, "-dropout "+p.Churn)
-	}
-	if p.Transport != "" && p.Transport != "none" {
-		ignored = append(ignored, "-transport "+p.Transport)
-	}
-	if p.Bandwidth != "" && p.Bandwidth != "none" {
-		ignored = append(ignored, "-bandwidth-dist "+p.Bandwidth)
-	}
-	if len(ignored) == 0 {
-		return
-	}
-	logf.printf("%s: warning: bespoke harness runs core.Run directly; ignoring %s (not yet ported to core.Start)",
-		id, strings.Join(ignored, ", "))
 }
 
 // speedupCell renders "rounds (ratio x)" relative to a reference method's

@@ -24,7 +24,6 @@ import (
 // reports rho for the paper's mu choices — positive rho is the paper's
 // sufficient condition for per-round objective decrease.
 func runTheoryRho(p Profile, logf Logf) ([]*Table, error) {
-	warnBespokeHarness(p, logf, "theory-rho")
 	clients := p.Clients
 	perClient, err := p.samplesPerClient(data.KindMNIST)
 	if err != nil {
@@ -58,8 +57,16 @@ func runTheoryRho(p Profile, logf Logf) ([]*Table, error) {
 			}
 		},
 	}
+	// The trajectory run goes through Case.runSpec so the profile's
+	// runtime selection reaches it; the snapshot hook rides along as
+	// OnRound. The FullGrad probes below are measurement, not a run —
+	// they read client data through a bare server.
+	rspec, err := (Case{Kind: data.KindMNIST, Arch: nn.ArchMLP, Scheme: partition.Dirichlet(0.5), Algo: "fedavg"}).runSpec(p, cfg)
+	if err != nil {
+		return nil, err
+	}
 	logf.printf("theory-rho: collecting trajectory snapshots")
-	if _, err := core.Run(cfg); err != nil {
+	if _, err := core.Start(rspec); err != nil {
 		return nil, err
 	}
 	srv, err := core.NewServer(cfg)
