@@ -390,3 +390,83 @@ func BenchmarkRobustMerge1k(b *testing.B) {
 	}
 	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
 }
+
+// --- Population scale: 100k and 1M clients ---
+//
+// The scale trajectory: clients share a small sample pool (overlapping
+// indices), so the dataset stays tiny while the runtime's per-client
+// machinery — registry, heap slot map, aggregate churn, stateless
+// device/latency derivation — runs at full population width. Fleet
+// construction happens outside the timer; the metered section is the
+// event loop. Two metrics ride into the CI artifact:
+//
+//	events/s   dispatch+arrival events processed per wall-clock second
+//	           (higher is better; benchdiff knows the direction)
+//	B/client   the runtime's deterministic per-client bookkeeping bytes
+//	           (core.PerClientStateBytes — gated next to allocs/op)
+
+func benchScaleSpec(b *testing.B, clients int) core.RunSpec {
+	b.Helper()
+	const perClient, pool = 4, 2000
+	train, test, err := data.Generate(data.Spec{
+		Kind: data.KindMNIST, Train: pool, Test: 100, Seed: 91,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(92))
+	parts := make([][]int, clients)
+	flat := make([]int, clients*perClient)
+	for i := range parts {
+		p := flat[i*perClient : (i+1)*perClient : (i+1)*perClient]
+		for k := range p {
+			p[k] = rng.Intn(pool)
+		}
+		parts[i] = p
+	}
+	return core.RunSpec{
+		Config: core.Config{
+			Model: nn.ModelSpec{
+				Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10, Scale: 0.25,
+			},
+			Train: train, Test: test, Parts: parts,
+			Rounds: 6, ClientsPerRound: 32,
+			BatchSize: perClient, LocalEpochs: 1,
+			LR: 0.01, Momentum: 0.9,
+			Algo: core.NewFedTrip(0.4), Seed: 93,
+			EvalEvery: 1 << 20,
+		},
+		Runtime:     core.RuntimeAsync,
+		Concurrency: 256,
+		BufferSize:  64,
+		Latency:     core.StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 7},
+		Churn:       &core.ChurnModel{MeanUp: 400, MeanDown: 40},
+	}
+}
+
+func benchScalePopulation(b *testing.B, clients int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	var perClientBytes float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		spec := benchScaleSpec(b, clients)
+		a, err := core.NewAsyncServerSpec(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perClientBytes = a.PerClientStateBytes()
+		b.StartTimer()
+		if _, err := a.Run(); err != nil {
+			b.Fatal(err)
+		}
+		_, dispatches := a.Participation()
+		events += 2 * dispatches // each dispatch and its arrival
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(perClientBytes, "B/client")
+}
+
+func BenchmarkAsync100kClients(b *testing.B) { benchScalePopulation(b, 100_000) }
+func BenchmarkAsync1MClients(b *testing.B)   { benchScalePopulation(b, 1_000_000) }

@@ -9,8 +9,8 @@
 // The last argument is the current artifact; every earlier argument is a
 // historical one. With more than one artifact of history, each benchmark
 // metric is compared against its best historical value (minimum for
-// cost metrics, maximum for updates/sec), which filters one noisy run
-// out of the baseline.
+// cost metrics, maximum for the updates/sec and events/s throughputs),
+// which filters one noisy run out of the baseline.
 //
 // By default benchdiff is report-only: the exit status is 0 regardless of
 // how the metrics moved (shared CI runners are too noisy to gate on), and
@@ -41,13 +41,16 @@ type Benchmark struct {
 
 // diffMetrics is the ordered subset of metrics worth reporting.
 // commB/op is the transport benchmarks' measured wire bytes per
-// aggregation round — deterministic (byte counts, not timings), so it
-// gates cleanly on shared runners.
-var diffMetrics = []string{"ns/op", "allocs/op", "B/op", "commB/op", "updates/sec"}
+// aggregation round and B/client the population benchmarks' per-client
+// runtime bookkeeping bytes — both deterministic (byte counts, not
+// timings), so they gate cleanly on shared runners. events/s and
+// updates/sec are throughputs: higher is better, and their regressions
+// are decreases.
+var diffMetrics = []string{"ns/op", "allocs/op", "B/op", "commB/op", "B/client", "updates/sec", "events/s"}
 
 // higherIsBetter marks metrics whose baseline across history is the
 // maximum rather than the minimum, and whose regressions are decreases.
-var higherIsBetter = map[string]bool{"updates/sec": true}
+var higherIsBetter = map[string]bool{"updates/sec": true, "events/s": true}
 
 // defaultGate lists the metrics -threshold fails on when -gate is not
 // given. B/op and updates/sec are never sensible gates: byte counts
@@ -130,8 +133,9 @@ func Regressions(rows []DiffRow, threshold float64, gated map[string]bool) []Dif
 			continue
 		}
 		delta := r.Delta
-		// Both gated metrics are lower-is-better today; the flip keeps
-		// the gate correct if a higher-is-better metric is ever gated.
+		// For higher-is-better metrics (events/s, updates/sec) a
+		// regression is a decrease: flip the sign so the threshold
+		// compares the losing direction either way.
 		if higherIsBetter[r.Metric] {
 			delta = -delta
 		}
@@ -244,7 +248,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0,
 		"fail (exit 2) when a gated metric regresses more than this percentage over the baseline; 0 = report only")
 	gateSpec := flag.String("gate", defaultGate,
-		"comma-separated metrics -threshold gates on (subset of ns/op,allocs/op,B/op,commB/op,updates/sec); e.g. allocs/op,commB/op for noisy shared runners")
+		"comma-separated metrics -threshold gates on (subset of ns/op,allocs/op,B/op,commB/op,B/client,updates/sec,events/s); e.g. allocs/op,commB/op,B/client for noisy shared runners")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-gate METRICS] OLD.json [OLD2.json ...] NEW.json")
 		flag.PrintDefaults()

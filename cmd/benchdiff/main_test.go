@@ -166,3 +166,64 @@ func TestGateCommBytes(t *testing.T) {
 		t.Fatalf("comm gate = %+v, want the top-k wire-size regression alone", bad)
 	}
 }
+
+// events/s is higher-is-better: the gate trips on decreases and ignores
+// increases — the exact opposite direction of the cost metrics.
+func TestRegressionsEventsPerSecBothDirections(t *testing.T) {
+	gate, err := parseGate("events/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := []Benchmark{{Name: "BenchmarkAsync1MClients", Metrics: map[string]float64{"events/s": 1000}}}
+
+	slower := Diff(old, []Benchmark{{Name: "BenchmarkAsync1MClients", Metrics: map[string]float64{"events/s": 970}}})
+	bad := Regressions(slower, 2, gate)
+	if len(bad) != 1 || bad[0].Metric != "events/s" {
+		t.Fatalf("events/s -3%% must trip the 2%% gate, got %+v", bad)
+	}
+
+	faster := Diff(old, []Benchmark{{Name: "BenchmarkAsync1MClients", Metrics: map[string]float64{"events/s": 1030}}})
+	if bad := Regressions(faster, 2, gate); len(bad) != 0 {
+		t.Fatalf("events/s +3%% is an improvement, not a regression: %+v", bad)
+	}
+}
+
+// B/client is lower-is-better and deterministic: growth past the
+// threshold fails, shrinkage passes. This is the scale trajectory's
+// compact-state gate.
+func TestRegressionsBytesPerClientBothDirections(t *testing.T) {
+	gate, err := parseGate("allocs/op,commB/op,B/client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := []Benchmark{{Name: "BenchmarkAsync100kClients", Metrics: map[string]float64{"B/client": 216}}}
+
+	grown := Diff(old, []Benchmark{{Name: "BenchmarkAsync100kClients", Metrics: map[string]float64{"B/client": 224}}})
+	bad := Regressions(grown, 2, gate)
+	if len(bad) != 1 || bad[0].Metric != "B/client" {
+		t.Fatalf("B/client 216->224 must trip the 2%% gate, got %+v", bad)
+	}
+
+	shrunk := Diff(old, []Benchmark{{Name: "BenchmarkAsync100kClients", Metrics: map[string]float64{"B/client": 208}}})
+	if bad := Regressions(shrunk, 2, gate); len(bad) != 0 {
+		t.Fatalf("B/client 216->208 is an improvement, not a regression: %+v", bad)
+	}
+}
+
+// The history baseline folds events/s by maximum, like updates/sec.
+func TestMergeBaselineEventsPerSec(t *testing.T) {
+	base := MergeBaseline([][]Benchmark{
+		{{Name: "B", Metrics: map[string]float64{"events/s": 900, "B/client": 220}}},
+		{{Name: "B", Metrics: map[string]float64{"events/s": 1100, "B/client": 216}}},
+		{{Name: "B", Metrics: map[string]float64{"events/s": 1000, "B/client": 218}}},
+	})
+	if len(base) != 1 {
+		t.Fatalf("baseline %+v", base)
+	}
+	if base[0].Metrics["events/s"] != 1100 {
+		t.Fatalf("events/s baseline %v, want the maximum 1100", base[0].Metrics["events/s"])
+	}
+	if base[0].Metrics["B/client"] != 216 {
+		t.Fatalf("B/client baseline %v, want the minimum 216", base[0].Metrics["B/client"])
+	}
+}

@@ -25,6 +25,18 @@
 // cutoff absorbing the rejoin updates.
 //
 //	go run ./examples/async -scenario churn
+//
+// -scenario scale runs the population-scale trajectory: a churning
+// straggler fleet whose clients share a small sample pool, so the
+// population width — not the dataset — is what grows. 100k clients by
+// default; -clients raises it (CI runs 1M on pushes to main):
+//
+//	go run ./examples/async -scenario scale
+//	go run ./examples/async -scenario scale -clients 1000000
+//
+// -scenario participation runs the low-participation ladder (the
+// paper's §V.D): FedTrip vs FedAvg at 4-of-10 and 4-of-50 participation
+// plus the xi schedule a client actually sees.
 package main
 
 import (
@@ -40,13 +52,22 @@ import (
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/partition"
+	"repro/internal/stats"
 )
 
 func main() {
-	scenario := flag.String("scenario", "", "\"\" = sync-vs-async comparison + 10k straggler fleet; \"churn\" = 10k-client device-heterogeneity/churn scenario")
+	scenario := flag.String("scenario", "", "\"\" = sync-vs-async comparison + 10k straggler fleet; \"churn\" = 10k-client device-heterogeneity/churn scenario; \"scale\" = 100k+ population trajectory; \"participation\" = low-participation ladder")
+	nClients := flag.Int("clients", 100_000, "fleet size for -scenario scale")
 	flag.Parse()
-	if *scenario == "churn" {
+	switch *scenario {
+	case "churn":
 		churnScenario()
+		return
+	case "scale":
+		scaleScenario(*nClients)
+		return
+	case "participation":
+		participationLadder()
 		return
 	}
 	const (
@@ -320,4 +341,172 @@ func churnScenario() {
 	fmt.Printf("  train GFLOPs          %.2f\n", res.TotalGFLOPs())
 	fmt.Printf("  heap in use           %.0f MB (population + engines + data)\n", float64(mem.HeapInuse)/1e6)
 	fmt.Printf("  wall clock            %.1f s\n", time.Since(start).Seconds())
+}
+
+// scaleScenario is the population-scale acceptance scenario: n clients
+// (100k by default, 1M on CI pushes to main) sharing a 2000-sample pool,
+// every 7th a 10x straggler, ~9% offline under aggregate Markov churn
+// plus a mid-run mass-dropout event. Per-client runtime state is compact
+// and mostly derived statelessly from seed streams, so the heap grows by
+// ~200 B per client — the printed B/client figure is the same
+// deterministic accessor CI gates via cmd/benchdiff.
+func scaleScenario(clients int) {
+	const (
+		perClient = 4
+		pool      = 2000
+		aggs      = 30
+		buffer    = 64
+		inflight  = 256
+	)
+	start := time.Now()
+	train, test, err := data.Generate(data.Spec{
+		Kind: data.KindMNIST, Train: pool, Test: 200, Seed: 81,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Clients overlap in the pool: the dataset is O(pool), the fleet is
+	// O(clients) — population width is the variable under test.
+	rng := rand.New(rand.NewSource(82))
+	parts := make([][]int, clients)
+	flat := make([]int, clients*perClient)
+	for i := range parts {
+		p := flat[i*perClient : (i+1)*perClient : (i+1)*perClient]
+		for k := range p {
+			p[k] = rng.Intn(pool)
+		}
+		parts[i] = p
+	}
+	algo, err := algos.New("fedtrip", algos.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := core.RunSpec{
+		Config: core.Config{
+			Model: nn.ModelSpec{
+				Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10, Scale: 0.25,
+			},
+			Train: train, Test: test, Parts: parts,
+			Rounds: aggs, ClientsPerRound: buffer,
+			BatchSize: perClient, LocalEpochs: 1,
+			LR: 0.01, Momentum: 0.9,
+			Algo: algo, Seed: 83,
+			EvalEvery: 10,
+		},
+		Runtime:     core.RuntimeAsync,
+		Concurrency: inflight,
+		BufferSize:  buffer,
+		Latency:     core.StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 7},
+		// Long phases relative to dispatch latencies: ~9% offline in
+		// steady state, fleet-level drop/rejoin sampled from two aggregate
+		// exponential clocks. The mass event suspends 10% mid-run.
+		Churn: &core.ChurnModel{
+			MeanUp: 400, MeanDown: 40,
+			Drops: []core.MassDrop{{At: 10, Fraction: 0.1, Duration: 10}},
+		},
+	}
+	a, err := core.NewAsyncServerSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	built := time.Since(start)
+	fmt.Printf("%d-client scale fleet: %d in flight, buffer %d, %d aggregations, markov:400,40 churn + 10%% mass drop\n",
+		clients, inflight, buffer, aggs)
+	res, err := a.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	distinct, dispatches := a.Participation()
+	events := 2 * dispatches // each dispatch and its arrival
+	runtime.GC()             // settle the heap so the reported footprint is live data
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	defer runtime.KeepAlive(a)
+	fmt.Printf("  final accuracy        %.4f (best %.4f)\n", res.FinalAccuracy, res.BestAccuracy)
+	fmt.Printf("  simulated time        %.1f s over %d aggregations\n", res.SimTimeByRound[len(res.SimTimeByRound)-1], res.Rounds)
+	fmt.Printf("  fleet coverage        %d distinct clients over %d dispatches\n", distinct, dispatches)
+	fmt.Printf("  offline right now     %d of %d clients\n", a.Offline(), clients)
+	fmt.Printf("  dropped updates       %d\n", res.DroppedUpdates)
+	fmt.Printf("  per-client state      %.0f B/client (deterministic; CI-gated)\n", a.PerClientStateBytes())
+	fmt.Printf("  event throughput      %.0f events/s (%d dispatch+arrival events)\n",
+		float64(events)/time.Since(start).Seconds(), events)
+	fmt.Printf("  heap in use           %.0f MB (population + engines + data)\n", float64(mem.HeapInuse)/1e6)
+	fmt.Printf("  wall clock            %.1f s (%.1f s fleet construction)\n",
+		time.Since(start).Seconds(), built.Seconds())
+}
+
+// participationLadder is the low-participation scalability ladder (the
+// paper's §V.D), folded in from the former examples/scalability: with 4
+// of 50 clients per round each client participates rarely, so FedTrip's
+// historical models grow stale and its staleness-scaled xi matters.
+// Compares FedTrip and FedAvg at 4-of-10 vs 4-of-50 participation and
+// prints the xi schedule a FedTrip client actually sees.
+func participationLadder() {
+	const perClient = 50
+	for _, clients := range []int{10, 50} {
+		train, test, err := data.Generate(data.Spec{
+			Kind: data.KindMNIST, Train: clients * perClient, Test: 300, Seed: 31,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts, err := partition.Partition(partition.Dirichlet(0.5), train.Y,
+			train.Classes, clients, perClient, rand.New(rand.NewSource(32)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== 4-of-%d participation (rate %.0f%%) ===\n", clients, 400.0/float64(clients))
+
+		var fedavgFinal float64
+		for _, method := range []string{"fedavg", "fedtrip"} {
+			algo, err := algos.New(method, algos.Params{Mu: 1.0})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := core.Run(core.Config{
+				Model: nn.ModelSpec{
+					Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10,
+				},
+				Train: train, Test: test, Parts: parts,
+				Rounds: 25, ClientsPerRound: 4,
+				BatchSize: 10, LocalEpochs: 1,
+				LR: 0.01, Momentum: 0.9,
+				Algo: algo, Seed: 33,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if method == "fedavg" {
+				fedavgFinal = res.FinalAccuracy
+				fmt.Printf("  %-8s final %.4f\n", method, res.FinalAccuracy)
+			} else {
+				target := 0.97 * fedavgFinal
+				rt := stats.RoundsToTarget(res.Accuracy, target)
+				rtStr := fmt.Sprintf("%d", rt)
+				if rt < 0 {
+					rtStr = ">25"
+				}
+				fmt.Printf("  %-8s final %.4f, rounds to FedAvg bar (%.4f): %s\n",
+					method, res.FinalAccuracy, target, rtStr)
+			}
+		}
+
+		// Show the xi schedule a client experiences at this participation
+		// rate: xi = 1/gap, so rare participation -> small xi, matching
+		// the paper's E[xi] = p*ln(p)/(p-1) analysis.
+		f := core.NewFedTrip(1.0)
+		rng := rand.New(rand.NewSource(34))
+		last := 0
+		var xis []float64
+		for round := 1; round <= 200; round++ {
+			if rng.Float64() < 4.0/float64(clients) { // participates
+				if xi := f.Xi(round, last); last > 0 {
+					xis = append(xis, xi)
+				}
+				last = round
+			}
+		}
+		fmt.Printf("  simulated E[xi] at this rate: %.3f over %d participations\n\n",
+			stats.Mean(xis), len(xis))
+	}
 }

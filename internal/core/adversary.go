@@ -209,23 +209,31 @@ func ParseFaults(spec string) (*FaultModel, error) {
 	return m, nil
 }
 
-// sampleFaults assigns each client a fault class: one uniform draw per
-// client from the dedicated adversary stream, in client-ID order (the
-// same per-client sampling discipline as sampleDeviceSpeeds), so the
-// assignment is a pure function of (population, model, seed) and is
-// re-derived — never serialized as the source of truth — on resume.
+// clientFaultClass derives client id's fault class statelessly from the
+// id-th instance of the adversary stream: one uniform draw, a pure
+// function of (id, model, seed). Keying the stream to the client (the
+// same discipline as deviceSpeed and clientNetProfile) means the
+// assignment needs no sequential pass and can be re-derived — never
+// serialized as the source of truth — on resume.
+func clientFaultClass(id int, m *FaultModel, byz faultClass, seed int64, scratch *prng.Rand) faultClass {
+	scratch.Reseed(streamSeed(seed, streamAdversary, id))
+	u := scratch.Float64()
+	switch {
+	case u < m.ByzFraction:
+		return byz
+	case u < m.ByzFraction+m.CrashFraction:
+		return faultCrash
+	}
+	return faultNone
+}
+
+// sampleFaults materializes the per-ID rule for a whole fleet.
 func sampleFaults(n int, m *FaultModel, seed int64) []faultClass {
-	rng := seedStream(seed, streamAdversary)
+	var scratch prng.Rand
 	faults := make([]faultClass, n)
 	byz := m.byzClass()
 	for id := 0; id < n; id++ {
-		u := rng.Float64()
-		switch {
-		case u < m.ByzFraction:
-			faults[id] = byz
-		case u < m.ByzFraction+m.CrashFraction:
-			faults[id] = faultCrash
-		}
+		faults[id] = clientFaultClass(id, m, byz, seed, &scratch)
 	}
 	return faults
 }
@@ -233,16 +241,21 @@ func sampleFaults(n int, m *FaultModel, seed int64) []faultClass {
 // installFaults samples the fleet's fault assignment and materializes the
 // per-client adversary state: noise clients get their private RNG stream
 // (position serialized through snapshots), label-flipping clients get
-// their fixed label rotation. Called once at run construction; a nil
-// model leaves the server entirely honest (and the adversary stream
-// untouched).
+// their fixed label rotation. The class array itself stays materialized —
+// one byte per client — because applyFault indexes it from concurrent
+// shard workers, where a shared scratch RNG would race; the RNG-pointer
+// array is only allocated for the noise mode. Called once at run
+// construction; a nil model leaves the server entirely honest (and the
+// adversary stream untouched).
 func (s *Server) installFaults(fm *FaultModel) {
 	if fm == nil {
 		return
 	}
 	s.faultModel = fm
 	s.faults = sampleFaults(len(s.clients), fm, s.cfg.Seed)
-	s.advRng = make([]*prng.Rand, len(s.clients))
+	if fm.byzClass() == faultNoise {
+		s.advRng = make([]*prng.Rand, len(s.clients))
+	}
 	classes := s.cfg.Model.Classes
 	for id, f := range s.faults {
 		switch f {

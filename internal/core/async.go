@@ -15,7 +15,7 @@
 // training engine per shard — which is what the throughput benchmarks
 // measure; only the clock is virtual.
 //
-// The loop is built to survive populations of 10k+ clients:
+// The loop is built to survive populations of 100k–1M clients:
 //
 //   - In-flight jobs sit in an indexed min-heap keyed on (finish, seq), so
 //     finding the next arrival is O(log M) instead of a linear scan.
@@ -25,6 +25,15 @@
 //     decoupled from the number of training engines (Config.Shards):
 //     thousands of virtual dispatches queue behind a handful of engines,
 //     keeping memory O(shards * |w|), not O(population * |w|).
+//   - Derivable per-client values — latency bases, device speeds, network
+//     profiles, fault classes — are regenerated on demand from seed
+//     streams keyed by client ID (one scratch-RNG reseed per lookup), so
+//     no fleet-wide float or profile array exists at all; availability
+//     runs as an aggregate sampled process (device.go) with O(1) clock
+//     state instead of one Markov chain per client.
+//   - trainJobs are pooled and the event heap tracks clients by int32
+//     slot index, so steady-state event processing allocates nothing and
+//     GC scan cost stops growing with the population.
 //   - Evaluation runs off the loop on the snapshot-based evaluator, so a
 //     merge never stalls behind the test set.
 //
@@ -38,6 +47,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"unsafe"
 
 	"repro/internal/prng"
 	"repro/internal/tensor"
@@ -129,17 +139,12 @@ type AsyncServer struct {
 	latRng *prng.Rand
 	now    float64
 	pop    *population
-	// Device-heterogeneity state (nil / unused without RunSpec.Devices):
-	// per-client compute-speed multipliers, per-client adaptive local
-	// step budgets (nil when AdaptiveLocalSteps is off), and the
-	// reference device throughput in FLOPs per virtual second.
-	devSpeed []float64
-	devSteps []int
-	flopRate float64
-	// net holds the fleet's per-client link profiles (nil without
-	// RunSpec.Network). With profiles, every dispatch's duration gains
-	// the transfer time of the bytes its transport actually moved.
-	net []NetProfile
+	// derive is the scratch RNG behind stateless per-client derivation:
+	// device speeds (spec.Devices) and link profiles (spec.Network) are
+	// recomputed per dispatch/arrival by re-seeding it from the client's
+	// indexed stream, instead of materializing fleet-wide arrays. Event-
+	// loop-only (never touched by shard workers).
+	derive prng.Rand
 	// churn is the fleet availability process (nil without RunSpec.Churn).
 	churn *churn
 	// joinScratch gathers the jobs a device-mode dispatch burst submitted
@@ -189,19 +194,6 @@ func newAsyncServer(sp RunSpec) (*AsyncServer, error) {
 		latRng: seedStream(sp.Seed, streamLatency),
 		pop:    newPopulation(len(s.clients), sp.Latency),
 	}
-	if sp.Devices != nil {
-		a.devSpeed = sampleDeviceSpeeds(len(s.clients), sp.Devices, sp.Seed)
-		a.flopRate = sp.FlopRate
-		if sp.AdaptiveLocalSteps {
-			a.devSteps = make([]int, len(s.clients))
-			for id, c := range s.clients {
-				a.devSteps[id] = adaptiveSteps(a.devSpeed[id], len(c.Indices), sp.BatchSize, sp.LocalEpochs)
-			}
-		}
-	}
-	if sp.Network != nil {
-		a.net = sampleNetProfiles(len(s.clients), sp.Network, sp.Seed)
-	}
 	if sp.Churn != nil {
 		a.churn = newChurn(len(s.clients), sp.Churn, sp.Seed)
 	}
@@ -227,30 +219,33 @@ func adaptiveSteps(speed float64, samples, batch, epochs int) int {
 // deviceDuration prices one completed dispatch: the round's metered
 // FLOPs over the client's effective throughput.
 func (a *AsyncServer) deviceDuration(j *trainJob) float64 {
-	return float64(j.flops) / (a.flopRate * j.speed)
+	return float64(j.flops) / (a.spec.FlopRate * j.speed)
 }
 
 // netDuration prices one completed dispatch's wire traffic under the
 // client's link profile: RTT plus the measured download and upload bytes
-// over the respective bandwidths. Zero without a network fleet (and for
-// an infinite-bandwidth zero-RTT profile), so unpriced runs are
+// over the respective bandwidths. The profile is derived statelessly
+// from the client's indexed network stream. Zero without a network fleet
+// (and for an infinite-bandwidth zero-RTT profile), so unpriced runs are
 // bit-for-bit unchanged.
 func (a *AsyncServer) netDuration(j *trainJob) float64 {
-	if a.net == nil {
+	if a.spec.Network == nil {
 		return 0
 	}
-	return a.net[j.c.ID].transferTime(j.downBytes, j.upBytes)
+	p := clientNetProfile(j.c.ID, a.spec.Network, a.spec.Seed, &a.derive)
+	return p.transferTime(j.downBytes, j.upBytes)
 }
 
-// armJob fills a job's device dispatch parameters (no-ops without a
-// device fleet).
+// armJob fills a job's device dispatch parameters, derived statelessly
+// from the client's indexed device stream (no-ops without a device
+// fleet).
 func (a *AsyncServer) armJob(j *trainJob, id int) {
-	if a.devSpeed == nil {
+	if a.spec.Devices == nil {
 		return
 	}
-	j.speed = a.devSpeed[id]
-	if a.devSteps != nil {
-		j.steps = a.devSteps[id]
+	j.speed = deviceSpeed(id, a.spec.Devices, a.spec.Seed, &a.derive)
+	if a.spec.AdaptiveLocalSteps {
+		j.steps = adaptiveSteps(j.speed, len(j.c.Indices), a.spec.BatchSize, a.spec.LocalEpochs)
 	}
 }
 
@@ -277,13 +272,61 @@ func (a *AsyncServer) Offline() int {
 	return a.churn.offlineCount()
 }
 
-// DeviceSpeeds returns the fleet's sampled per-client compute-speed
-// multipliers (nil without a device distribution). Read-only.
-func (a *AsyncServer) DeviceSpeeds() []float64 { return a.devSpeed }
+// DeviceSpeeds materializes the fleet's per-client compute-speed
+// multipliers (nil without a device distribution). The runtime itself
+// derives speeds on demand; this allocates a fresh O(N) array per call —
+// a diagnostic surface, not a hot path.
+func (a *AsyncServer) DeviceSpeeds() []float64 {
+	if a.spec.Devices == nil {
+		return nil
+	}
+	return sampleDeviceSpeeds(len(a.s.clients), a.spec.Devices, a.spec.Seed)
+}
 
-// NetProfiles returns the fleet's sampled per-client link profiles (nil
-// without a network distribution). Read-only.
-func (a *AsyncServer) NetProfiles() []NetProfile { return a.net }
+// NetProfiles materializes the fleet's per-client link profiles (nil
+// without a network distribution). Like DeviceSpeeds, a diagnostic
+// surface: the runtime derives profiles on demand.
+func (a *AsyncServer) NetProfiles() []NetProfile {
+	if a.spec.Network == nil {
+		return nil
+	}
+	return sampleNetProfiles(len(a.s.clients), a.spec.Network, a.spec.Seed)
+}
+
+// PerClientStateBytes reports the runtime's deterministic per-client
+// bookkeeping footprint in bytes: the scheduler registry (dispatch
+// counter plus idle-set entry), the event heap's client→slot map, the
+// aggregate churn permutation, the fault assignment (plus the noise
+// adversary's stream pointers when derived), and the client objects
+// themselves (slice entry, struct, sample indices). Lazily allocated
+// training state — per-client RNGs, historical models, method vectors
+// and scalar maps — is excluded: it scales with participation, not with
+// population. The number is a pure function of the spec, which is what
+// lets CI gate it as a regression metric (cmd/benchdiff, B/client).
+func (a *AsyncServer) PerClientStateBytes() float64 {
+	n := len(a.s.clients)
+	if n == 0 {
+		return 0
+	}
+	// Registry: dispatches + idle ids + idle pos (int32 each), and the
+	// buffered runtime's heap slot map.
+	total := int64(n) * (4 + 4 + 4 + 4)
+	if a.churn != nil {
+		// Aggregate churn: the segment permutation and its inverse.
+		total += int64(n) * 8
+	}
+	if a.s.faults != nil {
+		total += int64(n) // fault class byte
+		if a.s.advRng != nil {
+			total += int64(n) * 8 // noise-stream pointer
+		}
+	}
+	total += int64(n) * int64(8+unsafe.Sizeof(Client{}))
+	for _, c := range a.s.clients {
+		total += int64(8 * cap(c.Indices))
+	}
+	return float64(total) / float64(n)
+}
 
 // RunAsync executes the legacy async configuration through the unified
 // facade (equivalent to Start on the corresponding RunSpec).
@@ -363,10 +406,10 @@ func (r *barrierRunner) step() (bool, error) {
 		j.c, j.round, j.seq, j.global = c, t, i, s.global
 		j.steps, j.speed = 0, 0
 		a.armJob(j, c.ID)
-		if a.devSpeed == nil {
+		if a.spec.Devices == nil {
 			j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, c.ID, a.latRng)
 		}
-		a.pop.dispatched(c.ID, j)
+		a.pop.dispatched(c.ID)
 		// All jobs read the same pre-aggregation global; no writer
 		// until every one of them has joined below.
 		r.sp.submit(j)
@@ -376,12 +419,12 @@ func (r *barrierRunner) step() (bool, error) {
 	weights := s.growWeights(len(jobs))
 	for i, j := range jobs {
 		<-j.done
-		if a.devSpeed != nil {
+		if a.spec.Devices != nil {
 			// Device-profiled fleet: the round time is the metered
 			// compute itself, not an independent latency draw.
 			j.finish = a.now + a.deviceDuration(j)
 		}
-		if a.net != nil {
+		if a.spec.Network != nil {
 			// Network-priced fleet: the transfers' time stacks on top of
 			// the compute (or latency-model) duration.
 			j.finish += a.netDuration(j)
@@ -441,6 +484,16 @@ type bufferedRunner struct {
 	flopsTotal int64
 	seq        int // dispatch sequence (total dispatches so far)
 	aggs       int // completed aggregations
+	// free is the trainJob pool: jobs recycle after their update merges
+	// (or is voided by a permanent drop), so steady-state dispatch
+	// allocates neither jobs nor done channels. Bounded by
+	// Concurrency + BufferSize live jobs.
+	free []*trainJob
+	// dropCB/rejoinCB are the availability callbacks as stored method
+	// values — bound once so churn.advance in the hot loop does not
+	// allocate a closure per call.
+	dropCB   func(id int, at float64, permanent bool)
+	rejoinCB func(id int, at float64)
 }
 
 func newBufferedRunner(a *AsyncServer) (*bufferedRunner, error) {
@@ -448,14 +501,39 @@ func newBufferedRunner(a *AsyncServer) (*bufferedRunner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &bufferedRunner{
+	r := &bufferedRunner{
 		a:   a,
 		rec: rec,
 		// Closing the pool joins every submitted job, so training
 		// goroutines never outlive the run: they hold client state and
 		// the transport.
 		sp: newShardPool(a.s, a.s.cfg.Shards, a.spec.Concurrency),
-	}, nil
+	}
+	// The heap's client index is how the churn process finds a dropped
+	// client's in-flight job without a fleet-wide pointer array.
+	r.inflight.trackClients(len(a.s.clients))
+	r.dropCB = r.onDrop
+	r.rejoinCB = r.onRejoin
+	return r, nil
+}
+
+// getJob takes a job from the pool (or allocates the pool's next one,
+// with its re-armed done channel), reset except for the channel.
+func (r *bufferedRunner) getJob() *trainJob {
+	if n := len(r.free); n > 0 {
+		j := r.free[n-1]
+		r.free = r.free[:n-1]
+		return j
+	}
+	return &trainJob{done: make(chan struct{}, 1), heapIdx: -1}
+}
+
+// recycleJob returns a drained job (update extracted or voided, done
+// token consumed) to the pool.
+func (r *bufferedRunner) recycleJob(j *trainJob) {
+	done := j.done
+	*j = trainJob{done: done, heapIdx: -1}
+	r.free = append(r.free, j) //fedtripvet:allow pool free list, bounded by Concurrency+BufferSize
 }
 
 func (r *bufferedRunner) server() *Server     { return r.a.s }
@@ -480,32 +558,50 @@ func (r *bufferedRunner) close() {
 	r.rec.finalize()
 }
 
-// Availability callbacks. A drop pulls the client out of the idle
-// set and, when it is mid-flight, defers the arrival past the rejoin
-// (the device pauses and uploads late — which is how updates stale
-// enough for a MaxStalenessPolicy cutoff arise) or voids it entirely
-// on a permanent drop. A rejoin makes an idle client dispatchable
-// again; an in-flight one returns through its (deferred) arrival.
-func (r *bufferedRunner) onDrop(id int, at, rejoinAt float64) {
+// Availability callbacks. A drop pulls the client out of the idle set
+// and, when it is mid-flight, parks the job — the unserved remainder of
+// its transfer is stashed and the arrival pushed to +Inf — until the
+// rejoin restores finish = rejoin + remainder (the device pauses and
+// uploads late, which is how updates stale enough for a
+// MaxStalenessPolicy cutoff arise). A permanent drop voids the update
+// instead: a parked job first gets a finite arrival back so the void
+// drains through the loop. A rejoin makes an idle client dispatchable
+// again; an in-flight one returns through its unparked arrival. A parked
+// job can never pop while parked: its owner is offline, so a future
+// churn event for it always precedes +Inf.
+func (r *bufferedRunner) onDrop(id int, at float64, permanent bool) {
 	a := r.a
 	a.pop.idle.remove(id)
-	j := a.pop.inflight[id]
+	j := r.inflight.byClient(id)
 	if j == nil {
 		return
 	}
-	if math.IsInf(rejoinAt, 1) {
+	if permanent {
+		if j.remaining != 0 {
+			j.finish = at + j.remaining
+			j.remaining = 0
+			r.inflight.fix(j.heapIdx)
+		}
 		j.dropped = true
 		return
 	}
 	if j.finish > at {
-		j.finish = rejoinAt + (j.finish - at)
+		j.remaining = j.finish - at
+		j.finish = math.Inf(1)
 		r.inflight.fix(j.heapIdx)
 	}
 }
 
-func (r *bufferedRunner) onRejoin(id int) {
-	if r.a.pop.inflight[id] == nil {
+func (r *bufferedRunner) onRejoin(id int, at float64) {
+	j := r.inflight.byClient(id)
+	if j == nil {
 		r.a.pop.idle.add(id)
+		return
+	}
+	if j.remaining != 0 {
+		j.finish = at + j.remaining
+		j.remaining = 0
+		r.inflight.fix(j.heapIdx)
 	}
 }
 
@@ -518,18 +614,20 @@ func (r *bufferedRunner) dispatch() {
 		if !ok {
 			break
 		}
-		j := &trainJob{c: s.clients[id], round: r.aggs + 1, seq: r.seq, done: make(chan struct{}, 1)}
+		j := r.getJob()
+		j.c, j.round, j.seq = s.clients[id], r.aggs+1, r.seq
 		r.seq++
 		a.armJob(j, id)
 		// Snapshot: the global model mutates under in-flight jobs. The
-		// buffer comes from the pool and goes back on arrival, so
-		// steady-state dispatch is |w|-allocation-free.
+		// buffer comes from the pool and goes back on arrival — and the
+		// job itself from the runner's free list — so steady-state
+		// dispatch allocates nothing.
 		j.global = paramsPool.getCopy(s.global)
-		a.pop.dispatched(id, j)
+		a.pop.dispatched(id)
 		r.sp.submit(j)
-		if a.devSpeed == nil {
+		if a.spec.Devices == nil {
 			j.finish = a.now + a.pop.sampleLatency(a.spec.Latency, id, a.latRng)
-			if a.net == nil {
+			if a.spec.Network == nil {
 				r.inflight.push(j)
 				continue
 			}
@@ -549,10 +647,10 @@ func (r *bufferedRunner) dispatch() {
 	for _, j := range pending {
 		<-j.done
 		j.trained = true
-		if a.devSpeed != nil {
+		if a.spec.Devices != nil {
 			j.finish = a.now + a.deviceDuration(j)
 		}
-		if a.net != nil {
+		if a.spec.Network != nil {
 			j.finish += a.netDuration(j)
 		}
 		r.inflight.push(j)
@@ -572,7 +670,7 @@ func (r *bufferedRunner) step() (bool, error) {
 		// Availability first: every drop/rejoin up to the current clock
 		// must land before this instant's dispatch decisions.
 		if a.churn != nil {
-			a.churn.advance(a.now, r.onDrop, r.onRejoin)
+			a.churn.advance(a.now, r.dropCB, r.rejoinCB)
 		}
 		r.dispatch()
 		j := r.inflight.peek()
@@ -610,12 +708,14 @@ func (r *bufferedRunner) step() (bool, error) {
 		if j.dropped {
 			// The device died mid-flight: the update is lost. Its FLOPs
 			// stay metered (the work was burned before the drop); the
-			// pooled upload buffer goes straight back.
+			// pooled upload buffer goes straight back, and so does the
+			// job.
 			if j.update.pooled {
 				paramsPool.put(j.update.Params)
 			}
 			j.update = Update{}
 			res.DroppedUpdates++
+			r.recycleJob(j)
 			continue
 		}
 		r.buffer = append(r.buffer, j) //fedtripvet:allow grows once to the merge policy's buffer size, then reused at [:0]
@@ -637,6 +737,7 @@ func (r *bufferedRunner) step() (bool, error) {
 			updates[i] = u
 			weights[i] = a.s.policy.Weight(u)
 			staleSum += float64(u.Staleness)
+			r.recycleJob(bj)
 		}
 		r.buffer = r.buffer[:0]
 		if cfg.OnUpdates != nil {

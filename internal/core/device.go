@@ -177,20 +177,30 @@ func ParseDeviceDist(spec string) (DeviceDistribution, error) {
 	return nil, fmt.Errorf("core: unknown device distribution %q (none|uniform|lognormal|tiered)", name)
 }
 
-// sampleDeviceSpeeds resolves the fleet's per-client speed multipliers
-// from a dedicated seed stream, clamped into the representable range.
+// deviceSpeed derives client id's compute-speed multiplier statelessly
+// from the id-th instance of the device stream, clamped into the
+// representable range. scratch is re-seeded in place, so a lookup
+// allocates nothing; the same id always yields the same speed, which is
+// what lets the runtime drop the fleet-wide speeds array.
+func deviceSpeed(id int, dist DeviceDistribution, seed int64, scratch *prng.Rand) float64 {
+	scratch.Reseed(streamSeed(seed, streamDevice, id))
+	s := dist.SampleSpeed(id, scratch)
+	if s < minDeviceSpeed {
+		s = minDeviceSpeed
+	}
+	if s > maxDeviceSpeed {
+		s = maxDeviceSpeed
+	}
+	return s
+}
+
+// sampleDeviceSpeeds materializes the per-ID rule for a whole fleet — a
+// test/diagnostic helper; the runtime derives speeds on demand instead.
 func sampleDeviceSpeeds(n int, dist DeviceDistribution, seed int64) []float64 {
-	rng := seedStream(seed, streamDevice)
+	var scratch prng.Rand
 	speeds := make([]float64, n)
 	for id := 0; id < n; id++ {
-		s := dist.SampleSpeed(id, rng)
-		if s < minDeviceSpeed {
-			s = minDeviceSpeed
-		}
-		if s > maxDeviceSpeed {
-			s = maxDeviceSpeed
-		}
-		speeds[id] = s
+		speeds[id] = deviceSpeed(id, dist, seed, &scratch)
 	}
 	return speeds
 }
@@ -295,13 +305,14 @@ func ParseChurn(spec string) (*ChurnModel, error) {
 	return m, nil
 }
 
-// churnEventKind discriminates the availability event queue.
+// churnEventKind discriminates the availability event queue. Only the
+// O(#mass-drops) scheduled events live in the queue; the Markov chain's
+// drop/rejoin events are sampled from two aggregate clocks (see churn).
 type churnEventKind uint8
 
 const (
-	churnDrop   churnEventKind = iota // one client goes offline
-	churnRejoin                       // one client comes back online
-	churnMass                         // a scheduled MassDrop fires (id = Drops index)
+	churnMass        churnEventKind = iota // a scheduled MassDrop fires (id = Drops index)
+	churnGroupRejoin                       // a temporary mass drop's victims return (id = groups index)
 )
 
 // churnEvent is one entry of the availability event queue, ordered by
@@ -311,7 +322,6 @@ type churnEvent struct {
 	at   float64
 	seq  int64
 	id   int32
-	gen  int32
 	kind churnEventKind
 }
 
@@ -366,138 +376,262 @@ func (h *churnHeap) pop() churnEvent {
 }
 
 // churn is the runtime state of one fleet's availability process. All
-// mutation happens on the event loop; there is no locking. Events that a
-// later state change made moot (a mass drop killing a client whose
-// Markov rejoin was already queued) are invalidated lazily: every
-// scheduled event carries the client's generation at scheduling time and
-// is discarded on pop if the generation has moved on.
+// mutation happens on the event loop; there is no locking.
+//
+// The original implementation ran one lazily-scheduled Markov chain per
+// client: an O(N) event heap plus offline/dead/generation arrays. At
+// 100k–1M clients that is the dominant per-client state, so the chain is
+// replaced by the exactly-equivalent aggregate CTMC view: with nUp
+// clients online, the fleet's next Markov drop is the minimum of nUp
+// i.i.d. Exp(1/MeanUp) clocks — Exp(nUp/MeanUp) — and which client drops
+// is uniform over the online set; symmetrically for rejoins over the
+// nDown Markov-offline clients with rate nDown/MeanDown. Memorylessness
+// licenses resampling both aggregate clocks from the current segment
+// sizes after every processed event, so the whole Markov process needs
+// two floats of clock state. TestChurnAggregateMatchesPerClientChains
+// pins the distribution equivalence against a reference per-client
+// simulation at 10k clients.
+//
+// Per-client state is a permutation: order holds the client IDs
+// partitioned into four contiguous segments — [0,nUp) online,
+// [nUp,nUp+nDown) Markov-offline, [nUp+nDown,nUp+nDown+nSusp)
+// mass-suspended (a temporary MassDrop's victims, which rejoin at the
+// drop's fixed deadline, not the exponential clock), and the dead tail —
+// and pos is its inverse. Segment moves are O(1) boundary swaps; uniform
+// which-client sampling is one Intn over a segment. The event heap holds
+// only the O(#Drops) scheduled mass events and group rejoins.
 type churn struct {
-	model   ChurnModel
-	rng     *prng.Rand
-	offline []bool
-	dead    []bool
-	gen     []int32
-	h       churnHeap
-	seq     int64
-	// nOffline tracks the current offline+dead population for cheap
-	// fleet statistics.
-	nOffline int
+	model ChurnModel
+	rng   *prng.Rand
+	n     int
+	order []int32
+	pos   []int32
+	// Segment sizes; the dead count is n - nUp - nDown - nSusp.
+	nUp, nDown, nSusp int
+	// Absolute virtual times of the next aggregate Markov drop/rejoin;
+	// +Inf when the source segment is empty or the chain is disabled.
+	nextDrop, nextRejoin float64
+	h                    churnHeap
+	seq                  int64
+	// groups[k] holds the victims of the k-th fired temporary mass drop,
+	// restored together by its churnGroupRejoin event (nil afterwards). A
+	// victim leaves its group only by dying, which the rejoin detects by
+	// segment membership.
+	groups [][]int32
 }
 
 // newChurn builds the availability process: every client starts online,
-// with its first Markov drop (if the chain is enabled) and every mass
-// drop pre-scheduled.
+// with the aggregate Markov clocks armed and every mass drop
+// pre-scheduled.
 func newChurn(n int, m *ChurnModel, seed int64) *churn {
 	c := &churn{
-		model:   *m,
-		rng:     seedStream(seed, streamChurn),
-		offline: make([]bool, n),
-		dead:    make([]bool, n),
-		gen:     make([]int32, n),
+		model: *m,
+		rng:   seedStream(seed, streamChurn),
+		n:     n,
+		order: make([]int32, n),
+		pos:   make([]int32, n),
+		nUp:   n,
 	}
-	if m.MeanUp > 0 {
-		for id := 0; id < n; id++ {
-			c.schedule(c.rng.ExpFloat64()*m.MeanUp, int32(id), churnDrop)
-		}
+	for i := 0; i < n; i++ {
+		c.order[i] = int32(i)
+		c.pos[i] = int32(i)
 	}
 	for i, d := range m.Drops {
 		c.schedule(d.At, int32(i), churnMass)
 	}
+	c.resample(0)
 	return c
 }
 
 func (c *churn) schedule(at float64, id int32, kind churnEventKind) {
-	var gen int32
-	if kind != churnMass {
-		gen = c.gen[id]
-	}
-	c.h.push(churnEvent{at: at, seq: c.seq, id: id, gen: gen, kind: kind})
+	c.h.push(churnEvent{at: at, seq: c.seq, id: id, kind: kind})
 	c.seq++
 }
 
+// resample rearms both aggregate Markov clocks from the current segment
+// sizes at virtual time t. Valid after any state change because the
+// exponential clocks are memoryless. Draw order (drop, then rejoin) is
+// part of the deterministic-run contract.
+func (c *churn) resample(t float64) {
+	c.nextDrop = math.Inf(1)
+	c.nextRejoin = math.Inf(1)
+	if c.model.MeanUp <= 0 {
+		return
+	}
+	if c.nUp > 0 {
+		c.nextDrop = t + c.rng.ExpFloat64()*c.model.MeanUp/float64(c.nUp)
+	}
+	if c.nDown > 0 {
+		c.nextRejoin = t + c.rng.ExpFloat64()*c.model.MeanDown/float64(c.nDown)
+	}
+}
+
 // online reports whether the client is currently dispatchable.
-func (c *churn) online(id int) bool { return !c.offline[id] && !c.dead[id] }
+func (c *churn) online(id int) bool { return int(c.pos[id]) < c.nUp }
 
 // offlineCount returns how many clients are currently offline or dead.
-func (c *churn) offlineCount() int { return c.nOffline }
+func (c *churn) offlineCount() int { return c.n - c.nUp }
 
 // next returns the virtual time of the earliest pending availability
 // event, or false when the process has run dry (no future drops or
 // rejoins — a fully dead fleet stays dead).
 func (c *churn) next() (float64, bool) {
-	if c.h.len() == 0 {
+	t := math.Inf(1)
+	if c.h.len() > 0 {
+		t = c.h.es[0].at
+	}
+	if c.nextDrop < t {
+		t = c.nextDrop
+	}
+	if c.nextRejoin < t {
+		t = c.nextRejoin
+	}
+	if math.IsInf(t, 1) {
 		return 0, false
 	}
-	return c.h.es[0].at, true
+	return t, true
 }
 
 // advance processes every availability event with time <= now, in event
-// order. onDrop(id, at, rejoinAt) fires when a client goes offline
-// (rejoinAt = +Inf for a permanent drop); onRejoin(id) when it returns.
-// The callbacks run with the churn state already updated.
-func (c *churn) advance(now float64, onDrop func(id int, at, rejoinAt float64), onRejoin func(id int)) {
-	for c.h.len() > 0 && c.h.es[0].at <= now {
-		e := c.h.pop()
-		switch e.kind {
-		case churnDrop:
-			id := int(e.id)
-			if c.dead[id] || c.offline[id] || e.gen != c.gen[id] {
-				continue
-			}
-			rejoin := e.at + c.rng.ExpFloat64()*c.model.MeanDown
-			c.setOffline(id)
-			c.schedule(rejoin, e.id, churnRejoin)
-			onDrop(id, e.at, rejoin)
-		case churnRejoin:
-			id := int(e.id)
-			if c.dead[id] || !c.offline[id] || e.gen != c.gen[id] {
-				continue
-			}
-			c.setOnline(id)
-			if c.model.MeanUp > 0 {
-				c.schedule(e.at+c.rng.ExpFloat64()*c.model.MeanUp, e.id, churnDrop)
-			}
-			onRejoin(id)
-		case churnMass:
-			d := c.model.Drops[e.id]
-			// Every client draws, independent of its current state, so
-			// the draw count (and everything downstream of this rng)
-			// depends only on the fleet size.
-			for id := range c.offline {
-				hit := c.rng.Float64() < d.Fraction
-				if !hit || c.dead[id] {
-					continue
-				}
-				if d.Duration <= 0 {
-					wasOffline := c.offline[id]
-					c.dead[id] = true
-					c.gen[id]++ // cancel any queued rejoin
-					if !wasOffline {
-						c.nOffline++
+// order. onDrop(id, at, permanent) fires when a client goes offline;
+// onRejoin(id, at) when it returns. The callbacks run with the churn
+// state already updated. Simultaneous events process deterministically:
+// scheduled (heap) events first, then the aggregate drop, then the
+// aggregate rejoin.
+func (c *churn) advance(now float64, onDrop func(id int, at float64, permanent bool), onRejoin func(id int, at float64)) {
+	for {
+		t := math.Inf(1)
+		kind := 0 // 0 = heap event, 1 = aggregate drop, 2 = aggregate rejoin
+		if c.h.len() > 0 {
+			t = c.h.es[0].at
+		}
+		if c.nextDrop < t {
+			t, kind = c.nextDrop, 1
+		}
+		if c.nextRejoin < t {
+			t, kind = c.nextRejoin, 2
+		}
+		if t > now {
+			return
+		}
+		switch kind {
+		case 1:
+			id := int(c.order[c.rng.Intn(c.nUp)])
+			c.dropMarkov(id)
+			onDrop(id, t, false)
+		case 2:
+			id := int(c.order[c.nUp+c.rng.Intn(c.nDown)])
+			c.rejoinMarkov(id)
+			onRejoin(id, t)
+		default:
+			e := c.h.pop()
+			switch e.kind {
+			case churnMass:
+				c.massDrop(e, onDrop)
+			case churnGroupRejoin:
+				g := c.groups[e.id]
+				c.groups[e.id] = nil
+				for _, cid := range g {
+					id := int(cid)
+					p := int(c.pos[id])
+					if p < c.nUp+c.nDown || p >= c.nUp+c.nDown+c.nSusp {
+						continue // killed while suspended
 					}
-					onDrop(id, e.at, math.Inf(1))
-					continue
+					c.unsuspend(id)
+					onRejoin(id, e.at)
 				}
-				if c.offline[id] {
-					// Already down (Markov): its own rejoin stands.
-					continue
-				}
-				c.setOffline(id)
-				c.schedule(e.at+d.Duration, int32(id), churnRejoin)
-				onDrop(id, e.at, e.at+d.Duration)
 			}
 		}
+		c.resample(t)
 	}
 }
 
-func (c *churn) setOffline(id int) {
-	c.offline[id] = true
-	c.gen[id]++
-	c.nOffline++
+// massDrop fires one scheduled MassDrop event.
+func (c *churn) massDrop(e churnEvent, onDrop func(id int, at float64, permanent bool)) {
+	d := c.model.Drops[e.id]
+	var group []int32
+	// Every client draws, in ID order and independent of its current
+	// state, so the draw count (and everything downstream of this rng)
+	// depends only on the fleet size.
+	for id := 0; id < c.n; id++ {
+		hit := c.rng.Float64() < d.Fraction
+		if !hit {
+			continue
+		}
+		p := int(c.pos[id])
+		if p >= c.nUp+c.nDown+c.nSusp {
+			continue // already dead
+		}
+		if d.Duration <= 0 {
+			c.kill(id)
+			onDrop(id, e.at, true)
+			continue
+		}
+		if p >= c.nUp {
+			// Already down (Markov or an earlier drop): its own rejoin
+			// stands.
+			continue
+		}
+		c.suspend(id)
+		group = append(group, int32(id))
+		onDrop(id, e.at, false)
+	}
+	if len(group) > 0 {
+		c.groups = append(c.groups, group)
+		c.schedule(e.at+d.Duration, int32(len(c.groups)-1), churnGroupRejoin)
+	}
 }
 
-func (c *churn) setOnline(id int) {
-	c.offline[id] = false
-	c.gen[id]++
-	c.nOffline--
+// swapPos exchanges the clients at order positions i and k.
+func (c *churn) swapPos(i, k int) {
+	a, b := c.order[i], c.order[k]
+	c.order[i], c.order[k] = b, a
+	c.pos[a], c.pos[b] = int32(k), int32(i)
+}
+
+// dropMarkov moves an online client to the Markov-offline segment.
+func (c *churn) dropMarkov(id int) {
+	c.swapPos(int(c.pos[id]), c.nUp-1)
+	c.nUp--
+	c.nDown++
+}
+
+// rejoinMarkov moves a Markov-offline client back online.
+func (c *churn) rejoinMarkov(id int) {
+	c.swapPos(int(c.pos[id]), c.nUp)
+	c.nUp++
+	c.nDown--
+}
+
+// suspend moves an online client to the mass-suspended segment.
+func (c *churn) suspend(id int) {
+	c.swapPos(int(c.pos[id]), c.nUp-1)
+	c.swapPos(c.nUp-1, c.nUp+c.nDown-1)
+	c.nUp--
+	c.nSusp++
+}
+
+// unsuspend moves a mass-suspended client back online.
+func (c *churn) unsuspend(id int) {
+	s2 := c.nUp + c.nDown
+	c.swapPos(int(c.pos[id]), s2)
+	c.swapPos(s2, c.nUp)
+	c.nUp++
+	c.nSusp--
+}
+
+// kill moves a client from any live segment to the dead tail.
+func (c *churn) kill(id int) {
+	if int(c.pos[id]) < c.nUp {
+		c.swapPos(int(c.pos[id]), c.nUp-1)
+		c.nUp--
+		c.nDown++
+	}
+	if int(c.pos[id]) < c.nUp+c.nDown {
+		c.swapPos(int(c.pos[id]), c.nUp+c.nDown-1)
+		c.nDown--
+		c.nSusp++
+	}
+	c.swapPos(int(c.pos[id]), c.nUp+c.nDown+c.nSusp-1)
+	c.nSusp--
 }

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/prng"
 )
 
 // pinAlgo is plain FedAvg with a name: its per-round FLOPs depend only on
@@ -543,5 +545,140 @@ func TestRunSpecRejectsDeviceMisuse(t *testing.T) {
 	}
 	if sp.FlopRate != 1e9 {
 		t.Fatalf("default flop rate %g", sp.FlopRate)
+	}
+}
+
+// The aggregate churn process must be distribution-equivalent to the
+// per-client Markov chains it replaced: with nUp clients online, the
+// fleet's next drop ~ Exp(nUp/MeanUp) with a uniform victim, and
+// symmetrically for rejoins. This pins the equivalence at 10k clients by
+// running both the aggregate process and an explicit per-client
+// reference simulation over the same horizon and comparing event rates,
+// the time-averaged offline fraction, and the per-client drop-count
+// spread. Both are stochastic, so the comparison is statistical — but
+// with fixed seeds the test itself is deterministic.
+func TestChurnAggregateMatchesPerClientChains(t *testing.T) {
+	const (
+		n        = 10_000
+		meanUp   = 50.0
+		meanDown = 10.0
+		horizon  = 200.0
+	)
+	m := &ChurnModel{MeanUp: meanUp, MeanDown: meanDown}
+
+	// Aggregate process under test.
+	c := newChurn(n, m, 77)
+	aggDropsPer := make([]int, n)
+	var aggDrops, aggRejoins int
+	var aggOffTime float64
+	lastT := 0.0
+	// The callbacks keep their own running offline count (integrated
+	// against event times) and cross-check it against the churn state at
+	// the end.
+	offNow := 0
+	onDrop := func(id int, at float64, permanent bool) {
+		aggOffTime += float64(offNow) * (at - lastT)
+		lastT = at
+		offNow++
+		aggDrops++
+		aggDropsPer[id]++
+		if permanent {
+			t.Fatalf("pure Markov model produced a permanent drop for client %d", id)
+		}
+	}
+	onRejoin := func(id int, at float64) {
+		aggOffTime += float64(offNow) * (at - lastT)
+		lastT = at
+		offNow--
+		aggRejoins++
+	}
+	c.advance(horizon, onDrop, onRejoin)
+	aggOffTime += float64(offNow) * (horizon - lastT)
+	if got := c.offlineCount(); got != offNow {
+		t.Fatalf("callback bookkeeping drifted: %d offline per callbacks, churn reports %d", offNow, got)
+	}
+
+	// Reference: n independent per-client on/off chains, simulated
+	// explicitly. Each client alternates Exp(meanUp) online and
+	// Exp(meanDown) offline phases from its own stream.
+	refDropsPer := make([]int, n)
+	var refDrops, refRejoins int
+	var refOffTime float64
+	for id := 0; id < n; id++ {
+		rng := prng.New(int64(1_000_003 + id))
+		tNow, online := 0.0, true
+		for {
+			var dur float64
+			if online {
+				dur = rng.ExpFloat64() * meanUp
+			} else {
+				dur = rng.ExpFloat64() * meanDown
+			}
+			if tNow+dur > horizon {
+				if !online {
+					refOffTime += horizon - tNow
+				}
+				break
+			}
+			tNow += dur
+			if online {
+				refDrops++
+				refDropsPer[id]++
+			} else {
+				refOffTime += dur
+				refRejoins++
+			}
+			online = !online
+		}
+	}
+
+	relDiff := func(a, b float64) float64 {
+		if b == 0 {
+			return math.Abs(a)
+		}
+		return math.Abs(a-b) / math.Abs(b)
+	}
+	// Event rates: ~33k drops expected, stochastic spread well under 2%.
+	if d := relDiff(float64(aggDrops), float64(refDrops)); d > 0.03 {
+		t.Errorf("drop totals diverge: aggregate %d, reference %d (%.1f%%)", aggDrops, refDrops, 100*d)
+	}
+	if d := relDiff(float64(aggRejoins), float64(refRejoins)); d > 0.03 {
+		t.Errorf("rejoin totals diverge: aggregate %d, reference %d (%.1f%%)", aggRejoins, refRejoins, 100*d)
+	}
+	// Time-averaged offline fraction: both start all-online, so they
+	// share the same warm-up transient; compare to each other tightly and
+	// to the steady state pi = MeanDown/(MeanUp+MeanDown) loosely (the
+	// transient biases the [0,horizon] average low by ~ tau/horizon).
+	aggFrac := aggOffTime / (horizon * n)
+	refFrac := refOffTime / (horizon * n)
+	if d := relDiff(aggFrac, refFrac); d > 0.03 {
+		t.Errorf("offline fractions diverge: aggregate %.4f, reference %.4f (%.1f%%)", aggFrac, refFrac, 100*d)
+	}
+	pi := meanDown / (meanUp + meanDown)
+	if d := relDiff(aggFrac, pi); d > 0.10 {
+		t.Errorf("aggregate offline fraction %.4f far from steady state %.4f", aggFrac, pi)
+	}
+	// Per-client spread: uniform victim sampling must reproduce the
+	// per-client drop-count distribution, not just the total. Compare
+	// mean and variance of the 10k per-client counts.
+	moments := func(counts []int) (mean, variance float64) {
+		for _, k := range counts {
+			mean += float64(k)
+		}
+		mean /= float64(len(counts))
+		for _, k := range counts {
+			d := float64(k) - mean
+			variance += d * d
+		}
+		variance /= float64(len(counts) - 1)
+		return
+	}
+	aggMean, aggVar := moments(aggDropsPer)
+	refMean, refVar := moments(refDropsPer)
+	if d := relDiff(aggMean, refMean); d > 0.03 {
+		t.Errorf("per-client drop means diverge: aggregate %.3f, reference %.3f", aggMean, refMean)
+	}
+	if d := relDiff(aggVar, refVar); d > 0.12 {
+		t.Errorf("per-client drop variances diverge: aggregate %.3f, reference %.3f", aggVar, refVar)
 	}
 }

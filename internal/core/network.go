@@ -244,13 +244,22 @@ func ParseNetDist(spec string) (NetDistribution, error) {
 
 func isFiniteF(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }
 
-// sampleNetProfiles resolves the fleet's per-client links from the
-// dedicated network seed stream, in client-ID order.
+// clientNetProfile derives client id's link statelessly from the id-th
+// instance of the network stream. scratch is re-seeded in place, so a
+// lookup allocates nothing; the same id always yields the same profile,
+// which is what lets the runtime drop the fleet-wide profile array.
+func clientNetProfile(id int, dist NetDistribution, seed int64, scratch *prng.Rand) NetProfile {
+	scratch.Reseed(streamSeed(seed, streamNet, id))
+	return dist.SampleNet(id, scratch)
+}
+
+// sampleNetProfiles materializes the per-ID rule for a whole fleet — a
+// test/diagnostic helper; the runtime derives profiles on demand instead.
 func sampleNetProfiles(n int, dist NetDistribution, seed int64) []NetProfile {
-	rng := seedStream(seed, streamNet)
+	var scratch prng.Rand
 	profiles := make([]NetProfile, n)
 	for id := 0; id < n; id++ {
-		profiles[id] = dist.SampleNet(id, rng)
+		profiles[id] = clientNetProfile(id, dist, seed, &scratch)
 	}
 	return profiles
 }

@@ -4,69 +4,62 @@ import "repro/internal/prng"
 
 // population is the scheduler-facing registry of the client fleet. The
 // asynchronous event loop only ever needs a few words per client — is it
-// busy, what is its systematic latency, when was it last dispatched — and
-// at 10k+ clients chasing those through per-client structs costs a cache
-// miss per touch. The registry therefore keeps them in struct-of-arrays
-// form: flat slices indexed by client ID, sized once at construction, so
-// the dispatch path allocates nothing and scans nothing.
+// busy, when was it last dispatched — and at 100k+ clients chasing those
+// through per-client structs costs a cache miss per touch. The registry
+// therefore keeps them in struct-of-arrays form: flat slices indexed by
+// client ID, sized once at construction, so the dispatch path allocates
+// nothing and scans nothing. Everything derivable — latency bases, device
+// speeds, network profiles, fault classes — is regenerated on demand from
+// seed streams keyed by client ID instead of being materialized here;
+// the per-client footprint of the registry itself is 12 bytes.
 type population struct {
 	idle idleSet
-	// latBase caches each client's systematic latency component when the
-	// latency model exposes one (PerClientLatency); nil otherwise. With it,
-	// a dispatch costs one cached load plus the model's jitter draw instead
-	// of recomputing the client's tier every time.
-	latBase []float64
-	jitter  PerClientLatency
+	// jitter is the latency model's per-client decomposition when it
+	// exposes one (PerClientLatency); nil otherwise. The base is
+	// recomputed per dispatch — the PerClientLatency contract pins
+	// JitterOn(ClientBase(id), rng) to consume the same draws as
+	// Sample(id, rng), so the stateless path can never change a
+	// trajectory.
+	jitter PerClientLatency
 	// dispatches[k] counts client k's dispatches; the per-client staleness
 	// state itself (round of last participation) lives on the Client,
 	// because an in-flight update's dispatch round must survive the
 	// client being re-dispatched before the update merges.
 	dispatches []int32
-	// inflight[k] is the job client k is currently out on (nil when the
-	// client is idle or offline). The churn process uses it to defer or
-	// void an in-flight arrival when its client drops.
-	inflight []*trainJob
 }
 
 func newPopulation(n int, lat LatencyModel) *population {
 	p := &population{
 		idle:       newIdleSet(n),
 		dispatches: make([]int32, n),
-		inflight:   make([]*trainJob, n),
 	}
 	if pcl, ok := lat.(PerClientLatency); ok {
 		p.jitter = pcl
-		p.latBase = make([]float64, n)
-		for id := 0; id < n; id++ {
-			p.latBase[id] = pcl.ClientBase(id)
-		}
 	}
 	return p
 }
 
-// sampleLatency draws client id's dispatch duration, through the cached
-// per-client base when the model supports it. Both paths consume the same
-// rng draws, so caching never changes a trajectory.
+// sampleLatency draws client id's dispatch duration. Both paths consume
+// the same rng draws (the PerClientLatency contract), so which one runs
+// never changes a trajectory.
 func (p *population) sampleLatency(lat LatencyModel, id int, rng *prng.Rand) float64 {
-	if p.latBase != nil {
-		return p.jitter.JitterOn(p.latBase[id], rng)
+	if p.jitter != nil {
+		return p.jitter.JitterOn(p.jitter.ClientBase(id), rng)
 	}
 	return lat.Sample(id, rng)
 }
 
-// dispatched records that client id was sent out on job j and removes it
-// from the idle set.
-func (p *population) dispatched(id int, j *trainJob) {
+// dispatched records that client id was sent out and removes it from the
+// idle set. The job itself is tracked by the event heap's client index,
+// not here.
+func (p *population) dispatched(id int) {
 	p.idle.remove(id)
 	p.dispatches[id]++
-	p.inflight[id] = j
 }
 
-// arrived clears client id's in-flight job and, when the client is still
-// online, returns it to the idle set (an offline client rejoins the idle
-// set at its rejoin event instead).
+// arrived returns client id to the idle set when it is still online (an
+// offline client rejoins the idle set at its rejoin event instead).
 func (p *population) arrived(id int, online bool) {
-	p.inflight[id] = nil
 	if online {
 		p.idle.add(id)
 	}

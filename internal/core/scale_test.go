@@ -7,6 +7,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/partition"
+	"repro/internal/prng"
 )
 
 // scaleConfig builds a 1000-client fleet with tiny per-client datasets and
@@ -112,4 +113,84 @@ func TestShardCountDoesNotChangeTrajectory(t *testing.T) {
 			t.Fatalf("aggregation %d FLOPs differ across shard counts", i+1)
 		}
 	}
+}
+
+// hundredKSpec builds a 100k-client fleet over a small shared sample
+// pool: clients overlap in the pool, so the dataset stays tiny while
+// the population machinery (idle set, heap slots, aggregate churn,
+// stateless per-client derivation) runs at full width.
+func hundredKSpec(t *testing.T, shards int) RunSpec {
+	t.Helper()
+	const clients, perClient, pool = 100_000, 4, 2000
+	train, test, err := data.Generate(data.Spec{
+		Kind: data.KindMNIST, Train: pool, Test: 100, Seed: 171,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := prng.New(172)
+	parts := make([][]int, clients)
+	flat := make([]int, clients*perClient)
+	for i := range parts {
+		p := flat[i*perClient : (i+1)*perClient : (i+1)*perClient]
+		for k := range p {
+			p[k] = rng.Intn(pool)
+		}
+		parts[i] = p
+	}
+	sp := RunSpec{
+		Config: Config{
+			Model: nn.ModelSpec{
+				Arch: nn.ArchMLP, Channels: 1, Height: 28, Width: 28, Classes: 10, Scale: 0.25,
+			},
+			Train: train, Test: test, Parts: parts,
+			Rounds: 4, ClientsPerRound: 8,
+			BatchSize: 4, LocalEpochs: 1,
+			LR: 0.01, Momentum: 0.9,
+			Algo: NewFedTrip(0.4), Seed: 173,
+			EvalEvery: 1 << 20,
+			Shards:    shards,
+		},
+		Runtime:     RuntimeAsync,
+		Concurrency: 256,
+		BufferSize:  64,
+		Devices:     DefaultTiers(),
+		Network:     DefaultNetTiers(),
+		Churn: &ChurnModel{
+			MeanUp:   400,
+			MeanDown: 40,
+			Drops:    []MassDrop{{At: 6, Fraction: 0.2, Duration: 8}},
+		},
+	}
+	return sp
+}
+
+// The shard-independence pin at population scale: a 100k-client churning
+// heterogeneous fleet must produce bit-for-bit the same trajectory on 1
+// and 3 shards.
+func TestHundredKShardCountIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(shards int) *Result {
+		res, err := Start(hundredKSpec(t, shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := run(1)
+	r3 := run(3)
+	requireSameResult(t, "100k shard independence", r1, r3)
+}
+
+// The kill/resume pin at population scale: snapshotting a 100k-client
+// churning fleet mid-run — compact churn state, parked jobs, heap slot
+// map and all — and resuming in a fresh process must match the
+// uninterrupted run bit-for-bit.
+func TestHundredKResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runResumeScenario(t, hundredKSpec(t, 0), 2)
 }

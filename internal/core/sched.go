@@ -7,8 +7,36 @@ package core
 // clients and quadratic pain at thousands; the heap makes every push/pop
 // O(log n). Each job carries its heap slot (heapIdx) so membership checks
 // and future in-place adjustments are O(1).
+//
+// With trackClients enabled the heap additionally maintains a client-ID →
+// slot index, which is what lets the churn process find a dropped
+// client's in-flight job in O(1) without a fleet-wide inflight pointer
+// array: every queued job is reachable through the heap it already sits
+// in. An int32 per client instead of a pointer per client also halves the
+// state the GC has to scan at million-client populations.
 type jobHeap struct {
 	js []*trainJob
+	// slot[id] is 1 + the heap index of client id's queued job, 0 when the
+	// client has no job in the heap. nil disables tracking (bare heaps in
+	// tests, the barrier runtime which has no churn).
+	slot []int32
+}
+
+// trackClients sizes the client-ID index for a population of n. Must be
+// called before the first push.
+func (h *jobHeap) trackClients(n int) {
+	h.slot = make([]int32, n)
+}
+
+// byClient returns client id's queued job, or nil when the client has no
+// job in the heap (idle, offline, or its update is sitting in the merge
+// buffer). Only valid after trackClients.
+func (h *jobHeap) byClient(id int) *trainJob {
+	s := h.slot[id]
+	if s == 0 {
+		return nil
+	}
+	return h.js[s-1]
 }
 
 // jobLess orders jobs by virtual arrival time, then by dispatch sequence,
@@ -34,8 +62,8 @@ func (h *jobHeap) peek() *trainJob {
 }
 
 // fix restores the heap invariant after the job at slot i changed its
-// key — the churn process uses it to defer an in-flight job's arrival
-// past the client's rejoin.
+// key — the churn process uses it to park an in-flight job's arrival
+// until the client's rejoin.
 func (h *jobHeap) fix(i int) {
 	h.down(i)
 	h.up(i)
@@ -45,6 +73,9 @@ func (h *jobHeap) fix(i int) {
 func (h *jobHeap) push(j *trainJob) {
 	j.heapIdx = len(h.js)
 	h.js = append(h.js, j)
+	if h.slot != nil {
+		h.slot[j.c.ID] = int32(j.heapIdx) + 1
+	}
 	h.up(j.heapIdx)
 }
 
@@ -57,6 +88,10 @@ func (h *jobHeap) pop() *trainJob {
 	last := len(h.js) - 1
 	h.js[0] = h.js[last]
 	h.js[0].heapIdx = 0
+	if h.slot != nil {
+		h.slot[h.js[0].c.ID] = 1
+		h.slot[j.c.ID] = 0
+	}
 	h.js[last] = nil
 	h.js = h.js[:last]
 	if last > 0 {
@@ -100,4 +135,8 @@ func (h *jobHeap) swap(i, k int) {
 	h.js[i], h.js[k] = h.js[k], h.js[i]
 	h.js[i].heapIdx = i
 	h.js[k].heapIdx = k
+	if h.slot != nil {
+		h.slot[h.js[i].c.ID] = int32(i) + 1
+		h.slot[h.js[k].c.ID] = int32(k) + 1
+	}
 }

@@ -185,7 +185,7 @@ func TestPickAvailableBusyStates(t *testing.T) {
 	}
 	// Partially busy: mark half the fleet dispatched.
 	for id := 0; id < n/2; id++ {
-		a.pop.dispatched(id, nil)
+		a.pop.dispatched(id)
 	}
 	for trial := 0; trial < 50; trial++ {
 		id, ok := a.pickAvailable()
@@ -198,7 +198,7 @@ func TestPickAvailableBusyStates(t *testing.T) {
 	}
 	// All busy: pick reports exhaustion.
 	for id := n / 2; id < n; id++ {
-		a.pop.dispatched(id, nil)
+		a.pop.dispatched(id)
 	}
 	if _, ok := a.pickAvailable(); ok {
 		t.Fatal("pick succeeded with the whole fleet in flight")
@@ -212,36 +212,44 @@ func TestPickAvailableBusyStates(t *testing.T) {
 }
 
 // The registry's dispatch counters and participation stats must track
-// dispatches, and the per-client latency cache must hold each client's
-// tier.
+// dispatches, and per-client latency models must route through the
+// stateless jitter path with draws identical to Sample.
 func TestPopulationParticipationStats(t *testing.T) {
-	p := newPopulation(5, StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 2})
-	if p.latBase == nil {
-		t.Fatal("straggler model must populate the latency cache")
+	model := StragglerLatency{Fast: 1, Slow: 10, SlowEvery: 2}
+	p := newPopulation(5, model)
+	if p.jitter == nil {
+		t.Fatal("straggler model must register its per-client jitter decomposition")
 	}
 	for id, want := range []float64{10, 1, 10, 1, 10} {
-		if p.latBase[id] != want {
-			t.Fatalf("latBase[%d]=%v want %v", id, p.latBase[id], want)
+		if got := p.jitter.ClientBase(id); got != want {
+			t.Fatalf("ClientBase(%d)=%v want %v", id, got, want)
 		}
-	}
-	p.dispatched(1, nil)
-	p.arrived(1, true)
-	p.dispatched(1, nil)
-	p.dispatched(4, nil)
-	distinct, total := p.participants()
-	if distinct != 2 || total != 3 {
-		t.Fatalf("participants %d/%d want 2/3", distinct, total)
-	}
-	// Models without a per-client base must not populate the cache, and
-	// sampleLatency must fall through to Sample with identical draws.
-	q := newPopulation(5, UniformLatency{Min: 1, Max: 2})
-	if q.latBase != nil {
-		t.Fatal("uniform model must not pretend to have per-client bases")
 	}
 	r1 := prng.New(9)
 	r2 := prng.New(9)
 	for i := 0; i < 20; i++ {
-		if q.sampleLatency(UniformLatency{Min: 1, Max: 2}, i%5, r1) != (UniformLatency{Min: 1, Max: 2}).Sample(i%5, r2) {
+		if p.sampleLatency(model, i%5, r1) != model.Sample(i%5, r2) {
+			t.Fatal("jitter path diverged from Sample")
+		}
+	}
+	p.dispatched(1)
+	p.arrived(1, true)
+	p.dispatched(1)
+	p.dispatched(4)
+	distinct, total := p.participants()
+	if distinct != 2 || total != 3 {
+		t.Fatalf("participants %d/%d want 2/3", distinct, total)
+	}
+	// Models without a per-client base must not pretend to have one, and
+	// sampleLatency must fall through to Sample with identical draws.
+	q := newPopulation(5, UniformLatency{Min: 1, Max: 2})
+	if q.jitter != nil {
+		t.Fatal("uniform model must not pretend to have per-client bases")
+	}
+	r3 := prng.New(9)
+	r4 := prng.New(9)
+	for i := 0; i < 20; i++ {
+		if q.sampleLatency(UniformLatency{Min: 1, Max: 2}, i%5, r3) != (UniformLatency{Min: 1, Max: 2}).Sample(i%5, r4) {
 			t.Fatal("sampleLatency fallback diverged from Sample")
 		}
 	}

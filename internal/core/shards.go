@@ -23,6 +23,12 @@ type trainJob struct {
 	finish  float64 // virtual arrival time
 	seq     int     // dispatch order, tie-break for equal arrival times
 	heapIdx int     // slot in the event loop's jobHeap (-1 when not queued)
+	// remaining is the unserved portion of the job's transfer when its
+	// client dropped mid-flight: the churn process parks the job (finish
+	// = +Inf) and restores finish = rejoin + remaining at the rejoin,
+	// reproducing the old "defer the arrival past the rejoin" semantics
+	// without per-client scheduling state. Zero when not parked.
+	remaining float64
 
 	// Device-heterogeneity dispatch parameters (zero when no device
 	// fleet is configured): steps caps the client's local mini-batch

@@ -56,8 +56,13 @@ const (
 	// recorder counter, and the transport-state section (error-feedback
 	// residuals). Version 3 added the adversary section (per-client fault
 	// assignment, noise-stream RNG positions) and the rejected-updates
-	// counter — older snapshots cannot be read by this build.
-	snapVersion = 3
+	// counter. Version 4 switched the churn section to the compact
+	// aggregate process (segment permutation + two clock times instead of
+	// per-client phase arrays and an O(N) event heap), added the parked-
+	// job remainder to job records, and made the adversary RNG array
+	// optional (only the noise mode materializes it) — older snapshots
+	// cannot be read by this build.
+	snapVersion = 4
 	// snapMaxLen bounds every deserialized collection length: corrupt or
 	// adversarial length prefixes must not drive allocation.
 	snapMaxLen = 1 << 30
@@ -458,6 +463,9 @@ func (rs *RunState) snapshotCommon(sw *snapWriter) {
 		for _, f := range s.faults {
 			sw.u8(uint8(f))
 		}
+		// Only the noise mode materializes per-client adversary streams;
+		// crash/zero/sign fleets carry no such state.
+		sw.boolv(s.advRng != nil)
 		for _, rng := range s.advRng {
 			sw.boolv(rng != nil)
 			if rng != nil {
@@ -563,7 +571,11 @@ func (rs *RunState) restoreCommon(sr *snapReader) {
 				sr.fail("core: corrupt snapshot: client %d fault class %d, the spec derives %d", i, f, s.faults[i])
 			}
 		}
-		for i := 0; i < nf && sr.err == nil; i++ {
+		hasAdvRng := sr.boolv()
+		if sr.err == nil && hasAdvRng != (s.advRng != nil) {
+			sr.fail("core: corrupt snapshot: adversary streams present=%t, spec derives=%t", hasAdvRng, s.advRng != nil)
+		}
+		for i := 0; hasAdvRng && i < nf && sr.err == nil; i++ {
 			if sr.boolv() {
 				if s.advRng[i] == nil {
 					sr.fail("core: corrupt snapshot: client %d carries an adversary stream the spec does not derive", i)
@@ -677,6 +689,7 @@ func writeJob(sw *snapWriter, j *trainJob) {
 	sw.num(j.seq)
 	sw.num(j.steps)
 	sw.f64(j.speed)
+	sw.f64(j.remaining)
 	sw.boolv(j.dropped)
 	sw.i64(j.flops)
 	sw.i64(j.downBytes)
@@ -709,6 +722,7 @@ func readJob(sr *snapReader, s *Server) *trainJob {
 	j.seq = sr.num("job sequence")
 	j.steps = sr.num("job steps")
 	j.speed = sr.f64()
+	j.remaining = sr.f64()
 	j.dropped = sr.boolv()
 	j.flops = sr.i64()
 	j.downBytes = sr.i64()
@@ -759,14 +773,18 @@ func readPopulation(sr *snapReader, p *population) {
 	}
 }
 
-// writeChurn serializes the availability process verbatim: per-client
-// phase arrays, the generation counters that lazily invalidate stale
-// events, and the event heap in array order.
+// writeChurn serializes the aggregate availability process: the segment
+// permutation (order-sensitive — the which-client pick indexes into it),
+// the three live-segment boundaries, the two exponential clock times,
+// the scheduled-event heap in array order, and the mass-suspension
+// rejoin groups.
 func writeChurn(sw *snapWriter, c *churn) {
-	sw.bools(c.offline)
-	sw.bools(c.dead)
-	sw.i32s(c.gen)
-	sw.num(c.nOffline)
+	sw.i32s(c.order)
+	sw.num(c.nUp)
+	sw.num(c.nDown)
+	sw.num(c.nSusp)
+	sw.f64(c.nextDrop)
+	sw.f64(c.nextRejoin)
 	sw.i64(c.seq)
 	sw.rngState(c.rng.State())
 	sw.num(len(c.h.es))
@@ -774,26 +792,43 @@ func writeChurn(sw *snapWriter, c *churn) {
 		sw.f64(e.at)
 		sw.i64(e.seq)
 		sw.i64(int64(e.id))
-		sw.i64(int64(e.gen))
 		sw.u8(uint8(e.kind))
+	}
+	sw.num(len(c.groups))
+	for _, g := range c.groups {
+		sw.i32s(g)
 	}
 }
 
 func readChurn(sr *snapReader, c *churn) {
-	n := len(c.offline)
-	offline := sr.bools("churn offline")
-	dead := sr.bools("churn dead")
-	gen := sr.i32s("churn generations")
-	if sr.err == nil && (len(offline) != n || len(dead) != n || len(gen) != n) {
-		sr.fail("core: corrupt snapshot: churn state sized %d/%d/%d, population is %d", len(offline), len(dead), len(gen), n)
+	n := c.n
+	order := sr.i32s("churn order")
+	if sr.err == nil && len(order) != n {
+		sr.fail("core: corrupt snapshot: churn order sized %d, population is %d", len(order), n)
 	}
 	if sr.err != nil {
 		return
 	}
-	copy(c.offline, offline)
-	copy(c.dead, dead)
-	copy(c.gen, gen)
-	c.nOffline = sr.num("churn offline count")
+	copy(c.order, order)
+	for i := range c.pos {
+		c.pos[i] = -1
+	}
+	for p, id := range c.order {
+		if id < 0 || int(id) >= n || c.pos[id] >= 0 {
+			sr.fail("core: corrupt snapshot: churn order is not a permutation (entry %d = %d)", p, id)
+			return
+		}
+		c.pos[id] = int32(p)
+	}
+	c.nUp = sr.num("churn online count")
+	c.nDown = sr.num("churn offline count")
+	c.nSusp = sr.num("churn suspended count")
+	if sr.err == nil && (c.nUp < 0 || c.nDown < 0 || c.nSusp < 0 || c.nUp+c.nDown+c.nSusp > n) {
+		sr.fail("core: corrupt snapshot: churn segments %d/%d/%d exceed population of %d", c.nUp, c.nDown, c.nSusp, n)
+		return
+	}
+	c.nextDrop = sr.f64()
+	c.nextRejoin = sr.f64()
 	c.seq = sr.i64()
 	c.rng.SetState(sr.rngState())
 	nEvents := sr.length("churn event heap", snapMaxLen)
@@ -802,14 +837,31 @@ func readChurn(sr *snapReader, c *churn) {
 		var e churnEvent
 		e.at = sr.f64()
 		e.seq = sr.i64()
-		e.id = int32(sr.num("churn event client"))
-		e.gen = int32(sr.num("churn event generation"))
+		e.id = int32(sr.num("churn event id"))
 		e.kind = churnEventKind(sr.u8())
-		if sr.err == nil && e.kind > churnMass {
+		if sr.err == nil && e.kind > churnGroupRejoin {
 			sr.fail("core: corrupt snapshot: churn event kind %d", e.kind)
 			return
 		}
 		c.h.es = append(c.h.es, e)
+	}
+	nGroups := sr.length("churn rejoin groups", snapMaxLen)
+	c.groups = c.groups[:0]
+	for i := 0; i < nGroups && sr.err == nil; i++ {
+		g := sr.i32s("churn rejoin group")
+		for _, id := range g {
+			if id < 0 || int(id) >= n {
+				sr.fail("core: corrupt snapshot: churn group member %d outside population of %d", id, n)
+				return
+			}
+		}
+		c.groups = append(c.groups, g)
+	}
+	for _, e := range c.h.es {
+		if e.kind == churnGroupRejoin && (e.id < 0 || int(e.id) >= len(c.groups)) {
+			sr.fail("core: corrupt snapshot: churn group-rejoin event references group %d of %d", e.id, len(c.groups))
+			return
+		}
 	}
 }
 
@@ -883,7 +935,7 @@ func (r *bufferedRunner) restoreBody(sr *snapReader) error {
 		}
 		j.heapIdx = i
 		r.inflight.js = append(r.inflight.js, j)
-		a.pop.inflight[j.c.ID] = j
+		r.inflight.slot[j.c.ID] = int32(i) + 1
 	}
 	nBuffer := sr.length("buffered jobs", snapMaxLen)
 	r.buffer = r.buffer[:0]

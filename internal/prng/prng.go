@@ -45,6 +45,17 @@ func New(seed int64) *Rand {
 	return &Rand{s: uint64(seed)}
 }
 
+// Reseed resets the stream to the exact state New(seed) returns, without
+// allocating. It is the scratch-Rand primitive behind stateless per-
+// entity derivation: a caller holding one Rand can re-seed it per lookup
+// (device speed, latency base, fault class of client k) instead of
+// materializing a fleet-wide array or allocating a Rand per query.
+func (r *Rand) Reseed(seed int64) {
+	r.s = uint64(seed)
+	r.spare = 0
+	r.hasSpare = false
+}
+
 // Mix scrambles x through the splitmix64 finalizer. It is the seed-
 // derivation primitive: Mix(seed ^ Mix(nameHash + index)) spreads any
 // structured input over the full 64-bit space.
